@@ -1,0 +1,93 @@
+//! Adversary certificates: instance + explicit feasible offline trajectory.
+
+use msp_core::cost::{evaluate_trajectory, first_move_violation, ServingOrder};
+use msp_core::model::Instance;
+use msp_geometry::Point;
+
+/// A lower-bound instance together with the adversary's own server
+/// trajectory (the proof's "offline solution").
+#[derive(Clone, Debug)]
+pub struct Certificate<const N: usize> {
+    /// The request sequence presented to the online algorithm.
+    pub instance: Instance<N>,
+    /// The adversary's feasible trajectory `P_0 … P_T` (respects the
+    /// *unaugmented* movement limit `m`).
+    pub adversary: Vec<Point<N>>,
+}
+
+impl<const N: usize> Certificate<N> {
+    /// Builds a certificate, asserting trajectory feasibility — a
+    /// construction that cheats the movement limit would invalidate every
+    /// ratio derived from it.
+    pub fn new(instance: Instance<N>, adversary: Vec<Point<N>>) -> Self {
+        assert_eq!(
+            adversary.len(),
+            instance.horizon() + 1,
+            "certificate trajectory must have T+1 positions"
+        );
+        assert!(
+            adversary[0].distance(&instance.start) <= 1e-9,
+            "certificate must start at the instance start"
+        );
+        assert_eq!(
+            first_move_violation(&adversary, instance.max_move, 1e-9),
+            None,
+            "certificate trajectory violates the movement limit"
+        );
+        Certificate {
+            instance,
+            adversary,
+        }
+    }
+
+    /// The adversary's total cost under `order` — an upper bound on OPT.
+    pub fn adversary_cost(&self, order: ServingOrder) -> f64 {
+        evaluate_trajectory(&self.instance, &self.adversary, order).total()
+    }
+
+    /// Horizon of the underlying instance.
+    pub fn horizon(&self) -> usize {
+        self.instance.horizon()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp_core::model::Step;
+    use msp_geometry::P2;
+
+    #[test]
+    fn cost_is_priced_with_the_shared_evaluator() {
+        let inst = Instance::new(
+            2.0,
+            1.0,
+            P2::origin(),
+            vec![Step::single(P2::xy(1.0, 0.0))],
+        );
+        let cert = Certificate::new(inst, vec![P2::origin(), P2::xy(1.0, 0.0)]);
+        // Move cost 2·1, serve 0.
+        assert!((cert.adversary_cost(ServingOrder::MoveFirst) - 2.0).abs() < 1e-12);
+        // Answer-first: serve from origin (1) + move (2).
+        assert!((cert.adversary_cost(ServingOrder::AnswerFirst) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "violates the movement limit")]
+    fn infeasible_certificate_rejected() {
+        let inst = Instance::new(
+            1.0,
+            1.0,
+            P2::origin(),
+            vec![Step::single(P2::xy(1.0, 0.0))],
+        );
+        let _ = Certificate::new(inst, vec![P2::origin(), P2::xy(5.0, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "T+1 positions")]
+    fn wrong_length_rejected() {
+        let inst = Instance::new(1.0, 1.0, P2::origin(), vec![]);
+        let _ = Certificate::new(inst, vec![]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Theorem 1 construction: `Ω(√(T/D))` without resource augmentation.
+//!
+//! > We consider a sequence of `x` time steps with one request each on the
+//! > starting position of the server. The adversary decides with
+//! > probability ½ to move its server a distance `m` to the left or to the
+//! > right for the first `x` time steps. […] For the remaining `T − x`
+//! > steps the adversary issues requests on the position of its server and
+//! > moves it a distance of `m` towards the same direction.
+//!
+//! With `x = √T`, the adversary pays `O(T·D·m + T·m)` while any online
+//! algorithm is, with probability ½, at distance `≥ x·m` when the chase
+//! phase begins and can never catch up (no augmentation), paying
+//! `Ω((T − x)·x·m)` — ratio `Ω(√T/D)`.
+
+use crate::certificate::Certificate;
+use msp_core::model::{Instance, Step};
+use msp_geometry::sample::SeededSampler;
+use msp_geometry::Point;
+
+/// Parameters of the Theorem 1 adversary.
+#[derive(Clone, Copy, Debug)]
+pub struct Thm1Params {
+    /// Horizon `T`.
+    pub horizon: usize,
+    /// Movement cost weight `D`.
+    pub d: f64,
+    /// Movement limit `m` (shared by adversary and online server).
+    pub m: f64,
+    /// Separation-phase length `x`; `None` uses the proof's `⌈√T⌉`.
+    pub x: Option<usize>,
+}
+
+impl Thm1Params {
+    /// The separation-phase length actually used.
+    pub fn phase_len(&self) -> usize {
+        self.x
+            .unwrap_or_else(|| (self.horizon as f64).sqrt().ceil() as usize)
+            .clamp(1, self.horizon)
+    }
+}
+
+/// Builds the Theorem 1 instance and the adversary's trajectory. The coin
+/// (left vs right along the first axis) is drawn from `seed` — oblivious
+/// by construction, since nothing else depends on it.
+pub fn build_thm1<const N: usize>(params: &Thm1Params, seed: u64) -> Certificate<N> {
+    assert!(params.horizon >= 1, "horizon must be positive");
+    let x = params.phase_len();
+    let mut sampler = SeededSampler::new(seed);
+    let sign = if sampler.coin() { 1.0 } else { -1.0 };
+    let mut dir = Point::<N>::origin();
+    dir[0] = sign;
+
+    let start = Point::<N>::origin();
+    let mut adversary = Vec::with_capacity(params.horizon + 1);
+    adversary.push(start);
+    let mut steps = Vec::with_capacity(params.horizon);
+
+    for t in 1..=params.horizon {
+        let adv_pos = dir * (params.m * t as f64);
+        adversary.push(adv_pos);
+        if t <= x {
+            // Separation phase: requests pin the online server at the
+            // start while the adversary walks away.
+            steps.push(Step::single(start));
+        } else {
+            // Chase phase: requests ride on the adversary's server.
+            steps.push(Step::single(adv_pos));
+        }
+    }
+
+    let instance = Instance::new(params.d, params.m, start, steps);
+    Certificate::new(instance, adversary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp_core::cost::ServingOrder;
+    use msp_core::mtc::MoveToCenter;
+    use msp_core::ratio::ratio_lower_bound;
+    use msp_core::simulator::run;
+
+    #[test]
+    fn structure_matches_the_proof() {
+        let p = Thm1Params {
+            horizon: 100,
+            d: 1.0,
+            m: 1.0,
+            x: None,
+        };
+        let cert = build_thm1::<1>(&p, 7);
+        assert_eq!(cert.horizon(), 100);
+        let x = p.phase_len();
+        assert_eq!(x, 10);
+        // Phase 1 requests at the origin.
+        for t in 0..x {
+            assert_eq!(cert.instance.steps[t].requests[0], Point::origin());
+        }
+        // Phase 2 requests on the adversary.
+        for t in x..100 {
+            assert_eq!(cert.instance.steps[t].requests[0], cert.adversary[t + 1]);
+        }
+    }
+
+    #[test]
+    fn adversary_cost_matches_proof_bound() {
+        let p = Thm1Params {
+            horizon: 400,
+            d: 2.0,
+            m: 1.0,
+            x: None,
+        };
+        let cert = build_thm1::<1>(&p, 3);
+        let x = p.phase_len() as f64;
+        let t = p.horizon as f64;
+        let bound = x * p.d * p.m + p.m * x * x + (t - x) * p.d * p.m;
+        let cost = cert.adversary_cost(ServingOrder::MoveFirst);
+        assert!(cost <= bound + 1e-9, "cost {cost} exceeds proof bound {bound}");
+    }
+
+    #[test]
+    fn coin_flips_both_directions() {
+        let p = Thm1Params {
+            horizon: 10,
+            d: 1.0,
+            m: 1.0,
+            x: Some(3),
+        };
+        let mut seen_left = false;
+        let mut seen_right = false;
+        for seed in 0..20 {
+            let cert = build_thm1::<1>(&p, seed);
+            if cert.adversary[1][0] > 0.0 {
+                seen_right = true;
+            } else {
+                seen_left = true;
+            }
+        }
+        assert!(seen_left && seen_right);
+    }
+
+    #[test]
+    fn unaugmented_mtc_ratio_grows_with_horizon() {
+        // The shape claim at small scale: the certificate ratio for MtC
+        // without augmentation grows as T grows (averaged over coins).
+        let ratio_at = |t: usize| -> f64 {
+            let p = Thm1Params {
+                horizon: t,
+                d: 1.0,
+                m: 1.0,
+                x: None,
+            };
+            let mut acc = 0.0;
+            let runs = 6;
+            for seed in 0..runs {
+                let cert = build_thm1::<1>(&p, seed);
+                let mut alg = MoveToCenter::new();
+                let res = run(&cert.instance, &mut alg, 0.0, ServingOrder::MoveFirst);
+                acc += ratio_lower_bound(
+                    res.total_cost(),
+                    cert.adversary_cost(ServingOrder::MoveFirst),
+                );
+            }
+            acc / runs as f64
+        };
+        let small = ratio_at(64);
+        let large = ratio_at(1024);
+        assert!(
+            large > 1.5 * small,
+            "ratio should grow: T=64 → {small:.2}, T=1024 → {large:.2}"
+        );
+    }
+
+    #[test]
+    fn works_in_higher_dimensions() {
+        let p = Thm1Params {
+            horizon: 20,
+            d: 1.0,
+            m: 0.5,
+            x: Some(4),
+        };
+        let cert = build_thm1::<3>(&p, 11);
+        assert_eq!(cert.horizon(), 20);
+        // Trajectory is confined to the first axis.
+        for pos in &cert.adversary {
+            assert_eq!(pos[1], 0.0);
+            assert_eq!(pos[2], 0.0);
+        }
+    }
+}

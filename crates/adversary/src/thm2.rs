@@ -1,0 +1,303 @@
+//! Theorem 2 construction: `Ω((1/δ)·R_max/R_min)` with `(1+δ)m`
+//! augmentation.
+//!
+//! Each cycle has two phases. *Separation*: `x` steps of `R_min` requests
+//! at the cycle anchor while the adversary walks away at full speed `m` in
+//! a coin direction. *Exploitation*: `⌈x/δ⌉` steps of `R_max` requests
+//! riding on the adversary — the number of steps an online server at
+//! distance `x·m` needs to catch up when its speed advantage is only
+//! `δ·m` per round. Cycles repeat with fresh, oblivious coins; the anchor
+//! of the next cycle is wherever the adversary ended.
+
+use crate::certificate::Certificate;
+use msp_core::model::{Instance, Step};
+use msp_geometry::sample::SeededSampler;
+use msp_geometry::Point;
+
+/// Parameters of the Theorem 2 adversary.
+#[derive(Clone, Copy, Debug)]
+pub struct Thm2Params {
+    /// Augmentation factor `δ ∈ (0, 1]` the online algorithm will be
+    /// granted (the construction sizes its chase phase against it).
+    pub delta: f64,
+    /// Requests per step in the separation phase.
+    pub r_min: usize,
+    /// Requests per step in the exploitation phase.
+    pub r_max: usize,
+    /// Movement cost weight `D`.
+    pub d: f64,
+    /// Movement limit `m`.
+    pub m: f64,
+    /// Separation-phase length `x`; `None` uses `max(⌈2/δ⌉, 8)` (the proof
+    /// requires `x ≥ 2/δ` and "sufficiently large").
+    pub x: Option<usize>,
+    /// Number of two-phase cycles.
+    pub cycles: usize,
+}
+
+impl Thm2Params {
+    /// The separation-phase length actually used.
+    pub fn phase_len(&self) -> usize {
+        self.x
+            .unwrap_or_else(|| ((2.0 / self.delta).ceil() as usize).max(8))
+    }
+
+    /// Exploitation-phase length `⌈x/δ⌉`.
+    pub fn chase_len(&self) -> usize {
+        (self.phase_len() as f64 / self.delta).ceil() as usize
+    }
+
+    /// Total horizon `cycles · (x + ⌈x/δ⌉)`.
+    pub fn horizon(&self) -> usize {
+        self.cycles * (self.phase_len() + self.chase_len())
+    }
+}
+
+/// Builds the Theorem 2 instance and the adversary's trajectory; one fresh
+/// oblivious coin per cycle.
+pub fn build_thm2<const N: usize>(params: &Thm2Params, seed: u64) -> Certificate<N> {
+    assert!(params.delta > 0.0 && params.delta <= 1.0, "δ ∈ (0, 1]");
+    assert!(params.r_min >= 1, "R_min ≥ 1");
+    assert!(params.r_max >= params.r_min, "R_max ≥ R_min");
+    assert!(params.cycles >= 1, "need at least one cycle");
+    let x = params.phase_len();
+    let chase = params.chase_len();
+    let mut sampler = SeededSampler::new(seed);
+
+    let start = Point::<N>::origin();
+    let mut adversary = vec![start];
+    let mut steps = Vec::with_capacity(params.horizon());
+    let mut pos = start;
+
+    for _ in 0..params.cycles {
+        let anchor = pos;
+        let sign = if sampler.coin() { 1.0 } else { -1.0 };
+        let mut dir = Point::<N>::origin();
+        dir[0] = sign;
+
+        // Separation: R_min requests pin the online server at the anchor.
+        for _ in 0..x {
+            pos += dir * params.m;
+            adversary.push(pos);
+            steps.push(Step::repeated(anchor, params.r_min));
+        }
+        // Exploitation: R_max requests ride on the adversary while the
+        // online server needs x/δ rounds to close the x·m gap.
+        for _ in 0..chase {
+            pos += dir * params.m;
+            adversary.push(pos);
+            steps.push(Step::repeated(pos, params.r_max));
+        }
+    }
+
+    let instance = Instance::new(params.d, params.m, start, steps);
+    Certificate::new(instance, adversary)
+}
+
+/// Planar/higher-dimensional variant of the Theorem 2 construction: each
+/// cycle escapes in a *uniformly random direction* instead of ±e₁. The
+/// request sequence is no longer collinear, so the instance genuinely
+/// exercises dimension-≥2 geometry (used by experiment E4b to probe the
+/// open gap between the `Ω(1/δ)` lower and `O(1/δ^{3/2})` upper bound).
+pub fn build_thm2_rotating<const N: usize>(params: &Thm2Params, seed: u64) -> Certificate<N> {
+    assert!(N >= 2, "rotating variant needs dimension ≥ 2");
+    assert!(params.delta > 0.0 && params.delta <= 1.0, "δ ∈ (0, 1]");
+    assert!(params.r_min >= 1, "R_min ≥ 1");
+    assert!(params.r_max >= params.r_min, "R_max ≥ R_min");
+    assert!(params.cycles >= 1, "need at least one cycle");
+    let x = params.phase_len();
+    let chase = params.chase_len();
+    let mut sampler = SeededSampler::new(seed);
+
+    let start = Point::<N>::origin();
+    let mut adversary = vec![start];
+    let mut steps = Vec::with_capacity(params.horizon());
+    let mut pos = start;
+
+    for _ in 0..params.cycles {
+        let anchor = pos;
+        let dir: Point<N> = sampler.unit_vector();
+        for _ in 0..x {
+            pos += dir * params.m;
+            adversary.push(pos);
+            steps.push(Step::repeated(anchor, params.r_min));
+        }
+        for _ in 0..chase {
+            pos += dir * params.m;
+            adversary.push(pos);
+            steps.push(Step::repeated(pos, params.r_max));
+        }
+    }
+
+    let instance = Instance::new(params.d, params.m, start, steps);
+    Certificate::new(instance, adversary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp_core::cost::ServingOrder;
+    use msp_core::mtc::MoveToCenter;
+    use msp_core::ratio::ratio_lower_bound;
+    use msp_core::simulator::run;
+
+    fn params(delta: f64, r_min: usize, r_max: usize, cycles: usize) -> Thm2Params {
+        Thm2Params {
+            delta,
+            r_min,
+            r_max,
+            d: 1.0,
+            m: 1.0,
+            x: None,
+            cycles,
+        }
+    }
+
+    #[test]
+    fn horizon_accounts_for_both_phases() {
+        let p = params(0.5, 1, 4, 3);
+        assert_eq!(p.phase_len(), 8);
+        assert_eq!(p.chase_len(), 16);
+        assert_eq!(p.horizon(), 3 * 24);
+        let cert = build_thm2::<1>(&p, 1);
+        assert_eq!(cert.horizon(), p.horizon());
+    }
+
+    #[test]
+    fn request_counts_alternate_between_phases() {
+        let p = params(0.5, 2, 5, 2);
+        let cert = build_thm2::<1>(&p, 2);
+        let x = p.phase_len();
+        let c = p.chase_len();
+        for cyc in 0..2 {
+            let base = cyc * (x + c);
+            for t in 0..x {
+                assert_eq!(cert.instance.steps[base + t].len(), 2);
+            }
+            for t in 0..c {
+                assert_eq!(cert.instance.steps[base + x + t].len(), 5);
+            }
+        }
+        assert_eq!(cert.instance.request_bounds(), (2, 5));
+    }
+
+    #[test]
+    fn exploitation_requests_ride_on_adversary() {
+        let p = params(0.25, 1, 3, 1);
+        let cert = build_thm2::<2>(&p, 5);
+        let x = p.phase_len();
+        for t in x..p.horizon() {
+            assert_eq!(cert.instance.steps[t].requests[0], cert.adversary[t + 1]);
+        }
+    }
+
+    #[test]
+    fn ratio_grows_as_delta_shrinks() {
+        // Average the certificate ratio of augmented MtC over several
+        // coins; halving δ should increase it clearly.
+        let ratio_for = |delta: f64| -> f64 {
+            let p = params(delta, 1, 1, 3);
+            let mut acc = 0.0;
+            let runs = 8;
+            for seed in 0..runs {
+                let cert = build_thm2::<1>(&p, seed);
+                let mut alg = MoveToCenter::new();
+                let res = run(&cert.instance, &mut alg, delta, ServingOrder::MoveFirst);
+                acc += ratio_lower_bound(
+                    res.total_cost(),
+                    cert.adversary_cost(ServingOrder::MoveFirst),
+                );
+            }
+            acc / runs as f64
+        };
+        let loose = ratio_for(1.0);
+        let tight = ratio_for(0.25);
+        assert!(
+            tight > 1.3 * loose,
+            "δ=1 → {loose:.3}, δ=0.25 → {tight:.3}"
+        );
+    }
+
+    #[test]
+    fn ratio_grows_with_rmax_over_rmin() {
+        let ratio_for = |r_max: usize| -> f64 {
+            let p = params(0.5, 1, r_max, 3);
+            let mut acc = 0.0;
+            let runs = 8;
+            for seed in 0..runs {
+                let cert = build_thm2::<1>(&p, seed);
+                let mut alg = MoveToCenter::new();
+                let res = run(&cert.instance, &mut alg, 0.5, ServingOrder::MoveFirst);
+                acc += ratio_lower_bound(
+                    res.total_cost(),
+                    cert.adversary_cost(ServingOrder::MoveFirst),
+                );
+            }
+            acc / runs as f64
+        };
+        let even = ratio_for(1);
+        let skewed = ratio_for(8);
+        assert!(
+            skewed > 1.5 * even,
+            "Rmax=1 → {even:.3}, Rmax=8 → {skewed:.3}"
+        );
+    }
+
+    #[test]
+    fn rotating_variant_changes_direction_between_cycles() {
+        let p = params(0.5, 1, 1, 4);
+        let cert = build_thm2_rotating::<2>(&p, 3);
+        let x = p.phase_len();
+        let c = p.chase_len();
+        // Direction of cycle k = normalized first displacement of cycle k.
+        let dir_of = |k: usize| {
+            let base = k * (x + c);
+            (cert.adversary[base + 1] - cert.adversary[base])
+                .normalized()
+                .unwrap()
+        };
+        let d0 = dir_of(0);
+        let any_different = (1..4).any(|k| dir_of(k).distance(&d0) > 1e-6);
+        assert!(any_different, "all cycles escaped in the same direction");
+    }
+
+    #[test]
+    fn rotating_variant_feasible_and_ratio_grows_with_small_delta() {
+        let ratio_for = |delta: f64| -> f64 {
+            let p = params(delta, 1, 1, 3);
+            let mut acc = 0.0;
+            for seed in 0..6 {
+                let cert = build_thm2_rotating::<2>(&p, seed);
+                let mut alg = MoveToCenter::new();
+                let res = run(&cert.instance, &mut alg, delta, ServingOrder::MoveFirst);
+                acc += ratio_lower_bound(
+                    res.total_cost(),
+                    cert.adversary_cost(ServingOrder::MoveFirst),
+                );
+            }
+            acc / 6.0
+        };
+        assert!(ratio_for(0.25) > 1.3 * ratio_for(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension ≥ 2")]
+    fn rotating_variant_rejects_the_line() {
+        let p = params(0.5, 1, 1, 1);
+        let _ = build_thm2_rotating::<1>(&p, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "δ ∈ (0, 1]")]
+    fn rejects_zero_delta() {
+        let p = params(0.0, 1, 1, 1);
+        let _ = build_thm2::<1>(&p, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "R_max ≥ R_min")]
+    fn rejects_inverted_request_bounds() {
+        let p = params(0.5, 4, 2, 1);
+        let _ = build_thm2::<1>(&p, 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Theorem 3 construction: `Ω(r/D)` for the Answer-First variant.
+//!
+//! Two-step cycles. Step 1: `r` requests at the common anchor; the
+//! adversary then slips `m` left or right (fresh oblivious coin). Step 2:
+//! `r` requests at the adversary's new position. Under Answer-First the
+//! online algorithm must serve step 2 from wherever it stood *before*
+//! learning the direction, paying `r·m` with probability ½, while the
+//! adversary pays only `D·m` for its single move (its own requests are
+//! always on its pre-move position, served free under Answer-First).
+
+use crate::certificate::Certificate;
+use msp_core::model::{Instance, Step};
+use msp_geometry::sample::SeededSampler;
+use msp_geometry::Point;
+
+/// Parameters of the Theorem 3 adversary.
+#[derive(Clone, Copy, Debug)]
+pub struct Thm3Params {
+    /// Fixed number of requests per step.
+    pub r: usize,
+    /// Movement cost weight `D`.
+    pub d: f64,
+    /// Movement limit `m`.
+    pub m: f64,
+    /// Number of two-step cycles.
+    pub cycles: usize,
+}
+
+impl Thm3Params {
+    /// Horizon `2 · cycles`.
+    pub fn horizon(&self) -> usize {
+        2 * self.cycles
+    }
+}
+
+/// Builds the Theorem 3 instance and adversary trajectory; one oblivious
+/// coin per cycle.
+pub fn build_thm3<const N: usize>(params: &Thm3Params, seed: u64) -> Certificate<N> {
+    assert!(params.r >= 1, "need at least one request per step");
+    assert!(params.cycles >= 1, "need at least one cycle");
+    let mut sampler = SeededSampler::new(seed);
+
+    let start = Point::<N>::origin();
+    let mut adversary = vec![start];
+    let mut steps = Vec::with_capacity(params.horizon());
+    let mut pos = start;
+
+    for _ in 0..params.cycles {
+        let anchor = pos;
+        let sign = if sampler.coin() { 1.0 } else { -1.0 };
+        let mut dir = Point::<N>::origin();
+        dir[0] = sign;
+
+        // Step 1: requests at the anchor; the adversary slips away. Under
+        // Answer-First it serves them from the anchor (free), then moves.
+        pos += dir * params.m;
+        steps.push(Step::repeated(anchor, params.r));
+        adversary.push(pos);
+
+        // Step 2: requests at the adversary's new position; it stays.
+        steps.push(Step::repeated(pos, params.r));
+        adversary.push(pos);
+    }
+
+    let instance = Instance::new(params.d, params.m, start, steps);
+    Certificate::new(instance, adversary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp_core::cost::ServingOrder;
+    use msp_core::mtc::MoveToCenter;
+    use msp_core::ratio::ratio_lower_bound;
+    use msp_core::simulator::run;
+
+    fn params(r: usize, d: f64, cycles: usize) -> Thm3Params {
+        Thm3Params {
+            r,
+            d,
+            m: 1.0,
+            cycles,
+        }
+    }
+
+    #[test]
+    fn adversary_pays_only_the_move_under_answer_first() {
+        let p = params(10, 3.0, 5);
+        let cert = build_thm3::<1>(&p, 4);
+        let cost = cert.adversary_cost(ServingOrder::AnswerFirst);
+        // One move of m per cycle, all requests served from the pre-move
+        // position at distance 0.
+        assert!(
+            (cost - 5.0 * 3.0 * 1.0).abs() < 1e-9,
+            "expected 15, got {cost}"
+        );
+    }
+
+    #[test]
+    fn fixed_request_count_throughout() {
+        let p = params(7, 1.0, 4);
+        let cert = build_thm3::<2>(&p, 1);
+        assert!(cert.instance.has_fixed_request_count(7));
+        assert_eq!(cert.horizon(), 8);
+    }
+
+    #[test]
+    fn ratio_scales_with_r_over_d() {
+        let ratio_for = |r: usize, d: f64| -> f64 {
+            let p = params(r, d, 6);
+            let mut acc = 0.0;
+            let runs = 8;
+            for seed in 0..runs {
+                let cert = build_thm3::<1>(&p, seed);
+                let mut alg = MoveToCenter::new();
+                // Even generous augmentation cannot save Answer-First.
+                let res = run(&cert.instance, &mut alg, 1.0, ServingOrder::AnswerFirst);
+                acc += ratio_lower_bound(
+                    res.total_cost(),
+                    cert.adversary_cost(ServingOrder::AnswerFirst),
+                );
+            }
+            acc / runs as f64
+        };
+        let small = ratio_for(2, 2.0); // r/D = 1
+        let large = ratio_for(16, 2.0); // r/D = 8
+        assert!(
+            large > 2.0 * small,
+            "r/D=1 → {small:.3}, r/D=8 → {large:.3}"
+        );
+    }
+
+    #[test]
+    fn anchor_chains_across_cycles() {
+        let p = params(1, 1.0, 3);
+        let cert = build_thm3::<1>(&p, 9);
+        // Step 3 (second cycle, first step) requests sit on the adversary's
+        // position after cycle 1.
+        assert_eq!(cert.instance.steps[2].requests[0], cert.adversary[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request")]
+    fn rejects_zero_requests() {
+        let p = params(0, 1.0, 1);
+        let _ = build_thm3::<1>(&p, 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Theorem 8 construction: `Ω(√T·ε/(1+ε))` in the Moving-Client variant
+//! when the agent is faster than the server (`m_a = (1+ε)·m_s`).
+//!
+//! Phase 1 (`⌈x·(1+ε)⌉` rounds): the adversary's server runs away at full
+//! speed `m_s` in a coin direction while the agent idles at the origin,
+//! sprinting (speed `m_a`) to the adversary's position only during the
+//! last `x` rounds. Phase 2: agent and adversary march on together at
+//! speed `m_s`. An online server that guessed wrong is `x·ε·m_s` behind
+//! and — being slower than the agent was — can close the gap only at rate
+//! `0` relative to a target that now moves at its own top speed; it drags
+//! the gap forever.
+
+use crate::certificate::Certificate;
+use msp_core::moving_client::{AgentWalk, MovingClientInstance};
+use msp_geometry::sample::SeededSampler;
+use msp_geometry::Point;
+
+/// Parameters of the Theorem 8 adversary.
+#[derive(Clone, Copy, Debug)]
+pub struct Thm8Params {
+    /// Horizon `T`.
+    pub horizon: usize,
+    /// Movement cost weight `D`.
+    pub d: f64,
+    /// Server speed `m_s`.
+    pub ms: f64,
+    /// Agent speed surplus: `m_a = (1+ε)·m_s`, `ε > 0`.
+    pub epsilon: f64,
+    /// Sprint-phase length `x`; `None` uses the proof's `⌈√(T·m_s/m_a)⌉`.
+    pub x: Option<usize>,
+}
+
+impl Thm8Params {
+    /// Agent speed `m_a`.
+    pub fn ma(&self) -> f64 {
+        (1.0 + self.epsilon) * self.ms
+    }
+
+    /// The sprint-phase length actually used.
+    pub fn sprint_len(&self) -> usize {
+        self.x
+            .unwrap_or_else(|| (self.horizon as f64 / (1.0 + self.epsilon)).sqrt().ceil() as usize)
+            .max(1)
+    }
+
+    /// Separation-phase length `⌈x·(1+ε)⌉ = ⌈x·m_a/m_s⌉`.
+    pub fn phase1_len(&self) -> usize {
+        (self.sprint_len() as f64 * (1.0 + self.epsilon)).ceil() as usize
+    }
+}
+
+/// The Theorem 8 output: the Moving-Client instance plus the certificate
+/// over its lowering to the base model.
+#[derive(Clone, Debug)]
+pub struct Thm8Output<const N: usize> {
+    /// The variant-level instance (agent walk validated against `m_a`).
+    pub moving_client: MovingClientInstance<N>,
+    /// Certificate over the lowered instance: the adversary's server
+    /// trajectory, feasible for `m_s`.
+    pub certificate: Certificate<N>,
+}
+
+/// Builds the Theorem 8 instance; the single oblivious coin picks the
+/// escape direction.
+pub fn build_thm8<const N: usize>(params: &Thm8Params, seed: u64) -> Thm8Output<N> {
+    assert!(params.epsilon > 0.0, "ε must be positive");
+    assert!(params.horizon >= 2, "horizon too short");
+    let mut sampler = SeededSampler::new(seed);
+    let sign = if sampler.coin() { 1.0 } else { -1.0 };
+    let mut dir = Point::<N>::origin();
+    dir[0] = sign;
+
+    let ms = params.ms;
+    let ma = params.ma();
+    let x = params.sprint_len();
+    let phase1 = params.phase1_len().min(params.horizon);
+    let start = Point::<N>::origin();
+
+    // Adversary server: full speed in the coin direction, every round.
+    let mut adversary = Vec::with_capacity(params.horizon + 1);
+    adversary.push(start);
+    for t in 1..=params.horizon {
+        adversary.push(dir * (ms * t as f64));
+    }
+
+    // Agent: idle, then sprint to the adversary, then ride along. Using
+    // `from_fn` clamps each hop to m_a, so the walk is valid even when the
+    // ceilings above leave fractional slack.
+    let sprint_start = phase1.saturating_sub(x);
+    let adversary_at = |t: usize| adversary[t];
+    let agent = AgentWalk::from_fn(start, params.horizon, ma, |t_idx, prev| {
+        let t = t_idx + 1; // rounds are 1-based
+        if t <= sprint_start {
+            *prev // idle at the origin
+        } else {
+            adversary_at(t) // chase / ride the adversary (clamped to m_a)
+        }
+    });
+
+    let moving_client = MovingClientInstance::new(params.d, ms, agent);
+    let instance = moving_client.to_instance();
+    let certificate = Certificate::new(instance, adversary);
+    Thm8Output {
+        moving_client,
+        certificate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp_core::cost::ServingOrder;
+    use msp_core::mtc::MoveToCenter;
+    use msp_core::ratio::ratio_lower_bound;
+    use msp_core::simulator::run;
+
+    fn params(t: usize, eps: f64) -> Thm8Params {
+        Thm8Params {
+            horizon: t,
+            d: 1.0,
+            ms: 1.0,
+            epsilon: eps,
+            x: None,
+        }
+    }
+
+    #[test]
+    fn agent_respects_its_speed_limit() {
+        let p = params(200, 0.5);
+        let out = build_thm8::<1>(&p, 3);
+        assert!((out.moving_client.agent.max_speed() - 1.5).abs() < 1e-12);
+        // AgentWalk::from_fn validated the walk internally; re-check one
+        // displacement by hand.
+        let pos = out.moving_client.agent.positions();
+        for w in pos.windows(2) {
+            assert!(w[0].distance(&w[1]) <= 1.5 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn agent_catches_adversary_by_end_of_phase_one() {
+        let p = params(400, 1.0);
+        let out = build_thm8::<1>(&p, 1);
+        let phase1 = p.phase1_len();
+        let gap = out.moving_client.agent.positions()[phase1 - 1]
+            .distance(&out.certificate.adversary[phase1]);
+        assert!(gap <= p.ma() + 1e-9, "agent still {gap} away after phase 1");
+    }
+
+    #[test]
+    fn adversary_serves_for_free_in_phase_two() {
+        let p = params(300, 0.5);
+        let out = build_thm8::<1>(&p, 2);
+        let phase1 = p.phase1_len();
+        // In phase 2 the agent rides exactly on the adversary.
+        for t in (phase1 + 1)..=p.horizon {
+            let agent = out.moving_client.agent.positions()[t - 1];
+            assert!(agent.distance(&out.certificate.adversary[t]) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ratio_grows_with_horizon_for_fast_agent() {
+        let ratio_at = |t: usize| -> f64 {
+            let p = params(t, 1.0);
+            let mut acc = 0.0;
+            let runs = 6;
+            for seed in 0..runs {
+                let out = build_thm8::<1>(&p, seed);
+                let mut alg = MoveToCenter::new();
+                let res = run(
+                    &out.certificate.instance,
+                    &mut alg,
+                    0.0,
+                    ServingOrder::MoveFirst,
+                );
+                acc += ratio_lower_bound(
+                    res.total_cost(),
+                    out.certificate.adversary_cost(ServingOrder::MoveFirst),
+                );
+            }
+            acc / runs as f64
+        };
+        let small = ratio_at(100);
+        let large = ratio_at(1600);
+        assert!(
+            large > 1.5 * small,
+            "T=100 → {small:.2}, T=1600 → {large:.2}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ε must be positive")]
+    fn rejects_non_positive_epsilon() {
+        let p = params(10, 0.0);
+        let _ = build_thm8::<1>(&p, 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Minimal JSON emission for machine-readable experiment records.
+//!
+//! The allowed dependency set includes `serde` but not `serde_json`; the
+//! experiment records are small and flat, so a tiny value tree with an
+//! escaping serializer keeps the workspace dependency-light.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value (sufficient subset: no lossless i64/u64 split needed for
+/// experiment records).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any finite number (non-finite values serialize as `null`, matching
+    /// common JSON-encoder behaviour).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with deterministic (sorted) key order.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Convenience: builds an object from key/value pairs.
+    pub fn obj<const K: usize>(pairs: [(&str, Json); K]) -> Json {
+        Json::Obj(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Serializes to a compact JSON string (`Display` renders the same).
+    #[allow(clippy::inherent_to_string_shadow_display)]
+    pub fn to_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    if *v == v.trunc() && v.abs() < 1e15 {
+                        let _ = write!(out, "{}", *v as i64);
+                    } else {
+                        let _ = write!(out, "{v}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for ch in s.chars() {
+                    match ch {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&Json::to_string(self))
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::Num(3.0).to_string(), "3");
+        assert_eq!(Json::Num(3.5).to_string(), "3.5");
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::from("hi").to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn strings_escape_control_characters() {
+        let s = Json::Str("a\"b\\c\nd\te\u{1}".into()).to_string();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn arrays_and_objects() {
+        let j = Json::obj([
+            ("name", Json::from("e1")),
+            ("ratios", Json::Arr(vec![Json::Num(1.0), Json::Num(2.5)])),
+            ("n", Json::from(3usize)),
+        ]);
+        // BTreeMap sorts keys.
+        assert_eq!(j.to_string(), "{\"n\":3,\"name\":\"e1\",\"ratios\":[1,2.5]}");
+    }
+
+    #[test]
+    fn nested_objects() {
+        let inner = Json::obj([("x", Json::Num(1.5))]);
+        let outer = Json::obj([("inner", inner)]);
+        assert_eq!(outer.to_string(), "{\"inner\":{\"x\":1.5}}");
+    }
+
+    #[test]
+    fn large_integers_stay_integral() {
+        assert_eq!(Json::Num(1e6).to_string(), "1000000");
+    }
+}

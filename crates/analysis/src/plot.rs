@@ -1,0 +1,173 @@
+//! ASCII line charts for terminal reports.
+//!
+//! The experiment harness is a CLI tool; a coarse chart in the terminal is
+//! often all a shape claim needs ("does it bend at the budget?"). This is
+//! a deliberately small renderer: one or more series over a shared x-axis,
+//! drawn into a character grid with min/max labels.
+
+use std::fmt::Write as _;
+
+/// A named series of y-values (x is the index).
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label; the first character is used as the plot glyph.
+    pub name: String,
+    /// Sample values; series may have different lengths.
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// Builds a series.
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
+        Series {
+            name: name.into(),
+            values,
+        }
+    }
+}
+
+/// Renders `series` into a `width × height` character chart with min/max
+/// y-labels and a legend line. Returns a multi-line string.
+///
+/// # Panics
+/// Panics on empty input or degenerate dimensions — a chart you cannot
+/// draw is a caller bug, not a runtime condition.
+pub fn ascii_chart(series: &[Series], width: usize, height: usize) -> String {
+    assert!(!series.is_empty(), "no series to plot");
+    assert!(width >= 8 && height >= 2, "chart too small");
+    let max_len = series.iter().map(|s| s.values.len()).max().unwrap();
+    assert!(max_len >= 2, "need at least two samples");
+    for s in series {
+        assert!(
+            s.values.iter().all(|v| v.is_finite()),
+            "non-finite value in series {:?}",
+            s.name
+        );
+    }
+
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for s in series {
+        for &v in &s.values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if hi - lo < 1e-12 {
+        // Flat data: open a symmetric window so the line sits mid-chart.
+        let pad = 0.5 * (1.0 + hi.abs());
+        lo -= pad;
+        hi += pad;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        let glyph = s.name.chars().next().unwrap_or('*');
+        let n = s.values.len();
+        for (i, &v) in s.values.iter().enumerate() {
+            let x = if n == 1 {
+                0
+            } else {
+                i * (width - 1) / (n - 1)
+            };
+            let frac = (v - lo) / (hi - lo);
+            let y = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+            grid[y.min(height - 1)][x] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    let label_hi = format!("{hi:.3}");
+    let label_lo = format!("{lo:.3}");
+    let gutter = label_hi.len().max(label_lo.len());
+    for (row_idx, row) in grid.iter().enumerate() {
+        let label = if row_idx == 0 {
+            &label_hi
+        } else if row_idx == height - 1 {
+            &label_lo
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "{label:>gutter$} |{}",
+            row.iter().collect::<String>()
+        );
+    }
+    let legend = series
+        .iter()
+        .map(|s| {
+            format!(
+                "{} = {}",
+                s.name.chars().next().unwrap_or('*'),
+                s.name
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(out, "{:>gutter$} +{}", "", "-".repeat(width));
+    let _ = writeln!(out, "{:>gutter$}  {legend}", "");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_expected_dimensions() {
+        let s = Series::new("ratio", (0..20).map(|i| i as f64).collect());
+        let chart = ascii_chart(&[s], 40, 8);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 10); // 8 rows + axis + legend
+        assert!(lines[0].contains("19.000"));
+        assert!(lines[7].contains("0.000"));
+        assert!(lines[9].contains("r = ratio"));
+    }
+
+    #[test]
+    fn increasing_series_fills_from_bottom_left_to_top_right() {
+        let s = Series::new("x", (0..10).map(|i| i as f64).collect());
+        let chart = ascii_chart(&[s], 20, 5);
+        let lines: Vec<&str> = chart.lines().collect();
+        // Top row's mark is to the right of the bottom row's mark.
+        let top_pos = lines[0].rfind('x').unwrap();
+        let bottom_pos = lines[4].find('x').unwrap();
+        assert!(top_pos > bottom_pos);
+    }
+
+    #[test]
+    fn two_series_use_distinct_glyphs() {
+        let a = Series::new("alg", vec![1.0, 2.0, 3.0]);
+        let b = Series::new("opt", vec![3.0, 2.0, 1.0]);
+        let chart = ascii_chart(&[a, b], 24, 6);
+        assert!(chart.contains('a'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("a = alg, o = opt"));
+    }
+
+    #[test]
+    fn flat_series_sits_mid_chart() {
+        let s = Series::new("c", vec![5.0; 8]);
+        let chart = ascii_chart(&[s], 16, 5);
+        let lines: Vec<&str> = chart.lines().collect();
+        // The constant line is not glued to either border row.
+        assert!(!lines[0].contains('c'));
+        assert!(!lines[4].contains('c'));
+        assert!(lines.iter().any(|l| l.contains('c')));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan() {
+        let s = Series::new("bad", vec![1.0, f64::NAN]);
+        let _ = ascii_chart(&[s], 16, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "chart too small")]
+    fn rejects_tiny_canvas() {
+        let s = Series::new("x", vec![1.0, 2.0]);
+        let _ = ascii_chart(&[s], 4, 1);
+    }
+}

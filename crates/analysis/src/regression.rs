@@ -1,0 +1,159 @@
+//! Least-squares fits for exponent recovery.
+//!
+//! The theorems predict power laws: ratio `~ √T`, `~ 1/δ`, `~ 1/δ^{3/2}`,
+//! `~ r/D`. Sweeping the parameter and fitting `log y` against `log x`
+//! recovers the exponent; the experiment tables report it next to the
+//! paper's prediction.
+
+/// Result of an ordinary least-squares line fit `y ≈ intercept + slope·x`.
+#[derive(Clone, Copy, Debug)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 for a perfect fit; 0
+    /// when the fit explains nothing, including the degenerate constant-`y`
+    /// case).
+    pub r_squared: f64,
+}
+
+/// Ordinary least squares on `(x, y)` pairs.
+///
+/// # Panics
+/// Panics with fewer than two points or non-finite input.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    assert!(xs.len() >= 2, "need at least two points");
+    assert!(
+        xs.iter().chain(ys).all(|v| v.is_finite()),
+        "non-finite input"
+    );
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    assert!(sxx > 0.0, "x values are all identical");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - (intercept + slope * x);
+            e * e
+        })
+        .sum();
+    let r_squared = if ss_tot > 0.0 {
+        (1.0 - ss_res / ss_tot).max(0.0)
+    } else {
+        // Constant y: define R² = 0 (nothing to explain) unless residuals
+        // also vanish, in which case the fit is exact.
+        if ss_res <= 1e-24 {
+            1.0
+        } else {
+            0.0
+        }
+    };
+    LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// Result of a power-law fit `y ≈ prefactor · x^exponent`.
+#[derive(Clone, Copy, Debug)]
+pub struct PowerLawFit {
+    /// Fitted exponent (the quantity the theorems predict).
+    pub exponent: f64,
+    /// Fitted multiplicative constant.
+    pub prefactor: f64,
+    /// `R²` of the underlying log-log linear fit.
+    pub r_squared: f64,
+}
+
+/// Fits `y = c·x^α` by OLS on `(ln x, ln y)`.
+///
+/// # Panics
+/// Panics when any value is non-positive (a power law needs a positive
+/// domain and range) or on degenerate input.
+pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> PowerLawFit {
+    assert!(
+        xs.iter().chain(ys).all(|v| *v > 0.0 && v.is_finite()),
+        "power-law fit needs positive finite data"
+    );
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    let fit = linear_fit(&lx, &ly);
+    PowerLawFit {
+        exponent: fit.slope,
+        prefactor: fit.intercept.exp(),
+        r_squared: fit.r_squared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 5.0, 7.0, 9.0];
+        let f = linear_fit(&xs, &ys);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_r_squared_below_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.1, 3.9, 6.2, 7.8, 10.1];
+        let f = linear_fit(&xs, &ys);
+        assert!((f.slope - 2.0).abs() < 0.1);
+        assert!(f.r_squared > 0.99 && f.r_squared < 1.0);
+    }
+
+    #[test]
+    fn sqrt_power_law_recovered() {
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64 * 10.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x.sqrt()).collect();
+        let f = fit_power_law(&xs, &ys);
+        assert!((f.exponent - 0.5).abs() < 1e-10);
+        assert!((f.prefactor - 3.0).abs() < 1e-9);
+        assert!(f.r_squared > 0.9999);
+    }
+
+    #[test]
+    fn inverse_power_law_recovered() {
+        let xs = [0.05, 0.1, 0.2, 0.4, 0.8];
+        let ys: Vec<f64> = xs.iter().map(|&x: &f64| 2.0 * x.powf(-1.5)).collect();
+        let f = fit_power_law(&xs, &ys);
+        assert!((f.exponent + 1.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn constant_data_yields_zero_slope() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [5.0, 5.0, 5.0];
+        let f = linear_fit(&xs, &ys);
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r_squared, 1.0); // exact fit of a constant
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn identical_xs_rejected() {
+        let _ = linear_fit(&[1.0, 1.0], &[2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn power_law_rejects_zero() {
+        let _ = fit_power_law(&[0.0, 1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Order-preserving parallel map for experiment sweeps.
+//!
+//! Experiment grids are embarrassingly parallel: every cell is an
+//! independent (seeded) simulation. This executor fans cells out over
+//! crossbeam scoped threads with dynamic work stealing via a shared atomic
+//! cursor, and returns results in input order so tables render
+//! deterministically regardless of scheduling.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item on up to `threads` worker threads (0 = number
+/// of available CPUs), returning outputs in input order.
+///
+/// `f` must be `Sync` (shared across workers) and is given `(index, item)`
+/// so callers can derive per-cell seeds from the index.
+pub fn parallel_map_indexed<I, O, F>(items: &[I], threads: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &I) -> O + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+    } else {
+        threads
+    }
+    .min(n);
+
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(i, &items[i]);
+                *slots[i].lock() = Some(out);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("missing sweep result"))
+        .collect()
+}
+
+/// [`parallel_map_indexed`] without the index, using all CPUs.
+pub fn parallel_map<I, O, F>(items: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    parallel_map_indexed(items, 0, |_, item| f(item))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&items, |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let items: Vec<u32> = vec![];
+        let out = parallel_map(&items, |x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let items: Vec<usize> = (0..500).collect();
+        let count = AtomicUsize::new(0);
+        let out = parallel_map(&items, |x| {
+            count.fetch_add(1, Ordering::Relaxed);
+            *x
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 500);
+        assert_eq!(out.len(), 500);
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let items: Vec<usize> = (0..10).collect();
+        let out = parallel_map_indexed(&items, 1, |i, x| i + x);
+        assert_eq!(out, (0..10).map(|x| 2 * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn index_matches_position() {
+        let items: Vec<&str> = vec!["a", "b", "c", "d"];
+        let out = parallel_map_indexed(&items, 2, |i, s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c", "3:d"]);
+    }
+
+    #[test]
+    fn heavier_work_still_ordered() {
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map(&items, |x| {
+            // Unequal work per item to scramble completion order.
+            let mut acc = 0u64;
+            for i in 0..(*x % 7) * 10_000 {
+                acc = acc.wrapping_add(i);
+            }
+            (*x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x as usize, i);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Markdown and CSV table rendering for experiment reports.
+//!
+//! Every experiment binary prints a Markdown table (the "figure/table" of
+//! the reproduction) and can dump the same rows as CSV for downstream
+//! plotting.
+
+use std::fmt::Write as _;
+
+/// A simple rectangular table of strings with a header row.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when the row width differs from the header width.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows are present.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders GitHub-flavoured Markdown with aligned columns.
+    pub fn to_markdown(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            out.push('|');
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, " {:width$} |", cell, width = widths[i]);
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        out.push('|');
+        for w in widths.iter().take(cols) {
+            let _ = write!(out, "{:-<width$}|", "", width = w + 2);
+        }
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (quotes cells containing commas, quotes or
+    /// newlines).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let mut write_row = |cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| escape(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        write_row(&self.headers);
+        for row in &self.rows {
+            write_row(row);
+        }
+        out
+    }
+}
+
+/// Formats a float with a sensible number of significant digits for
+/// tables (4 significant digits, plain notation).
+pub fn fmt_sig(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    let magnitude = v.abs().log10().floor() as i32;
+    let decimals = (3 - magnitude).clamp(0, 9) as usize;
+    format!("{v:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_has_header_separator_and_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["1", "2"]);
+        t.push_row(vec!["30", "4"]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("a") && lines[0].contains("b"));
+        assert!(lines[1].starts_with("|-") || lines[1].starts_with("| -") || lines[1].contains("--"));
+        assert!(lines[2].contains('1'));
+        assert!(lines[3].contains("30"));
+    }
+
+    #[test]
+    fn markdown_columns_aligned() {
+        let mut t = Table::new(vec!["col", "x"]);
+        t.push_row(vec!["longvalue", "1"]);
+        let md = t.to_markdown();
+        // All lines have equal length (aligned pipes).
+        let lens: Vec<usize> = md.lines().map(str::len).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{md}");
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["x,y", "he said \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["only one"]);
+    }
+
+    #[test]
+    fn fmt_sig_scales_decimals() {
+        assert_eq!(fmt_sig(0.0), "0");
+        assert_eq!(fmt_sig(1234.6), "1235");
+        assert_eq!(fmt_sig(1.2345), "1.234");
+        assert_eq!(fmt_sig(0.012345), "0.01235");
+        assert_eq!(fmt_sig(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(vec!["h"]);
+        assert!(t.is_empty());
+        assert_eq!(t.to_csv(), "h\n");
+    }
+}

@@ -1,0 +1,22 @@
+//! Criterion wrappers over the experiment suite: `cargo bench` runs every
+//! experiment at `Smoke` scale, so the full table/figure pipeline is
+//! exercised and timed on every benchmark run. For the actual
+//! reproduction tables, run the `experiments` binary (`--full` for
+//! publication sizes).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use msp_bench::{all_experiments, Scale};
+
+fn bench_experiment_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments_smoke");
+    group.sample_size(10);
+    for (id, f) in all_experiments() {
+        group.bench_with_input(BenchmarkId::from_parameter(id), &f, |b, f| {
+            b.iter(|| black_box(f(Scale::Smoke)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiment_suite);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Benchmarks of instance generation: adversarial constructions and
+//! synthetic workloads. Generation must stay negligible next to solving,
+//! otherwise sweep wall-clock lies about solver cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use msp_adversary::{build_thm1, build_thm2, build_thm8, Thm1Params, Thm2Params, Thm8Params};
+use msp_workloads::{
+    AgentFleet, AgentFleetConfig, ClusterMixture, ClusterMixtureConfig, DriftingHotspot,
+    DriftingHotspotConfig, RequestCount,
+};
+
+fn bench_adversaries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversary_generation");
+    for &t in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("thm1", t), &t, |b, &t| {
+            let p = Thm1Params {
+                horizon: t,
+                d: 2.0,
+                m: 1.0,
+                x: None,
+            };
+            b.iter(|| build_thm1::<1>(black_box(&p), 7))
+        });
+    }
+    group.bench_function("thm2_delta_0.1", |b| {
+        let p = Thm2Params {
+            delta: 0.1,
+            r_min: 1,
+            r_max: 4,
+            d: 2.0,
+            m: 1.0,
+            x: None,
+            cycles: 4,
+        };
+        b.iter(|| build_thm2::<2>(black_box(&p), 7))
+    });
+    group.bench_function("thm8_t2000", |b| {
+        let p = Thm8Params {
+            horizon: 2_000,
+            d: 1.0,
+            ms: 1.0,
+            epsilon: 0.5,
+            x: None,
+        };
+        b.iter(|| build_thm8::<1>(black_box(&p), 7))
+    });
+    group.finish();
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    group.bench_function("drifting_hotspot_t5000", |b| {
+        let gen = DriftingHotspot::new(DriftingHotspotConfig::<2> {
+            horizon: 5_000,
+            count: RequestCount::Fixed(4),
+            ..Default::default()
+        });
+        b.iter(|| gen.generate(black_box(9)))
+    });
+    group.bench_function("agent_fleet_12x5000", |b| {
+        let gen = AgentFleet::new(AgentFleetConfig::<2> {
+            horizon: 5_000,
+            agents: 12,
+            ..Default::default()
+        });
+        b.iter(|| gen.generate(black_box(9)))
+    });
+    group.bench_function("cluster_mixture_t5000", |b| {
+        let gen = ClusterMixture::new(ClusterMixtureConfig::<2> {
+            horizon: 5_000,
+            ..Default::default()
+        });
+        b.iter(|| gen.generate(black_box(9)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_adversaries, bench_workloads
+);
+criterion_main!(benches);

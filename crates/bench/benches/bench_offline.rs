@@ -1,0 +1,57 @@
+//! Benchmarks of the offline solvers: how the exact PWL DP scales with the
+//! horizon, and the convex solver's cost per instance.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use msp_core::cost::ServingOrder;
+use msp_offline::convex::{ConvexSolver, ConvexSolverOptions};
+use msp_offline::line::solve_line;
+use msp_workloads::{RandomWalk, RandomWalkConfig, RequestCount};
+
+fn bench_line_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pwl_line_solver");
+    for &t in &[500usize, 2_000, 8_000] {
+        let gen = RandomWalk::new(RandomWalkConfig::<1> {
+            horizon: t,
+            d: 2.0,
+            max_move: 1.0,
+            walk_speed: 0.8,
+            turn_probability: 0.2,
+            spread: 0.3,
+            count: RequestCount::Fixed(2),
+        });
+        let inst = gen.generate(7);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &inst, |b, inst| {
+            b.iter(|| solve_line(black_box(inst), ServingOrder::MoveFirst))
+        });
+    }
+    group.finish();
+}
+
+fn bench_convex_solver(c: &mut Criterion) {
+    let gen = RandomWalk::new(RandomWalkConfig::<2> {
+        horizon: 150,
+        d: 2.0,
+        max_move: 1.0,
+        walk_speed: 0.8,
+        turn_probability: 0.2,
+        spread: 0.3,
+        count: RequestCount::Fixed(2),
+    });
+    let inst = gen.generate(7);
+    let solver = ConvexSolver::with_options(ConvexSolverOptions {
+        smoothing_stages: 3,
+        iters_per_stage: 40,
+        polish_sweeps: 8,
+        ..Default::default()
+    });
+    c.bench_function("convex_solver_plane_t150", |b| {
+        b.iter(|| solver.solve(black_box(&inst), ServingOrder::MoveFirst))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_line_solver, bench_convex_solver
+);
+criterion_main!(benches);

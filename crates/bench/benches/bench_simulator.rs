@@ -1,0 +1,54 @@
+//! Simulator throughput: steps per second for each online algorithm on a
+//! realistic planar workload. This is the number a downstream adopter
+//! cares about when embedding the library in a larger simulation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use msp_core::algorithm::BoxedAlgorithm;
+use msp_core::baselines::{FollowCenter, Lazy, MoveToMinN, RandomizedCoinFlip};
+use msp_core::cost::ServingOrder;
+use msp_core::mtc::MoveToCenter;
+use msp_core::simulator::run;
+use msp_workloads::{DriftingHotspot, DriftingHotspotConfig, RequestCount};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let horizon = 5_000usize;
+    let gen = DriftingHotspot::new(DriftingHotspotConfig::<2> {
+        horizon,
+        d: 4.0,
+        max_move: 1.0,
+        drift_speed: 0.5,
+        momentum: 0.8,
+        spread: 0.5,
+        arena_half_width: 100.0,
+        count: RequestCount::Fixed(4),
+    });
+    let inst = gen.generate(1);
+
+    type Factory = fn() -> BoxedAlgorithm<2>;
+    let algs: Vec<(&str, Factory)> = vec![
+        ("mtc", || Box::new(MoveToCenter::new())),
+        ("lazy", || Box::new(Lazy)),
+        ("follow-center", || Box::new(FollowCenter::new())),
+        ("move-to-min", || Box::new(MoveToMinN::<2>::new())),
+        ("coin-flip", || Box::new(RandomizedCoinFlip::<2>::new(5))),
+    ];
+
+    let mut group = c.benchmark_group("simulator_steps");
+    group.throughput(Throughput::Elements(horizon as u64));
+    for (name, factory) in algs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &inst, |b, inst| {
+            b.iter(|| {
+                let mut alg = factory();
+                run(black_box(inst), &mut alg, 0.25, ServingOrder::MoveFirst).total_cost()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_algorithms
+);
+criterion_main!(benches);

@@ -1,0 +1,248 @@
+//! E10 — Lemma 6 and Figures 1–2: the geometric progress inequality.
+//!
+//! Figure 1 names the distances (`a1`, `a2`, `s1`, `s2`, `p`, `h`, `q`)
+//! around one MtC step; Figure 2 shows the right-angle configuration used
+//! in Lemma 6's proof. The lemma:
+//!
+//! > If `s2 ≤ (√δ/(1+δ/2))·a2`, then `h − q ≥ ((1+δ/2)/(1+δ))·a1`.
+//!
+//! We reproduce the figures numerically by sampling the full configuration
+//! space (all positions of `P'_Opt` on the radius-`s2` sphere around `c`,
+//! all admissible `a1`, `a2`, `s2`) in 2-D and 3-D.
+//!
+//! **Reproduction finding.** The proof's extremal step ("`q` is maximized
+//! by setting the angle between `s2` and `a2` to 90 degrees") is slightly
+//! loose: at placements just beyond the perpendicular, `h − q` dips a
+//! hair below the claimed bound (worst observed ≈ 0.8% of `a1`, at the
+//! literal threshold `√δ/(1+δ/2)`). The *application* of the lemma in
+//! Theorem 4's analysis only ever uses the weaker threshold `√δ/2 ≤
+//! √δ/(1+δ/2)` ("we get `(√δ/2)·a2 ≤ s2`", cases 4–5 of Section 4.1);
+//! under that threshold the inequality holds with strictly positive
+//! margin everywhere we sample, so the theorem is unaffected. Both
+//! thresholds are reported.
+
+use crate::report::ExperimentReport;
+use crate::runner::Scale;
+use msp_analysis::table::fmt_sig;
+use msp_analysis::{parallel_map, Json, Table};
+use msp_geometry::sample::SeededSampler;
+use msp_geometry::{P2, P3};
+
+/// Margin `(h − q)/a1 − (1+δ/2)/(1+δ)` of one sampled configuration with
+/// `s2 ≤ threshold·a2` (non-negative iff the lemma's conclusion holds).
+fn sample_margin_2d(delta: f64, threshold: f64, s: &mut SeededSampler) -> f64 {
+    let a1 = s.uniform(0.05, 2.0);
+    let a2 = s.uniform(0.05, 8.0);
+    let s2 = s.uniform(0.0, threshold * a2);
+    // Geometry of Figure 1: the algorithm moves from P_Alg towards c by
+    // a1, leaving distance a2; P'_Opt sits anywhere at distance s2 from c.
+    let p_alg = P2::origin();
+    let p_alg_next = P2::xy(a1, 0.0);
+    let c = P2::xy(a1 + a2, 0.0);
+    let theta = s.uniform(0.0, std::f64::consts::TAU);
+    let p_opt_next = c + P2::xy(theta.cos(), theta.sin()) * s2;
+    let h = p_opt_next.distance(&p_alg);
+    let q = p_opt_next.distance(&p_alg_next);
+    (h - q) / a1 - (1.0 + delta / 2.0) / (1.0 + delta)
+}
+
+/// Same in 3-D (the three points span a plane, but ambient-3-D sampling
+/// proves the harness does not rely on planarity).
+fn sample_margin_3d(delta: f64, threshold: f64, s: &mut SeededSampler) -> f64 {
+    let a1 = s.uniform(0.05, 2.0);
+    let a2 = s.uniform(0.05, 8.0);
+    let s2 = s.uniform(0.0, threshold * a2);
+    let p_alg = P3::origin();
+    let p_alg_next = P3::new([a1, 0.0, 0.0]);
+    let c = P3::new([a1 + a2, 0.0, 0.0]);
+    let dir: P3 = s.unit_vector();
+    let p_opt_next = c + dir * s2;
+    let h = p_opt_next.distance(&p_alg);
+    let q = p_opt_next.distance(&p_alg_next);
+    (h - q) / a1 - (1.0 + delta / 2.0) / (1.0 + delta)
+}
+
+/// The right-angle configuration of Figure 2 at the literal threshold.
+fn right_angle_margin(delta: f64, a1: f64, a2: f64) -> f64 {
+    let s2 = (delta.sqrt() / (1.0 + delta / 2.0)) * a2;
+    let p_alg = P2::origin();
+    let p_alg_next = P2::xy(a1, 0.0);
+    let c = P2::xy(a1 + a2, 0.0);
+    let p_opt_next = c + P2::xy(0.0, s2);
+    let h = p_opt_next.distance(&p_alg);
+    let q = p_opt_next.distance(&p_alg_next);
+    (h - q) / a1 - (1.0 + delta / 2.0) / (1.0 + delta)
+}
+
+/// Runs E10 at the given scale.
+pub fn run(scale: Scale) -> ExperimentReport {
+    let deltas = [0.1, 0.3, 0.5, 1.0];
+    let samples = match scale {
+        Scale::Smoke => 2_000,
+        Scale::Quick => 50_000,
+        Scale::Full => 500_000,
+    };
+
+    let results = parallel_map(&deltas, |&delta: &f64| {
+        let literal = delta.sqrt() / (1.0 + delta / 2.0);
+        let applied = delta.sqrt() / 2.0;
+        let mut s = SeededSampler::new(0xF16 + (delta * 1000.0) as u64);
+        let scan = |threshold: f64, s: &mut SeededSampler| {
+            let mut min_margin = f64::INFINITY;
+            let mut violations = 0usize;
+            for i in 0..samples {
+                let margin = if i % 2 == 0 {
+                    sample_margin_2d(delta, threshold, s)
+                } else {
+                    sample_margin_3d(delta, threshold, s)
+                };
+                min_margin = min_margin.min(margin);
+                if margin < -1e-9 {
+                    violations += 1;
+                }
+            }
+            (min_margin, violations)
+        };
+        let lit = scan(literal, &mut s);
+        let app = scan(applied, &mut s);
+        // Figure 2's right-angle configuration on a fixed grid.
+        let mut min_right_angle = f64::INFINITY;
+        for a1_i in 1..=20 {
+            for a2_i in 1..=20 {
+                let m = right_angle_margin(delta, a1_i as f64 * 0.1, a2_i as f64 * 0.25);
+                min_right_angle = min_right_angle.min(m);
+            }
+        }
+        (lit, app, min_right_angle)
+    });
+
+    let mut table = Table::new(vec![
+        "δ",
+        "threshold",
+        "samples",
+        "violations",
+        "min margin (h−q)/a1 − bound",
+        "Figure-2 right-angle margin",
+    ]);
+    let mut applied_violations = 0usize;
+    let mut literal_worst: f64 = 0.0;
+    let mut json_rows = Vec::new();
+    for (&delta, ((lit_m, lit_v), (app_m, app_v), right)) in deltas.iter().zip(&results) {
+        table.push_row(vec![
+            fmt_sig(delta),
+            "literal √δ/(1+δ/2)".to_string(),
+            samples.to_string(),
+            lit_v.to_string(),
+            fmt_sig(*lit_m),
+            fmt_sig(*right),
+        ]);
+        table.push_row(vec![
+            fmt_sig(delta),
+            "applied √δ/2".to_string(),
+            samples.to_string(),
+            app_v.to_string(),
+            fmt_sig(*app_m),
+            "—".to_string(),
+        ]);
+        applied_violations += app_v;
+        literal_worst = literal_worst.max(-lit_m);
+        json_rows.push(Json::obj([
+            ("delta", Json::from(delta)),
+            ("literal_violations", Json::from(*lit_v)),
+            ("literal_min_margin", Json::from(*lit_m)),
+            ("applied_violations", Json::from(*app_v)),
+            ("applied_min_margin", Json::from(*app_m)),
+        ]));
+    }
+
+    let findings = vec![
+        format!(
+            "Applied threshold √δ/2 (the one Theorem 4's proof actually uses): {applied_violations} violations — the inequality holds with positive margin everywhere."
+        ),
+        format!(
+            "Literal threshold √δ/(1+δ/2): hairline violations exist near tangential placements (worst ≈ {:.2}% of a1) — the proof's right-angle extremal step is approximate, but the slack the analysis carries absorbs it; no theorem is affected.",
+            literal_worst * 100.0
+        ),
+        "The right-angle configuration of Figure 2 always satisfies the bound; the true minimizer sits slightly beyond the perpendicular.".into(),
+    ];
+
+    ExperimentReport {
+        id: "e10",
+        title: "Geometric progress inequality (Lemma 6, Figures 1–2)".into(),
+        claim: "If s2 ≤ (√δ/(1+δ/2))·a2 then h − q ≥ ((1+δ/2)/(1+δ))·a1; the analysis applies it with s2 ≤ (√δ/2)·a2.".into(),
+        table,
+        findings,
+        json: Json::Arr(json_rows),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn applied_threshold_has_no_violations() {
+        let r = run(Scale::Smoke);
+        assert_eq!(r.id, "e10");
+        assert!(
+            r.findings[0].contains("0 violations"),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn right_angle_margin_nonnegative() {
+        for delta in [0.05, 0.2, 0.5, 1.0] {
+            for a1 in [0.1, 0.5, 1.5] {
+                for a2 in [0.1, 1.0, 4.0] {
+                    let m = right_angle_margin(delta, a1, a2);
+                    assert!(m >= -1e-12, "δ={delta} a1={a1} a2={a2}: margin {m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn literal_threshold_violation_is_reproducible() {
+        // The configuration family found during reproduction: small a1,
+        // large a2, s2 at the literal threshold, angle beyond π/2.
+        let delta: f64 = 0.5;
+        let a1 = 0.05;
+        let a2 = 7.9;
+        let s2 = (delta.sqrt() / (1.0 + delta / 2.0)) * a2;
+        let theta: f64 = 2.173;
+        let p_alg = P2::origin();
+        let p_alg_next = P2::xy(a1, 0.0);
+        let c = P2::xy(a1 + a2, 0.0);
+        let p_opt_next = c + P2::xy(theta.cos(), theta.sin()) * s2;
+        let h = p_opt_next.distance(&p_alg);
+        let q = p_opt_next.distance(&p_alg_next);
+        let bound = (1.0 + delta / 2.0) / (1.0 + delta) * a1;
+        assert!(
+            h - q < bound,
+            "expected a hairline violation of the literal statement; got margin {}",
+            (h - q) - bound
+        );
+        // …but the violation is tiny (< 1% of a1).
+        assert!(bound - (h - q) < 0.01 * a1);
+    }
+
+    #[test]
+    fn violating_s2_breaks_the_bound_sometimes() {
+        // Sanity: with s2 far above the admissible limit, the inequality
+        // fails badly — the hypothesis is not vacuous.
+        let delta = 0.2;
+        let a1 = 1.0;
+        let a2 = 1.0;
+        let s2 = 5.0 * a2;
+        let p_alg = P2::origin();
+        let p_alg_next = P2::xy(a1, 0.0);
+        let c = P2::xy(a1 + a2, 0.0);
+        let p_opt_next = c + P2::xy(0.0, s2);
+        let h = p_opt_next.distance(&p_alg);
+        let q = p_opt_next.distance(&p_alg_next);
+        let bound = (1.0 + delta / 2.0) / (1.0 + delta) * a1;
+        assert!(h - q < bound);
+    }
+}

@@ -1,0 +1,121 @@
+//! E3 — Theorem 3: in the Answer-First variant the ratio is `Ω(r/D)` even
+//! with a fixed request count per step — augmentation cannot help, because
+//! the cost is charged before the server may react.
+//!
+//! Sweeps `r/D` with the two-step oscillation adversary and fits the
+//! growth exponent (predicted: 1). A control column runs the *same*
+//! instances under Move-First, where MtC stays O(1/δ)-competitive — the
+//! contrast is the content of the theorem.
+
+use crate::report::ExperimentReport;
+use crate::runner::{mean_over_seeds, Scale};
+use msp_adversary::{build_thm3, Thm3Params};
+use msp_analysis::table::fmt_sig;
+use msp_analysis::{fit_power_law, parallel_map, Json, Table};
+use msp_core::cost::ServingOrder;
+use msp_core::mtc::MoveToCenter;
+use msp_core::ratio::ratio_lower_bound;
+use msp_core::simulator::run as simulate;
+
+/// Runs E3 at the given scale.
+pub fn run(scale: Scale) -> ExperimentReport {
+    let d = 2.0;
+    let rs: Vec<usize> = match scale {
+        Scale::Smoke => vec![2, 8],
+        Scale::Quick => vec![2, 4, 8, 16, 32],
+        Scale::Full => vec![2, 4, 8, 16, 32, 64, 128],
+    };
+    let cycles = match scale {
+        Scale::Smoke => 4,
+        Scale::Quick => 10,
+        Scale::Full => 20,
+    };
+    let seeds = scale.seeds();
+    let delta = 1.0; // maximal augmentation — the theorem holds regardless
+
+    let results = parallel_map(&rs, |&r| {
+        let p = Thm3Params {
+            r,
+            d,
+            m: 1.0,
+            cycles,
+        };
+        let af = mean_over_seeds(seeds, |seed| {
+            let cert = build_thm3::<1>(&p, seed);
+            let mut alg = MoveToCenter::new();
+            let res = simulate(&cert.instance, &mut alg, delta, ServingOrder::AnswerFirst);
+            ratio_lower_bound(
+                res.total_cost(),
+                cert.adversary_cost(ServingOrder::AnswerFirst),
+            )
+        });
+        let mf = mean_over_seeds(seeds, |seed| {
+            let cert = build_thm3::<1>(&p, seed);
+            let mut alg = MoveToCenter::new();
+            let res = simulate(&cert.instance, &mut alg, delta, ServingOrder::MoveFirst);
+            ratio_lower_bound(
+                res.total_cost(),
+                cert.adversary_cost(ServingOrder::MoveFirst),
+            )
+        });
+        (af, mf)
+    });
+
+    let mut table = Table::new(vec![
+        "r",
+        "r/D",
+        "ratio Answer-First [95% CI]",
+        "ratio Move-First (control) [95% CI]",
+    ]);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let mut json_rows = Vec::new();
+    for (&r, (af, mf)) in rs.iter().zip(&results) {
+        table.push_row(vec![
+            r.to_string(),
+            fmt_sig(r as f64 / d),
+            af.cell(),
+            mf.cell(),
+        ]);
+        xs.push(r as f64 / d);
+        ys.push(af.mean);
+        json_rows.push(Json::obj([
+            ("r", Json::from(r)),
+            ("ratio_answer_first", Json::from(af.mean)),
+            ("ratio_move_first", Json::from(mf.mean)),
+        ]));
+    }
+    let fit = fit_power_law(&xs, &ys);
+    let mut findings = vec![format!(
+        "Answer-First certificate ratio grows as (r/D)^{:.2} (R² = {:.3}); the theorem predicts exponent 1.",
+        fit.exponent, fit.r_squared
+    )];
+    let af_last = ys.last().copied().unwrap_or(1.0);
+    let mf_last = results.last().map(|(_, mf)| mf.mean).unwrap_or(1.0);
+    findings.push(format!(
+        "At the largest r, Answer-First is {:.1}× worse than the Move-First control on identical instances — serving before moving is what hurts.",
+        af_last / mf_last.max(1e-9)
+    ));
+
+    ExperimentReport {
+        id: "e3",
+        title: "Answer-First lower bound (Theorem 3)".into(),
+        claim: "If requests must be answered before moving, every algorithm is Ω(r/D)-competitive even for fixed r.".into(),
+        table,
+        findings,
+        json: Json::Arr(json_rows),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_shows_af_penalty() {
+        let r = run(Scale::Smoke);
+        assert_eq!(r.id, "e3");
+        assert!(!r.table.is_empty());
+        assert!(r.findings[0].contains("exponent 1"));
+    }
+}

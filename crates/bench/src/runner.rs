@@ -1,0 +1,165 @@
+//! Shared experiment plumbing: scales, ratio computations, seed fans.
+
+use msp_analysis::bootstrap_mean_ci;
+use msp_core::algorithm::OnlineAlgorithm;
+use msp_core::cost::ServingOrder;
+use msp_core::model::Instance;
+use msp_core::ratio::competitive_ratio;
+use msp_core::simulator::run;
+use msp_offline::convex::{ConvexSolver, ConvexSolverOptions};
+use msp_offline::line::solve_line;
+
+/// How big the experiment should be.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Minimal sizes for Criterion wrappers and CI smoke runs.
+    Smoke,
+    /// Default sizes: seconds per experiment, shapes clearly visible.
+    Quick,
+    /// Publication sizes: minutes per experiment.
+    Full,
+}
+
+impl Scale {
+    /// Multiplies a base horizon by the scale's factor.
+    pub fn horizon(&self, base: usize) -> usize {
+        match self {
+            Scale::Smoke => (base / 8).max(16),
+            Scale::Quick => base,
+            Scale::Full => base * 4,
+        }
+    }
+
+    /// Number of random seeds to average adversary coins over.
+    pub fn seeds(&self) -> u64 {
+        match self {
+            Scale::Smoke => 4,
+            Scale::Quick => 12,
+            Scale::Full => 32,
+        }
+    }
+
+    /// Convex-solver options appropriate for the scale.
+    pub fn solver_options(&self) -> ConvexSolverOptions {
+        match self {
+            Scale::Smoke => ConvexSolverOptions {
+                smoothing_stages: 3,
+                iters_per_stage: 40,
+                polish_sweeps: 8,
+                ..Default::default()
+            },
+            Scale::Quick => ConvexSolverOptions::fast(),
+            Scale::Full => ConvexSolverOptions::default(),
+        }
+    }
+}
+
+/// Total cost of running `alg` on `instance` with augmentation `delta`.
+pub fn alg_cost<const N: usize, A: OnlineAlgorithm<N>>(
+    instance: &Instance<N>,
+    alg: &mut A,
+    delta: f64,
+    order: ServingOrder,
+) -> f64 {
+    run(instance, alg, delta, order).total_cost()
+}
+
+/// Competitive ratio of `alg` against the **exact** line optimum.
+pub fn line_ratio<A: OnlineAlgorithm<1>>(
+    instance: &Instance<1>,
+    alg: &mut A,
+    delta: f64,
+    order: ServingOrder,
+) -> f64 {
+    let opt = solve_line(instance, order).cost;
+    competitive_ratio(alg_cost(instance, alg, delta, order), opt)
+}
+
+/// Competitive ratio of `alg` against the convex-solver optimum estimate
+/// (an upper bound on OPT, so the reported ratio is a lower bound on the
+/// true one — conservative in the right direction for upper-bound
+/// experiments is the *reverse*; the solver gap is documented per run).
+pub fn convex_ratio<const N: usize, A: OnlineAlgorithm<N>>(
+    instance: &Instance<N>,
+    alg: &mut A,
+    delta: f64,
+    order: ServingOrder,
+    opts: ConvexSolverOptions,
+) -> f64 {
+    let opt = ConvexSolver::with_options(opts).solve(instance, order).cost;
+    competitive_ratio(alg_cost(instance, alg, delta, order), opt)
+}
+
+/// Mean and bootstrap 95% CI of `f(seed)` over `seeds` seeds.
+pub fn mean_over_seeds(seeds: u64, f: impl Fn(u64) -> f64) -> SeedStats {
+    let values: Vec<f64> = (0..seeds).map(f).collect();
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let (lo, hi) = if values.len() >= 2 {
+        bootstrap_mean_ci(&values, 300, 0.95, 0xB00B5)
+    } else {
+        (mean, mean)
+    };
+    SeedStats {
+        mean,
+        ci_lo: lo,
+        ci_hi: hi,
+    }
+}
+
+/// Mean with confidence interval.
+#[derive(Clone, Copy, Debug)]
+pub struct SeedStats {
+    /// Mean over seeds.
+    pub mean: f64,
+    /// Bootstrap 95% CI lower end.
+    pub ci_lo: f64,
+    /// Bootstrap 95% CI upper end.
+    pub ci_hi: f64,
+}
+
+impl SeedStats {
+    /// `mean [lo, hi]` rendering for tables.
+    pub fn cell(&self) -> String {
+        format!(
+            "{} [{}, {}]",
+            msp_analysis::table::fmt_sig(self.mean),
+            msp_analysis::table::fmt_sig(self.ci_lo),
+            msp_analysis::table::fmt_sig(self.ci_hi)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp_core::model::Step;
+    use msp_core::mtc::MoveToCenter;
+    use msp_geometry::P1;
+
+    #[test]
+    fn line_ratio_is_at_least_one() {
+        let steps = (0..50)
+            .map(|t| Step::single(P1::new([(t as f64 * 0.3).sin() * 3.0])))
+            .collect();
+        let inst = Instance::new(2.0, 1.0, P1::origin(), steps);
+        let mut alg = MoveToCenter::new();
+        let r = line_ratio(&inst, &mut alg, 0.5, ServingOrder::MoveFirst);
+        assert!(r >= 1.0 - 1e-9, "ratio {r} below 1: OPT solver broken?");
+        assert!(r < 50.0, "ratio {r} implausibly large");
+    }
+
+    #[test]
+    fn mean_over_seeds_reports_interval() {
+        let s = mean_over_seeds(8, |seed| seed as f64);
+        assert!((s.mean - 3.5).abs() < 1e-12);
+        assert!(s.ci_lo <= s.mean && s.mean <= s.ci_hi);
+        assert!(s.cell().contains('['));
+    }
+
+    #[test]
+    fn scale_controls_sizes() {
+        assert!(Scale::Smoke.horizon(800) < Scale::Quick.horizon(800));
+        assert!(Scale::Quick.horizon(800) < Scale::Full.horizon(800));
+        assert!(Scale::Smoke.seeds() < Scale::Full.seeds());
+    }
+}

@@ -1,0 +1,273 @@
+//! Plain-text instance serialization.
+//!
+//! A tiny line-oriented interchange format so instances can be saved,
+//! diffed, shared, and replayed outside this workspace (no external
+//! dependencies; everything is `f64` text):
+//!
+//! ```text
+//! # mobile-server instance v1
+//! dim 2
+//! d 4
+//! m 1
+//! start 0 0
+//! step 1 2 ; 3 4        // two requests: (1,2) and (3,4)
+//! step                  // a silent step
+//! step 5 6
+//! ```
+//!
+//! Comments (`#`) and blank lines are ignored. Coordinates are
+//! whitespace-separated, requests within a step separated by `;`.
+//! Round-tripping is exact for every value with a finite shortest decimal
+//! representation (Rust's float formatter is shortest-round-trip).
+
+use crate::model::{Instance, Step};
+use msp_geometry::Point;
+use std::fmt::Write as _;
+
+/// Errors produced by [`parse_instance`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line (0 = whole-file problem).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Serializes an instance to the text format.
+pub fn write_instance<const N: usize>(instance: &Instance<N>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# mobile-server instance v1");
+    let _ = writeln!(out, "dim {N}");
+    let _ = writeln!(out, "d {}", instance.d);
+    let _ = writeln!(out, "m {}", instance.max_move);
+    let coords = |p: &Point<N>| -> String {
+        p.coords()
+            .iter()
+            .map(|c| format!("{c}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    let _ = writeln!(out, "start {}", coords(&instance.start));
+    for step in &instance.steps {
+        if step.is_empty() {
+            let _ = writeln!(out, "step");
+        } else {
+            let reqs = step
+                .requests
+                .iter()
+                .map(|v| coords(v))
+                .collect::<Vec<_>>()
+                .join(" ; ");
+            let _ = writeln!(out, "step {reqs}");
+        }
+    }
+    out
+}
+
+/// Parses an instance of compile-time dimension `N` from the text format.
+///
+/// Fails (with the offending line number) on dimension mismatch, malformed
+/// numbers, missing headers, or model-constraint violations.
+pub fn parse_instance<const N: usize>(text: &str) -> Result<Instance<N>, ParseError> {
+    let mut dim: Option<usize> = None;
+    let mut d: Option<f64> = None;
+    let mut m: Option<f64> = None;
+    let mut start: Option<Point<N>> = None;
+    let mut steps: Vec<Step<N>> = Vec::new();
+
+    let parse_point = |fields: &[&str], line: usize| -> Result<Point<N>, ParseError> {
+        if fields.len() != N {
+            return Err(err(
+                line,
+                format!("expected {N} coordinates, found {}", fields.len()),
+            ));
+        }
+        let mut p = Point::<N>::origin();
+        for (i, f) in fields.iter().enumerate() {
+            p[i] = f
+                .parse::<f64>()
+                .map_err(|_| err(line, format!("bad number {f:?}")))?;
+        }
+        Ok(p)
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, rest) = match line.split_once(char::is_whitespace) {
+            Some((k, r)) => (k, r.trim()),
+            None => (line, ""),
+        };
+        match key {
+            "dim" => {
+                let v: usize = rest
+                    .parse()
+                    .map_err(|_| err(line_no, format!("bad dimension {rest:?}")))?;
+                if v != N {
+                    return Err(err(
+                        line_no,
+                        format!("file has dimension {v}, caller expects {N}"),
+                    ));
+                }
+                dim = Some(v);
+            }
+            "d" => {
+                d = Some(
+                    rest.parse()
+                        .map_err(|_| err(line_no, format!("bad D {rest:?}")))?,
+                );
+            }
+            "m" => {
+                m = Some(
+                    rest.parse()
+                        .map_err(|_| err(line_no, format!("bad m {rest:?}")))?,
+                );
+            }
+            "start" => {
+                let fields: Vec<&str> = rest.split_whitespace().collect();
+                start = Some(parse_point(&fields, line_no)?);
+            }
+            "step" => {
+                let mut requests = Vec::new();
+                if !rest.is_empty() {
+                    for part in rest.split(';') {
+                        let fields: Vec<&str> = part.split_whitespace().collect();
+                        if fields.is_empty() {
+                            return Err(err(line_no, "empty request between ';'"));
+                        }
+                        requests.push(parse_point(&fields, line_no)?);
+                    }
+                }
+                steps.push(Step::new(requests));
+            }
+            other => {
+                return Err(err(line_no, format!("unknown directive {other:?}")));
+            }
+        }
+    }
+
+    let _ = dim.ok_or_else(|| err(0, "missing `dim` header"))?;
+    let d = d.ok_or_else(|| err(0, "missing `d` header"))?;
+    let m = m.ok_or_else(|| err(0, "missing `m` header"))?;
+    let start = start.ok_or_else(|| err(0, "missing `start` header"))?;
+    if !(d >= 1.0 && d.is_finite()) {
+        return Err(err(0, format!("D must be ≥ 1, got {d}")));
+    }
+    if !(m > 0.0 && m.is_finite()) {
+        return Err(err(0, format!("m must be positive, got {m}")));
+    }
+    Ok(Instance::new(d, m, start, steps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp_geometry::P2;
+
+    fn sample() -> Instance<2> {
+        Instance::new(
+            4.0,
+            1.5,
+            P2::xy(0.5, -0.25),
+            vec![
+                Step::new(vec![P2::xy(1.0, 2.0), P2::xy(-3.5, 4.25)]),
+                Step::new(vec![]),
+                Step::single(P2::xy(0.125, -7.0)),
+            ],
+        )
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let inst = sample();
+        let text = write_instance(&inst);
+        let back: Instance<2> = parse_instance(&text).unwrap();
+        assert_eq!(back.d, inst.d);
+        assert_eq!(back.max_move, inst.max_move);
+        assert_eq!(back.start, inst.start);
+        assert_eq!(back.horizon(), inst.horizon());
+        for (a, b) in back.steps.iter().zip(&inst.steps) {
+            assert_eq!(a.requests, b.requests);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# hello\n dim 1 \nd 2\nm 1\nstart 0\nstep 3 # trailing\n\nstep\n";
+        let inst: Instance<1> = parse_instance(text).unwrap();
+        assert_eq!(inst.horizon(), 2);
+        assert_eq!(inst.steps[0].requests[0].x(), 3.0);
+        assert!(inst.steps[1].is_empty());
+    }
+
+    #[test]
+    fn dimension_mismatch_reports_line() {
+        let text = "dim 3\nd 1\nm 1\nstart 0 0 0\n";
+        let e = parse_instance::<2>(text).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("dimension 3"));
+    }
+
+    #[test]
+    fn wrong_coordinate_count_reports_line() {
+        let text = "dim 2\nd 1\nm 1\nstart 0 0\nstep 1 2 ; 3\n";
+        let e = parse_instance::<2>(text).unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(e.message.contains("expected 2 coordinates"));
+    }
+
+    #[test]
+    fn bad_number_reports_line() {
+        let text = "dim 1\nd 1\nm 1\nstart zero\n";
+        let e = parse_instance::<1>(text).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("bad number"));
+    }
+
+    #[test]
+    fn missing_headers_rejected() {
+        let e = parse_instance::<1>("dim 1\nd 1\nstart 0\n").unwrap_err();
+        assert!(e.message.contains("missing `m`"));
+        let e = parse_instance::<1>("d 1\nm 1\nstart 0\n").unwrap_err();
+        assert!(e.message.contains("missing `dim`"));
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        let e = parse_instance::<1>("dim 1\nd 1\nm 1\nstart 0\nfrobnicate 3\n").unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(e.message.contains("unknown directive"));
+    }
+
+    #[test]
+    fn invalid_model_parameters_rejected() {
+        let e = parse_instance::<1>("dim 1\nd 0.5\nm 1\nstart 0\n").unwrap_err();
+        assert!(e.message.contains("D must be"));
+        let e = parse_instance::<1>("dim 1\nd 1\nm 0\nstart 0\n").unwrap_err();
+        assert!(e.message.contains("m must be"));
+    }
+
+    #[test]
+    fn display_of_error_mentions_line() {
+        let e = err(7, "boom");
+        assert_eq!(format!("{e}"), "line 7: boom");
+    }
+}

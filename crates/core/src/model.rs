@@ -1,0 +1,240 @@
+//! Problem instances: the input to both online algorithms and offline
+//! solvers.
+//!
+//! An [`Instance`] fixes the model parameters of Section 2 — the movement
+//! weight `D ≥ 1`, the per-step movement limit `m`, the common start
+//! position `P_0` — and the full request sequence: one [`Step`] per time
+//! step carrying the (finite, possibly empty) multiset of request points.
+
+use msp_geometry::Point;
+
+/// The requests of a single time step.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Step<const N: usize> {
+    /// Positions `v_{t,1}, …, v_{t,r_t}` of the clients requesting data in
+    /// this step. May be empty (a silent step) — the paper allows an
+    /// arbitrary finite number of requests per step.
+    pub requests: Vec<Point<N>>,
+}
+
+impl<const N: usize> Step<N> {
+    /// Step with the given request points.
+    pub fn new(requests: Vec<Point<N>>) -> Self {
+        Step { requests }
+    }
+
+    /// Step with a single request — the common case in the lower-bound
+    /// constructions and the Moving-Client variant.
+    pub fn single(v: Point<N>) -> Self {
+        Step { requests: vec![v] }
+    }
+
+    /// Step with `r` co-located requests at `v` (the adversaries issue
+    /// request batches on one point).
+    pub fn repeated(v: Point<N>, r: usize) -> Self {
+        Step {
+            requests: vec![v; r],
+        }
+    }
+
+    /// Number of requests `r_t`.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True when the step carries no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+/// A complete instance of the Mobile Server Problem.
+#[derive(Clone, Debug)]
+pub struct Instance<const N: usize> {
+    /// Movement cost weight `D ≥ 1` (the "page size" of page migration).
+    pub d: f64,
+    /// Maximum distance `m` the (offline) server may move per step. Online
+    /// algorithms may be granted `(1+δ)m` via resource augmentation — that
+    /// is a property of the *run*, not of the instance.
+    pub max_move: f64,
+    /// Common start position `P_0` of server and adversary.
+    pub start: Point<N>,
+    /// The request sequence; `steps.len()` is the horizon `T`.
+    pub steps: Vec<Step<N>>,
+}
+
+impl<const N: usize> Instance<N> {
+    /// Builds an instance, validating the model constraints (`D ≥ 1`,
+    /// `m > 0`, finite coordinates everywhere).
+    ///
+    /// # Panics
+    /// Panics on invalid parameters; constructing an ill-formed instance is
+    /// a programming error, not a runtime condition.
+    pub fn new(d: f64, max_move: f64, start: Point<N>, steps: Vec<Step<N>>) -> Self {
+        assert!(d >= 1.0 && d.is_finite(), "D must be ≥ 1, got {d}");
+        assert!(
+            max_move > 0.0 && max_move.is_finite(),
+            "m must be positive, got {max_move}"
+        );
+        assert!(start.is_finite(), "start position must be finite");
+        for (t, s) in steps.iter().enumerate() {
+            for v in &s.requests {
+                assert!(v.is_finite(), "request at step {t} not finite");
+            }
+        }
+        Instance {
+            d,
+            max_move,
+            start,
+            steps,
+        }
+    }
+
+    /// Horizon `T` — the number of time steps.
+    pub fn horizon(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Total number of requests across all steps.
+    pub fn total_requests(&self) -> usize {
+        self.steps.iter().map(Step::len).sum()
+    }
+
+    /// Minimum and maximum per-step request counts `(R_min, R_max)` over
+    /// the *non-silent* steps; `(0, 0)` when every step is empty. These are
+    /// the quantities appearing in Theorems 2 and 4.
+    pub fn request_bounds(&self) -> (usize, usize) {
+        let mut lo = usize::MAX;
+        let mut hi = 0usize;
+        for s in &self.steps {
+            if s.is_empty() {
+                continue;
+            }
+            lo = lo.min(s.len());
+            hi = hi.max(s.len());
+        }
+        if hi == 0 {
+            (0, 0)
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// True when every step has exactly `r` requests — the fixed-`r`
+    /// setting of the main analysis (Sections 4.1–4.2).
+    pub fn has_fixed_request_count(&self, r: usize) -> bool {
+        self.steps.iter().all(|s| s.len() == r)
+    }
+
+    /// Iterator over `(t, requests)` pairs.
+    pub fn iter_steps(&self) -> impl Iterator<Item = (usize, &[Point<N>])> {
+        self.steps
+            .iter()
+            .enumerate()
+            .map(|(t, s)| (t, s.requests.as_slice()))
+    }
+
+    /// Restriction of the instance to its first `t` steps (prefix
+    /// instances are used by tests cross-validating the offline solvers).
+    pub fn prefix(&self, t: usize) -> Instance<N> {
+        Instance {
+            d: self.d,
+            max_move: self.max_move,
+            start: self.start,
+            steps: self.steps[..t.min(self.steps.len())].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp_geometry::P2;
+
+    fn tiny() -> Instance<2> {
+        Instance::new(
+            2.0,
+            1.0,
+            P2::origin(),
+            vec![
+                Step::single(P2::xy(1.0, 0.0)),
+                Step::new(vec![]),
+                Step::repeated(P2::xy(0.0, 2.0), 3),
+            ],
+        )
+    }
+
+    #[test]
+    fn horizon_and_counts() {
+        let inst = tiny();
+        assert_eq!(inst.horizon(), 3);
+        assert_eq!(inst.total_requests(), 4);
+    }
+
+    #[test]
+    fn request_bounds_skip_silent_steps() {
+        let inst = tiny();
+        assert_eq!(inst.request_bounds(), (1, 3));
+    }
+
+    #[test]
+    fn request_bounds_all_silent() {
+        let inst = Instance::new(1.0, 1.0, P2::origin(), vec![Step::new(vec![]); 4]);
+        assert_eq!(inst.request_bounds(), (0, 0));
+    }
+
+    #[test]
+    fn fixed_request_count_detection() {
+        let inst = Instance::new(
+            1.0,
+            1.0,
+            P2::origin(),
+            vec![
+                Step::repeated(P2::xy(1.0, 0.0), 2),
+                Step::repeated(P2::xy(2.0, 0.0), 2),
+            ],
+        );
+        assert!(inst.has_fixed_request_count(2));
+        assert!(!inst.has_fixed_request_count(1));
+    }
+
+    #[test]
+    fn prefix_truncates() {
+        let inst = tiny();
+        let p = inst.prefix(2);
+        assert_eq!(p.horizon(), 2);
+        assert_eq!(p.steps[0], inst.steps[0]);
+        // Prefix longer than horizon is the full instance.
+        assert_eq!(inst.prefix(10).horizon(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "D must be ≥ 1")]
+    fn rejects_small_d() {
+        let _ = Instance::new(0.5, 1.0, P2::origin(), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "m must be positive")]
+    fn rejects_nonpositive_move() {
+        let _ = Instance::new(1.0, 0.0, P2::origin(), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not finite")]
+    fn rejects_nan_request() {
+        let _ = Instance::new(
+            1.0,
+            1.0,
+            P2::origin(),
+            vec![Step::single(P2::xy(f64::NAN, 0.0))],
+        );
+    }
+
+    #[test]
+    fn repeated_step_duplicates_point() {
+        let s = Step::repeated(P2::xy(1.0, 1.0), 4);
+        assert_eq!(s.len(), 4);
+        assert!(s.requests.iter().all(|v| *v == P2::xy(1.0, 1.0)));
+    }
+}

@@ -1,0 +1,72 @@
+//! Competitive-ratio arithmetic.
+//!
+//! A competitive ratio is `C_Alg / C_Opt`; both sides are sums of
+//! nonnegative distances, and `C_Opt` can legitimately be zero (e.g. every
+//! request sits on the start position). The helpers here centralize the
+//! conventions so every experiment reports ratios identically.
+
+/// Ratio `alg / opt` with the degenerate cases pinned down:
+/// both zero → 1 (the algorithm is exactly optimal);
+/// `opt = 0 < alg` → `+∞` (unboundedly worse);
+/// negative inputs are programming errors.
+///
+/// # Panics
+/// Panics on negative or non-finite costs.
+pub fn competitive_ratio(alg: f64, opt: f64) -> f64 {
+    assert!(alg >= 0.0 && alg.is_finite(), "algorithm cost invalid: {alg}");
+    assert!(opt >= 0.0 && opt.is_finite(), "optimal cost invalid: {opt}");
+    if opt == 0.0 {
+        if alg == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        alg / opt
+    }
+}
+
+/// Ratio against an *upper bound* on OPT (e.g. the adversary's explicit
+/// trajectory cost). Because `opt_upper ≥ opt`, the result is a valid
+/// **lower** bound on the true competitive ratio — exactly what the
+/// lower-bound experiments need to report.
+pub fn ratio_lower_bound(alg: f64, opt_upper: f64) -> f64 {
+    competitive_ratio(alg, opt_upper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_ratio() {
+        assert_eq!(competitive_ratio(6.0, 2.0), 3.0);
+    }
+
+    #[test]
+    fn both_zero_is_one() {
+        assert_eq!(competitive_ratio(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn zero_opt_positive_alg_is_infinite() {
+        assert!(competitive_ratio(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn negative_cost_panics() {
+        let _ = competitive_ratio(-1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn nan_cost_panics() {
+        let _ = competitive_ratio(f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn lower_bound_alias_behaves_identically() {
+        assert_eq!(ratio_lower_bound(10.0, 4.0), 2.5);
+    }
+}

@@ -1,0 +1,228 @@
+//! The discrete-time simulator: runs an online algorithm over an instance
+//! under a serving order and a resource-augmentation factor, with strict
+//! enforcement of the movement budget.
+
+use crate::algorithm::{AlgContext, OnlineAlgorithm};
+use crate::cost::{service_cost, CostBreakdown, ServingOrder, StepCost};
+use crate::model::Instance;
+use msp_geometry::{step_towards, Point};
+
+/// Outcome of one simulated run.
+#[derive(Clone, Debug)]
+pub struct RunResult<const N: usize> {
+    /// Algorithm name, for tables.
+    pub algorithm: String,
+    /// Serving order the run was priced under.
+    pub order: ServingOrder,
+    /// Augmentation factor δ granted to the algorithm.
+    pub delta: f64,
+    /// Visited positions `P_0 … P_T` (length `T + 1`).
+    pub positions: Vec<Point<N>>,
+    /// Cost trace.
+    pub cost: CostBreakdown,
+}
+
+impl<const N: usize> RunResult<N> {
+    /// Total cost `C_Alg`.
+    pub fn total_cost(&self) -> f64 {
+        self.cost.total()
+    }
+
+    /// Largest single-step displacement actually used — always within the
+    /// augmented budget by construction; exposed for diagnostics.
+    pub fn max_step_used(&self) -> f64 {
+        self.positions
+            .windows(2)
+            .map(|w| w[0].distance(&w[1]))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Runs `algorithm` on `instance` with augmentation `delta` under `order`.
+///
+/// The algorithm sees the requests before moving in both orders (that is
+/// the model's information regime); `order` only decides whether service
+/// is priced from the old or the new position. Proposals beyond the budget
+/// `(1+δ)m` are clamped onto the segment towards the proposal, so the
+/// returned trajectory is always feasible for the *online* budget.
+pub fn run<const N: usize, A: OnlineAlgorithm<N>>(
+    instance: &Instance<N>,
+    algorithm: &mut A,
+    delta: f64,
+    order: ServingOrder,
+) -> RunResult<N> {
+    let ctx = AlgContext::new(instance, delta);
+    algorithm.reset(&ctx);
+    let budget = ctx.online_budget();
+
+    let mut positions = Vec::with_capacity(instance.horizon() + 1);
+    positions.push(instance.start);
+    let mut cost = CostBreakdown {
+        per_step: Vec::with_capacity(instance.horizon()),
+        ..Default::default()
+    };
+
+    let mut current = instance.start;
+    for step in &instance.steps {
+        let proposal = algorithm.decide(&current, &step.requests, &ctx);
+        debug_assert!(
+            proposal.is_finite(),
+            "{} proposed a non-finite position",
+            algorithm.name()
+        );
+        let next = step_towards(&current, &proposal, budget);
+        let movement = instance.d * current.distance(&next);
+        let serve_from = match order {
+            ServingOrder::MoveFirst => &next,
+            ServingOrder::AnswerFirst => &current,
+        };
+        let service = service_cost(serve_from, &step.requests);
+        cost.movement += movement;
+        cost.service += service;
+        cost.per_step.push(StepCost { movement, service });
+        current = next;
+        positions.push(current);
+    }
+
+    RunResult {
+        algorithm: algorithm.name(),
+        order,
+        delta,
+        positions,
+        cost,
+    }
+}
+
+/// Convenience: runs under the paper's default Move-First order.
+pub fn run_move_first<const N: usize, A: OnlineAlgorithm<N>>(
+    instance: &Instance<N>,
+    algorithm: &mut A,
+    delta: f64,
+) -> RunResult<N> {
+    run(instance, algorithm, delta, ServingOrder::MoveFirst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{FollowCenter, Lazy};
+    use crate::cost::evaluate_trajectory;
+    use crate::model::Step;
+    use crate::mtc::MoveToCenter;
+    use msp_geometry::P2;
+
+    fn chase_instance(t: usize) -> Instance<2> {
+        // Requests march right at speed 1 starting from x = 1.
+        let steps = (0..t)
+            .map(|i| Step::single(P2::xy(1.0 + i as f64, 0.0)))
+            .collect();
+        Instance::new(1.0, 1.0, P2::origin(), steps)
+    }
+
+    #[test]
+    fn run_cost_matches_trajectory_pricing() {
+        // The simulator's online accounting must agree with the offline
+        // trajectory evaluator on the trajectory it produced.
+        let inst = chase_instance(10);
+        for order in [ServingOrder::MoveFirst, ServingOrder::AnswerFirst] {
+            let mut alg = MoveToCenter::new();
+            let res = run(&inst, &mut alg, 0.5, order);
+            let priced = evaluate_trajectory(&inst, &res.positions, order);
+            assert!((priced.total() - res.total_cost()).abs() < 1e-9);
+            assert!((priced.movement - res.cost.movement).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn budget_is_enforced_even_for_greedy() {
+        let inst = chase_instance(5);
+        let mut alg = FollowCenter::new();
+        let res = run_move_first(&inst, &mut alg, 0.0);
+        assert!(res.max_step_used() <= inst.max_move + 1e-9);
+    }
+
+    #[test]
+    fn augmentation_extends_budget() {
+        let inst = Instance::new(
+            1.0,
+            1.0,
+            P2::origin(),
+            vec![Step::single(P2::xy(10.0, 0.0))],
+        );
+        let mut alg = FollowCenter::new();
+        let res = run_move_first(&inst, &mut alg, 1.0);
+        assert!((res.max_step_used() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lazy_has_zero_movement_cost() {
+        let inst = chase_instance(8);
+        let mut alg = Lazy;
+        let res = run_move_first(&inst, &mut alg, 0.0);
+        assert_eq!(res.cost.movement, 0.0);
+        // Service cost: Σ_{i=0..7} (1+i) = 36.
+        assert!((res.cost.service - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn positions_have_horizon_plus_one_entries() {
+        let inst = chase_instance(7);
+        let mut alg = MoveToCenter::new();
+        let res = run_move_first(&inst, &mut alg, 0.0);
+        assert_eq!(res.positions.len(), 8);
+        assert_eq!(res.cost.per_step.len(), 7);
+        assert_eq!(res.positions[0], inst.start);
+    }
+
+    #[test]
+    fn answer_first_charges_old_position() {
+        let inst = Instance::new(
+            1.0,
+            1.0,
+            P2::origin(),
+            vec![Step::single(P2::xy(1.0, 0.0))],
+        );
+        // FollowCenter reaches the request in one step.
+        let mut alg = FollowCenter::new();
+        let mf = run(&inst, &mut alg, 0.0, ServingOrder::MoveFirst);
+        let af = run(&inst, &mut alg, 0.0, ServingOrder::AnswerFirst);
+        // Move-first: move 1 + serve 0 = 1. Answer-first: serve 1 + move 1 = 2.
+        assert!((mf.total_cost() - 1.0).abs() < 1e-9);
+        assert!((af.total_cost() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mtc_catches_stationary_requests() {
+        // A fixed request point: MtC converges onto it and total cost stays
+        // bounded (no per-step cost once arrived).
+        let steps = vec![Step::repeated(P2::xy(3.0, 0.0), 4); 50];
+        let inst = Instance::new(2.0, 1.0, P2::origin(), steps);
+        let mut alg = MoveToCenter::new();
+        let res = run_move_first(&inst, &mut alg, 0.0);
+        let last = res.positions.last().unwrap();
+        assert!(last.distance(&P2::xy(3.0, 0.0)) < 1e-9);
+        // Tail steps are free.
+        let tail: f64 = res.cost.per_step[10..].iter().map(|s| s.total()).sum();
+        assert!(tail < 1e-9, "tail cost {tail}");
+    }
+
+    #[test]
+    fn deterministic_reruns_agree() {
+        let inst = chase_instance(20);
+        let mut alg = MoveToCenter::new();
+        let a = run_move_first(&inst, &mut alg, 0.3);
+        let b = run_move_first(&inst, &mut alg, 0.3);
+        assert_eq!(a.positions, b.positions);
+        assert_eq!(a.total_cost(), b.total_cost());
+    }
+
+    #[test]
+    fn run_metadata_recorded() {
+        let inst = chase_instance(3);
+        let mut alg = MoveToCenter::new();
+        let res = run(&inst, &mut alg, 0.25, ServingOrder::AnswerFirst);
+        assert_eq!(res.algorithm, "mtc");
+        assert_eq!(res.order, ServingOrder::AnswerFirst);
+        assert_eq!(res.delta, 0.25);
+    }
+}

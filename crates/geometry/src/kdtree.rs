@@ -1,0 +1,313 @@
+//! A KD-tree over `N`-dimensional points.
+//!
+//! Workload generators and experiment diagnostics need fast spatial
+//! queries over request clouds: nearest request to the server (per-step
+//! diagnostics), range extraction for clustered workloads, and k-nearest
+//! statistics on traces. The tree stores indices into the caller's point
+//! slice, is built once with a median-of-widest-dimension split, and
+//! answers nearest / k-nearest / range queries with standard pruning.
+
+use crate::bbox::Aabb;
+use crate::point::Point;
+
+/// Immutable KD-tree over a borrowed set of points (stored as indices).
+#[derive(Debug)]
+pub struct KdTree<const N: usize> {
+    points: Vec<Point<N>>,
+    nodes: Vec<Node>,
+    root: Option<usize>,
+}
+
+#[derive(Debug)]
+struct Node {
+    /// Index of the point stored at this node.
+    point_idx: usize,
+    /// Split dimension.
+    dim: usize,
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+impl<const N: usize> KdTree<N> {
+    /// Builds a balanced tree over `points` (the points are copied; query
+    /// results are indices into the original order).
+    pub fn build(points: &[Point<N>]) -> Self {
+        let mut indices: Vec<usize> = (0..points.len()).collect();
+        let mut tree = KdTree {
+            points: points.to_vec(),
+            nodes: Vec::with_capacity(points.len()),
+            root: None,
+        };
+        tree.root = tree.build_rec(&mut indices);
+        tree
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the tree indexes no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    fn build_rec(&mut self, indices: &mut [usize]) -> Option<usize> {
+        if indices.is_empty() {
+            return None;
+        }
+        // Split along the widest dimension of this subset for balance
+        // robustness on skewed workloads.
+        let bbox = {
+            let mut b = Aabb::empty();
+            for &i in indices.iter() {
+                b.insert(&self.points[i]);
+            }
+            b
+        };
+        let dim = bbox.widest_dim();
+        let mid = indices.len() / 2;
+        indices.select_nth_unstable_by(mid, |&a, &b| {
+            self.points[a][dim].total_cmp(&self.points[b][dim])
+        });
+        let point_idx = indices[mid];
+        let node_idx = self.nodes.len();
+        self.nodes.push(Node {
+            point_idx,
+            dim,
+            left: None,
+            right: None,
+        });
+        // Recurse on the two halves (excluding the median element).
+        let (left_slice, rest) = indices.split_at_mut(mid);
+        let right_slice = &mut rest[1..];
+        let left = self.build_rec(left_slice);
+        let right = self.build_rec(right_slice);
+        self.nodes[node_idx].left = left;
+        self.nodes[node_idx].right = right;
+        Some(node_idx)
+    }
+
+    /// Index and distance of the nearest point to `query`, or `None` when
+    /// empty.
+    pub fn nearest(&self, query: &Point<N>) -> Option<(usize, f64)> {
+        let root = self.root?;
+        let mut best = (usize::MAX, f64::INFINITY);
+        self.nearest_rec(root, query, &mut best);
+        Some((best.0, best.1.sqrt()))
+    }
+
+    fn nearest_rec(&self, node_idx: usize, query: &Point<N>, best: &mut (usize, f64)) {
+        let node = &self.nodes[node_idx];
+        let p = &self.points[node.point_idx];
+        let d2 = p.distance_sq(query);
+        if d2 < best.1 {
+            *best = (node.point_idx, d2);
+        }
+        let diff = query[node.dim] - p[node.dim];
+        let (near, far) = if diff <= 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        if let Some(n) = near {
+            self.nearest_rec(n, query, best);
+        }
+        // Only cross the splitting hyperplane when the slab can still beat
+        // the current best.
+        if diff * diff < best.1 {
+            if let Some(f) = far {
+                self.nearest_rec(f, query, best);
+            }
+        }
+    }
+
+    /// Indices of the `k` nearest points (ties broken arbitrarily), sorted
+    /// by increasing distance. Returns fewer than `k` when the tree is
+    /// smaller.
+    pub fn k_nearest(&self, query: &Point<N>, k: usize) -> Vec<(usize, f64)> {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        // Max-heap of (dist_sq, idx) capped at k, kept as a sorted Vec —
+        // k is small in all our uses, so linear insertion is fine.
+        let mut heap: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+        if let Some(root) = self.root {
+            self.k_nearest_rec(root, query, k, &mut heap);
+        }
+        heap.into_iter().map(|(d2, i)| (i, d2.sqrt())).collect()
+    }
+
+    fn k_nearest_rec(
+        &self,
+        node_idx: usize,
+        query: &Point<N>,
+        k: usize,
+        heap: &mut Vec<(f64, usize)>,
+    ) {
+        let node = &self.nodes[node_idx];
+        let p = &self.points[node.point_idx];
+        let d2 = p.distance_sq(query);
+        let worst = heap.last().map_or(f64::INFINITY, |e| e.0);
+        if heap.len() < k || d2 < worst {
+            let pos = heap.partition_point(|e| e.0 < d2);
+            heap.insert(pos, (d2, node.point_idx));
+            if heap.len() > k {
+                heap.pop();
+            }
+        }
+        let diff = query[node.dim] - p[node.dim];
+        let (near, far) = if diff <= 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        if let Some(n) = near {
+            self.k_nearest_rec(n, query, k, heap);
+        }
+        let worst = heap.last().map_or(f64::INFINITY, |e| e.0);
+        if heap.len() < k || diff * diff < worst {
+            if let Some(f) = far {
+                self.k_nearest_rec(f, query, k, heap);
+            }
+        }
+    }
+
+    /// Indices of all points within `radius` of `query` (closed ball), in
+    /// arbitrary order.
+    pub fn within_radius(&self, query: &Point<N>, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        if let Some(root) = self.root {
+            self.radius_rec(root, query, radius * radius, &mut out);
+        }
+        out
+    }
+
+    fn radius_rec(&self, node_idx: usize, query: &Point<N>, r2: f64, out: &mut Vec<usize>) {
+        let node = &self.nodes[node_idx];
+        let p = &self.points[node.point_idx];
+        if p.distance_sq(query) <= r2 {
+            out.push(node.point_idx);
+        }
+        let diff = query[node.dim] - p[node.dim];
+        let (near, far) = if diff <= 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        if let Some(n) = near {
+            self.radius_rec(n, query, r2, out);
+        }
+        if diff * diff <= r2 {
+            if let Some(f) = far {
+                self.radius_rec(f, query, r2, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::P2;
+    use crate::sample::SeededSampler;
+
+    fn brute_nearest(pts: &[P2], q: &P2) -> (usize, f64) {
+        let mut best = (0usize, f64::INFINITY);
+        for (i, p) in pts.iter().enumerate() {
+            let d = p.distance(q);
+            if d < best.1 {
+                best = (i, d);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn empty_tree_has_no_nearest() {
+        let tree = KdTree::<2>::build(&[]);
+        assert!(tree.is_empty());
+        assert!(tree.nearest(&P2::origin()).is_none());
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let tree = KdTree::build(&[P2::xy(1.0, 2.0)]);
+        let (i, d) = tree.nearest(&P2::origin()).unwrap();
+        assert_eq!(i, 0);
+        assert!((d - 5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let mut s = SeededSampler::new(42);
+        let pts: Vec<P2> = (0..200).map(|_| s.point_in_cube(10.0)).collect();
+        let tree = KdTree::build(&pts);
+        for _ in 0..50 {
+            let q = s.point_in_cube(12.0);
+            let (ti, td) = tree.nearest(&q).unwrap();
+            let (_bi, bd) = brute_nearest(&pts, &q);
+            assert!(
+                (td - bd).abs() < 1e-9,
+                "tree {td} vs brute {bd} at idx {ti}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_nearest_sorted_and_correct() {
+        let mut s = SeededSampler::new(7);
+        let pts: Vec<P2> = (0..100).map(|_| s.point_in_cube(5.0)).collect();
+        let tree = KdTree::build(&pts);
+        let q = P2::xy(0.3, -0.2);
+        let knn = tree.k_nearest(&q, 10);
+        assert_eq!(knn.len(), 10);
+        // Sorted by distance.
+        for w in knn.windows(2) {
+            assert!(w[0].1 <= w[1].1 + 1e-12);
+        }
+        // Matches the brute-force 10 smallest distances.
+        let mut dists: Vec<f64> = pts.iter().map(|p| p.distance(&q)).collect();
+        dists.sort_by(f64::total_cmp);
+        for (j, (_, d)) in knn.iter().enumerate() {
+            assert!((d - dists[j]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn k_nearest_with_k_larger_than_size() {
+        let pts = vec![P2::xy(0.0, 0.0), P2::xy(1.0, 0.0)];
+        let tree = KdTree::build(&pts);
+        let knn = tree.k_nearest(&P2::origin(), 10);
+        assert_eq!(knn.len(), 2);
+    }
+
+    #[test]
+    fn within_radius_matches_brute_force() {
+        let mut s = SeededSampler::new(99);
+        let pts: Vec<P2> = (0..150).map(|_| s.point_in_cube(4.0)).collect();
+        let tree = KdTree::build(&pts);
+        let q = P2::xy(0.5, 0.5);
+        let r = 1.5;
+        let mut got = tree.within_radius(&q, r);
+        got.sort_unstable();
+        let mut expected: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance(&q) <= r)
+            .map(|(i, _)| i)
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+        assert!(!expected.is_empty(), "test should be non-trivial");
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let pts = vec![P2::xy(1.0, 1.0); 8];
+        let tree = KdTree::build(&pts);
+        let (_, d) = tree.nearest(&P2::xy(1.0, 1.0)).unwrap();
+        assert_eq!(d, 0.0);
+        assert_eq!(tree.within_radius(&P2::xy(1.0, 1.0), 0.1).len(), 8);
+    }
+}

@@ -1,0 +1,554 @@
+//! Centers of request sets: 1-D medians and the geometric median.
+//!
+//! The Move-to-Center algorithm of the paper targets, in each step, the
+//! point `c` minimizing `Σ_i d(c, v_i)` over the current requests
+//! `v_1..v_r` — the *geometric median* (Fermat–Weber point). The paper's
+//! tie-breaking rule is explicit: "If `c` is not unique, pick the one
+//! minimizing `d(P_Alg, c)`". Non-uniqueness occurs exactly when the
+//! requests are collinear with an even multiset split, in which case the
+//! minimizer set is a segment; we then return the point of the segment
+//! closest to the reference position, as required.
+//!
+//! For points in general position we run the Weiszfeld fixed-point
+//! iteration with the Vardi–Zhang correction, which remains convergent when
+//! an iterate lands exactly on an input point (plain Weiszfeld divides by
+//! zero there).
+
+use crate::point::Point;
+
+/// Convergence knobs for the geometric-median iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct MedianOptions {
+    /// Maximum number of Weiszfeld/Vardi–Zhang iterations.
+    pub max_iters: usize,
+    /// Stop when consecutive iterates are closer than this.
+    pub tol: f64,
+}
+
+impl Default for MedianOptions {
+    fn default() -> Self {
+        MedianOptions {
+            max_iters: 128,
+            tol: 1e-13,
+        }
+    }
+}
+
+/// Sum of Euclidean distances from `c` to every point — the objective the
+/// geometric median minimizes, and the per-step service cost of the model.
+pub fn sum_of_distances<const N: usize>(points: &[Point<N>], c: &Point<N>) -> f64 {
+    points.iter().map(|p| p.distance(c)).sum()
+}
+
+/// Weighted variant of [`sum_of_distances`].
+pub fn weighted_sum_of_distances<const N: usize>(
+    points: &[Point<N>],
+    weights: &[f64],
+    c: &Point<N>,
+) -> f64 {
+    points
+        .iter()
+        .zip(weights)
+        .map(|(p, w)| w * p.distance(c))
+        .sum()
+}
+
+/// Arithmetic mean of the points. Minimizes the sum of *squared* distances;
+/// used as the Weiszfeld starting iterate and as an ablation target (A2).
+///
+/// # Panics
+/// Panics on an empty slice — a centroid of nothing is undefined.
+pub fn centroid<const N: usize>(points: &[Point<N>]) -> Point<N> {
+    assert!(!points.is_empty(), "centroid of empty point set");
+    let mut acc = Point::origin();
+    for p in points {
+        acc += *p;
+    }
+    acc / points.len() as f64
+}
+
+/// The closed interval of minimizers of `t ↦ Σ_i w_i·|t − x_i|` on the line.
+///
+/// With total weight `W`, the minimizer set is `[lo, hi]` where `lo` is the
+/// smallest `x` with prefix weight `≥ W/2` and `hi` the smallest `x` with
+/// prefix weight `> W/2` (collapsing to a single point unless the weight
+/// splits exactly in half at a gap). Returns `(lo, hi)`.
+///
+/// # Panics
+/// Panics when `values` is empty or lengths mismatch.
+pub fn weighted_line_median_interval(values: &[f64], weights: &[f64]) -> (f64, f64) {
+    assert!(!values.is_empty(), "median of empty set");
+    assert_eq!(values.len(), weights.len(), "length mismatch");
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "total weight must be positive");
+    let half = total / 2.0;
+
+    let mut prefix = 0.0;
+    let mut lo = values[idx[0]];
+    let mut hi = values[idx[idx.len() - 1]];
+    for (k, &i) in idx.iter().enumerate() {
+        prefix += weights[i];
+        if prefix >= half - 1e-15 * total {
+            lo = values[i];
+            // If the prefix weight hits exactly half, the flat stretch of the
+            // objective extends to the next distinct value; otherwise the
+            // minimizer is unique.
+            if (prefix - half).abs() <= 1e-12 * total && k + 1 < idx.len() {
+                hi = values[idx[k + 1]];
+            } else {
+                hi = values[i];
+            }
+            break;
+        }
+    }
+    (lo, hi)
+}
+
+/// Unweighted median interval on the line: `[x_(k), x_(k+1)]` for `2k`
+/// points, the middle order statistic for an odd count.
+pub fn line_median_interval(values: &[f64]) -> (f64, f64) {
+    let w = vec![1.0; values.len()];
+    weighted_line_median_interval(values, &w)
+}
+
+/// Detects whether all points lie on a common line (within `tol`).
+///
+/// Returns `Some((base, unit_direction))` when collinear — including the
+/// degenerate all-equal case, where the direction is arbitrary — and `None`
+/// otherwise. Collinearity is the only situation in which the geometric
+/// median can be non-unique, so [`weighted_center`] uses this to apply the
+/// paper's tie-breaking rule exactly.
+pub fn collinear<const N: usize>(points: &[Point<N>], tol: f64) -> Option<(Point<N>, Point<N>)> {
+    let base = points[0];
+    // Find the farthest point from the base to define a stable direction.
+    let mut dir = Point::origin();
+    let mut best = 0.0;
+    for p in points {
+        let d = (*p - base).norm();
+        if d > best {
+            best = d;
+            dir = *p - base;
+        }
+    }
+    let Some(u) = dir.normalized() else {
+        // All points coincide with the base.
+        let mut e = Point::origin();
+        e[0] = 1.0;
+        return Some((base, e));
+    };
+    let scale = best.max(1.0);
+    for p in points {
+        let v = *p - base;
+        let along = v.dot(&u);
+        let off = (v - u * along).norm();
+        if off > tol * scale {
+            return None;
+        }
+    }
+    Some((base, u))
+}
+
+/// Weighted geometric median via Weiszfeld iteration with the Vardi–Zhang
+/// correction, starting from the weighted centroid.
+///
+/// For collinear inputs the problem reduces to the exact 1-D weighted
+/// median (computed directly — no iteration), with the non-unique case
+/// resolved by clamping the projection of `reference` onto the minimizing
+/// segment, implementing the paper's "closest center" tie-break.
+///
+/// # Panics
+/// Panics on an empty point set or mismatched weight length.
+pub fn weighted_center_weighted<const N: usize>(
+    points: &[Point<N>],
+    weights: &[f64],
+    reference: &Point<N>,
+    opts: MedianOptions,
+) -> Point<N> {
+    assert!(!points.is_empty(), "center of empty request set");
+    assert_eq!(points.len(), weights.len(), "length mismatch");
+
+    if points.len() == 1 {
+        return points[0];
+    }
+
+    // Collinear (always true on the line): exact 1-D solution + tie-break.
+    if let Some((base, u)) = collinear(points, 1e-12) {
+        let ts: Vec<f64> = points.iter().map(|p| (*p - base).dot(&u)).collect();
+        let (lo, hi) = weighted_line_median_interval(&ts, weights);
+        let t_ref = (*reference - base).dot(&u);
+        let t = t_ref.clamp(lo, hi);
+        return base + u * t;
+    }
+
+    // General position: unique minimizer; Vardi–Zhang-corrected Weiszfeld.
+    let mut y = {
+        let total: f64 = weights.iter().sum();
+        let mut acc = Point::origin();
+        for (p, w) in points.iter().zip(weights) {
+            acc += *p * *w;
+        }
+        acc / total
+    };
+
+    for _ in 0..opts.max_iters {
+        // Split the points into those coinciding with the iterate and the
+        // rest; accumulate the Weiszfeld weights over the rest.
+        let mut num = Point::<N>::origin();
+        let mut denom = 0.0;
+        let mut coincident_weight = 0.0;
+        let mut r_vec = Point::<N>::origin(); // Σ w_i (x_i − y)/d_i over non-coincident
+        for (p, w) in points.iter().zip(weights) {
+            let d = p.distance(&y);
+            if d <= 1e-14 {
+                coincident_weight += *w;
+            } else {
+                num += *p * (*w / d);
+                denom += *w / d;
+                r_vec += (*p - y) * (*w / d);
+            }
+        }
+        if denom == 0.0 {
+            // Every point coincides with the iterate.
+            return y;
+        }
+        let t = num / denom; // plain Weiszfeld target
+        let next = if coincident_weight > 0.0 {
+            let r_norm = r_vec.norm();
+            if r_norm <= coincident_weight {
+                // The coincident point is the median (subgradient condition).
+                return y;
+            }
+            // Vardi–Zhang: damped step that escapes the anchor point.
+            let beta = (coincident_weight / r_norm).min(1.0);
+            t * (1.0 - beta) + y * beta
+        } else {
+            t
+        };
+        let shift = next.distance(&y);
+        y = next;
+        if shift <= opts.tol {
+            break;
+        }
+    }
+
+    // Weiszfeld's fixed-point iteration converges sublinearly along flat
+    // valleys (e.g. two tight clusters); polish with damped Newton steps —
+    // the objective is smooth and strictly convex away from the anchors,
+    // so Newton converges quadratically where Weiszfeld crawls.
+    y = newton_polish(points, weights, y, opts);
+
+    // The optimum may sit exactly on an input point, where the smooth
+    // machinery stalls; snap to whichever candidate — the iterate or an
+    // input — actually minimizes the objective. This also guarantees the
+    // returned center never loses to a request point.
+    let mut best = y;
+    let mut best_obj = weighted_sum_of_distances(points, weights, &y);
+    for p in points {
+        let obj = weighted_sum_of_distances(points, weights, p);
+        if obj < best_obj {
+            best_obj = obj;
+            best = *p;
+        }
+    }
+    best
+}
+
+/// Damped Newton refinement of a Fermat–Weber iterate. Safeguarded: steps
+/// are halved until the objective improves and the iterate never moves
+/// while sitting within float-epsilon of an anchor, so the polish can only
+/// improve on its input.
+fn newton_polish<const N: usize>(
+    points: &[Point<N>],
+    weights: &[f64],
+    mut y: Point<N>,
+    opts: MedianOptions,
+) -> Point<N> {
+    let scale = points
+        .iter()
+        .map(|p| p.norm())
+        .fold(1.0f64, f64::max);
+    for _ in 0..60 {
+        // Gradient Σ w·(y−x)/d and Hessian Σ w·(I/d − ΔΔᵀ/d³).
+        let mut grad = Point::<N>::origin();
+        let mut hess = [[0.0f64; N]; N];
+        let mut near_anchor = false;
+        for (p, w) in points.iter().zip(weights) {
+            let delta = y - *p;
+            let d = delta.norm();
+            if d <= 1e-12 * scale {
+                near_anchor = true;
+                break;
+            }
+            grad += delta * (w / d);
+            let inv_d = w / d;
+            let inv_d3 = w / (d * d * d);
+            for i in 0..N {
+                for j in 0..N {
+                    hess[i][j] -= delta[i] * delta[j] * inv_d3;
+                }
+                hess[i][i] += inv_d;
+            }
+        }
+        if near_anchor {
+            break;
+        }
+        let Some(step) = solve_linear(hess, grad) else {
+            break;
+        };
+        // Backtracking line search on the true objective.
+        let base_obj = weighted_sum_of_distances(points, weights, &y);
+        let mut lambda = 1.0;
+        let mut moved = false;
+        for _ in 0..12 {
+            let candidate = y - Point(step) * lambda;
+            if weighted_sum_of_distances(points, weights, &candidate) < base_obj {
+                let shift = candidate.distance(&y);
+                y = candidate;
+                moved = true;
+                if shift <= opts.tol * (1.0 + scale) {
+                    return y;
+                }
+                break;
+            }
+            lambda /= 2.0;
+        }
+        if !moved {
+            break;
+        }
+    }
+    y
+}
+
+/// Solves `A·x = b` for a small symmetric positive-definite `A` by Gaussian
+/// elimination with partial pivoting; `None` when singular.
+fn solve_linear<const N: usize>(mut a: [[f64; N]; N], b: Point<N>) -> Option<[f64; N]> {
+    let mut x = b.0;
+    for col in 0..N {
+        // Pivot.
+        let mut pivot = col;
+        for row in col + 1..N {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot][col].abs() < 1e-14 {
+            return None;
+        }
+        a.swap(col, pivot);
+        x.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..N {
+            let f = a[row][col] / a[col][col];
+            let (upper, lower) = a.split_at_mut(row);
+            for (cell, pivot_cell) in lower[0][col..N].iter_mut().zip(&upper[col][col..N]) {
+                *cell -= f * pivot_cell;
+            }
+            x[row] -= f * x[col];
+        }
+    }
+    // Back-substitute.
+    for col in (0..N).rev() {
+        let dot: f64 = (col + 1..N).map(|k| a[col][k] * x[k]).sum();
+        x[col] = (x[col] - dot) / a[col][col];
+    }
+    if x.iter().all(|v| v.is_finite()) {
+        Some(x)
+    } else {
+        None
+    }
+}
+
+/// The paper's center point `c` for a request set: the minimizer of
+/// `Σ_i d(c, v_i)`, ties broken towards `reference` (the algorithm's server
+/// position). Unweighted convenience wrapper over
+/// [`weighted_center_weighted`].
+pub fn weighted_center<const N: usize>(
+    points: &[Point<N>],
+    reference: &Point<N>,
+    opts: MedianOptions,
+) -> Point<N> {
+    let w = vec![1.0; points.len()];
+    weighted_center_weighted(points, &w, reference, opts)
+}
+
+/// Unweighted geometric median with default options and origin tie-break;
+/// the common entry point when no server reference is relevant.
+pub fn geometric_median<const N: usize>(points: &[Point<N>]) -> Point<N> {
+    weighted_center(points, &Point::origin(), MedianOptions::default())
+}
+
+/// Verifies the subgradient optimality condition of a candidate median `c`:
+/// the norm of `Σ_{x_i ≠ c} (c − x_i)/d_i` must not exceed the multiplicity
+/// (weight) of points coinciding with `c`, within `tol`. Used by tests to
+/// certify solver output without trusting the solver.
+pub fn median_optimality_gap<const N: usize>(points: &[Point<N>], c: &Point<N>) -> f64 {
+    let mut grad = Point::<N>::origin();
+    let mut coincident = 0.0;
+    for p in points {
+        let d = p.distance(c);
+        if d <= 1e-12 {
+            coincident += 1.0;
+        } else {
+            grad += (*c - *p) / d;
+        }
+    }
+    (grad.norm() - coincident).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::{P1, P2};
+
+    #[test]
+    fn single_point_is_its_own_center() {
+        let pts = [P2::xy(3.0, 4.0)];
+        let c = weighted_center(&pts, &P2::origin(), MedianOptions::default());
+        assert_eq!(c, pts[0]);
+    }
+
+    #[test]
+    fn line_median_odd_is_middle() {
+        let (lo, hi) = line_median_interval(&[5.0, 1.0, 3.0]);
+        assert_eq!((lo, hi), (3.0, 3.0));
+    }
+
+    #[test]
+    fn line_median_even_is_interval() {
+        let (lo, hi) = line_median_interval(&[1.0, 2.0, 7.0, 9.0]);
+        assert_eq!((lo, hi), (2.0, 7.0));
+    }
+
+    #[test]
+    fn weighted_line_median_respects_weights() {
+        // Weight 3 at x=0 vs weight 1 at x=10: median is 0.
+        let (lo, hi) = weighted_line_median_interval(&[0.0, 10.0], &[3.0, 1.0]);
+        assert_eq!((lo, hi), (0.0, 0.0));
+    }
+
+    #[test]
+    fn weighted_line_median_exact_half_split() {
+        let (lo, hi) = weighted_line_median_interval(&[0.0, 10.0], &[1.0, 1.0]);
+        assert_eq!((lo, hi), (0.0, 10.0));
+    }
+
+    #[test]
+    fn tie_break_picks_point_closest_to_reference() {
+        // Even number of collinear requests: minimizers form [2, 7]·e_x.
+        let pts = [
+            P2::xy(1.0, 0.0),
+            P2::xy(2.0, 0.0),
+            P2::xy(7.0, 0.0),
+            P2::xy(9.0, 0.0),
+        ];
+        // Reference inside the interval → center is its projection.
+        let c = weighted_center(&pts, &P2::xy(5.0, 3.0), MedianOptions::default());
+        assert!(c.distance(&P2::xy(5.0, 0.0)) < 1e-9);
+        // Reference left of the interval → clamped to the left endpoint.
+        let c = weighted_center(&pts, &P2::xy(-4.0, 0.0), MedianOptions::default());
+        assert!(c.distance(&P2::xy(2.0, 0.0)) < 1e-9);
+        // Reference right of the interval → clamped to the right endpoint.
+        let c = weighted_center(&pts, &P2::xy(100.0, 1.0), MedianOptions::default());
+        assert!(c.distance(&P2::xy(7.0, 0.0)) < 1e-9);
+    }
+
+    #[test]
+    fn median_of_equilateral_triangle_is_fermat_point() {
+        // For an equilateral triangle the geometric median is the centroid.
+        let pts = [
+            P2::xy(0.0, 0.0),
+            P2::xy(1.0, 0.0),
+            P2::xy(0.5, 3f64.sqrt() / 2.0),
+        ];
+        let c = geometric_median(&pts);
+        let expected = centroid(&pts);
+        assert!(c.distance(&expected) < 1e-8, "got {c:?}");
+        assert!(median_optimality_gap(&pts, &c) < 1e-6);
+    }
+
+    #[test]
+    fn median_with_obtuse_triangle_sits_on_vertex() {
+        // When one vertex sees the others under ≥ 120°, the median is that
+        // vertex. Extremely flat triangle: the middle point wins.
+        let pts = [P2::xy(0.0, 0.0), P2::xy(1.0, 0.05), P2::xy(2.0, 0.0)];
+        let c = geometric_median(&pts);
+        assert!(c.distance(&pts[1]) < 1e-6, "got {c:?}");
+        assert!(median_optimality_gap(&pts, &c) < 1e-6);
+    }
+
+    #[test]
+    fn vardi_zhang_handles_duplicate_heavy_point() {
+        // Three copies of one point vs two distinct others: the heavy point
+        // dominates (weight 3 ≥ gradient norm of the rest ≤ 2).
+        let pts = [
+            P2::xy(1.0, 1.0),
+            P2::xy(1.0, 1.0),
+            P2::xy(1.0, 1.0),
+            P2::xy(5.0, 1.0),
+            P2::xy(1.0, 6.0),
+        ];
+        let c = geometric_median(&pts);
+        assert!(c.distance(&P2::xy(1.0, 1.0)) < 1e-7, "got {c:?}");
+    }
+
+    #[test]
+    fn median_beats_centroid_on_objective() {
+        let pts = [
+            P2::xy(0.0, 0.0),
+            P2::xy(0.1, 0.0),
+            P2::xy(0.0, 0.1),
+            P2::xy(10.0, 10.0),
+        ];
+        let med = geometric_median(&pts);
+        let cen = centroid(&pts);
+        assert!(sum_of_distances(&pts, &med) <= sum_of_distances(&pts, &cen) + 1e-9);
+    }
+
+    #[test]
+    fn one_dimensional_center_is_exact_median() {
+        let pts = [P1::new([4.0]), P1::new([-1.0]), P1::new([10.0])];
+        let c = weighted_center(&pts, &P1::origin(), MedianOptions::default());
+        assert!((c.x() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collinear_detection() {
+        let on_line = [P2::xy(0.0, 0.0), P2::xy(1.0, 1.0), P2::xy(3.0, 3.0)];
+        assert!(collinear(&on_line, 1e-12).is_some());
+        let off_line = [P2::xy(0.0, 0.0), P2::xy(1.0, 1.0), P2::xy(3.0, 3.5)];
+        assert!(collinear(&off_line, 1e-12).is_none());
+    }
+
+    #[test]
+    fn all_identical_points_center() {
+        let pts = [P2::xy(2.0, 2.0); 5];
+        let c = weighted_center(&pts, &P2::origin(), MedianOptions::default());
+        assert_eq!(c, P2::xy(2.0, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_center_panics() {
+        let pts: [P2; 0] = [];
+        let _ = weighted_center(&pts, &P2::origin(), MedianOptions::default());
+    }
+
+    #[test]
+    fn centroid_of_square() {
+        let pts = [
+            P2::xy(0.0, 0.0),
+            P2::xy(2.0, 0.0),
+            P2::xy(2.0, 2.0),
+            P2::xy(0.0, 2.0),
+        ];
+        assert_eq!(centroid(&pts), P2::xy(1.0, 1.0));
+    }
+
+    #[test]
+    fn optimality_gap_flags_bad_candidate() {
+        let pts = [P2::xy(0.0, 0.0), P2::xy(1.0, 0.0), P2::xy(0.5, 1.0)];
+        assert!(median_optimality_gap(&pts, &P2::xy(50.0, 50.0)) > 0.5);
+    }
+}

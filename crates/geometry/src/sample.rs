@@ -1,0 +1,203 @@
+//! Deterministic random sampling of points.
+//!
+//! Every stochastic component of the reproduction (workloads, adversarial
+//! coin flips, randomized algorithms) draws through an explicitly seeded
+//! generator so that every experiment cell is replayable from its recorded
+//! seed. This module wraps `rand::StdRng` with the geometric primitives the
+//! rest of the workspace needs.
+
+use crate::point::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded source of random points and scalars.
+///
+/// Thin wrapper over `StdRng` adding uniform-in-cube, uniform-in-ball,
+/// uniform-on-sphere and Gaussian point sampling in any dimension.
+pub struct SeededSampler {
+    rng: StdRng,
+}
+
+impl SeededSampler {
+    /// Creates a sampler from a 64-bit seed. Identical seeds produce
+    /// identical streams on every platform (`StdRng` is seedable and
+    /// portable within a rand major version).
+    pub fn new(seed: u64) -> Self {
+        SeededSampler {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Mutable access to the underlying RNG for ad-hoc draws.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Uniform scalar in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Fair coin, the adversary's single random decision in the paper's
+    /// lower-bound constructions.
+    pub fn coin(&mut self) -> bool {
+        self.rng.gen_bool(0.5)
+    }
+
+    /// Uniform integer in `[lo, hi]`.
+    pub fn int_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Standard normal scalar via Box–Muller (avoids the rand_distr
+    /// dependency).
+    pub fn gaussian(&mut self) -> f64 {
+        // Draw u1 in (0,1] to keep ln finite.
+        let u1: f64 = 1.0 - self.rng.gen::<f64>();
+        let u2: f64 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Point with i.i.d. coordinates uniform in `[-half, half]`.
+    pub fn point_in_cube<const N: usize>(&mut self, half: f64) -> Point<N> {
+        let mut c = [0.0; N];
+        for v in &mut c {
+            *v = self.uniform(-half, half);
+        }
+        Point(c)
+    }
+
+    /// Point with i.i.d. Gaussian coordinates `N(center_i, sigma²)`.
+    pub fn gaussian_point<const N: usize>(&mut self, center: &Point<N>, sigma: f64) -> Point<N> {
+        let mut c = center.0;
+        for v in &mut c {
+            *v += sigma * self.gaussian();
+        }
+        Point(c)
+    }
+
+    /// Uniform direction on the unit sphere (Gaussian normalization;
+    /// rejection-free and dimension-agnostic).
+    pub fn unit_vector<const N: usize>(&mut self) -> Point<N> {
+        loop {
+            let mut c = [0.0; N];
+            for v in &mut c {
+                *v = self.gaussian();
+            }
+            let p = Point(c);
+            if let Some(u) = p.normalized() {
+                return u;
+            }
+        }
+    }
+
+    /// Uniform point in the closed ball of radius `r` around `center`
+    /// (radius via inverse-CDF `r·U^{1/N}`, direction uniform).
+    pub fn point_in_ball<const N: usize>(&mut self, center: &Point<N>, r: f64) -> Point<N> {
+        let u: f64 = self.rng.gen();
+        let radius = r * u.powf(1.0 / N as f64);
+        *center + self.unit_vector() * radius
+    }
+
+    /// Derives a child seed for a named sub-stream. Experiment sweeps use
+    /// this so that cells are independent yet individually reproducible.
+    pub fn derive_seed(root: u64, stream: u64) -> u64 {
+        // SplitMix64 step over (root ⊕ golden·stream) — cheap, well mixed.
+        let mut z = root ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::{P2, P3};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SeededSampler::new(123);
+        let mut b = SeededSampler::new(123);
+        for _ in 0..20 {
+            assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SeededSampler::new(1);
+        let mut b = SeededSampler::new(2);
+        let xs: Vec<f64> = (0..10).map(|_| a.uniform(0.0, 1.0)).collect();
+        let ys: Vec<f64> = (0..10).map(|_| b.uniform(0.0, 1.0)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn cube_points_in_bounds() {
+        let mut s = SeededSampler::new(5);
+        for _ in 0..100 {
+            let p: P2 = s.point_in_cube(3.0);
+            assert!(p[0].abs() <= 3.0 && p[1].abs() <= 3.0);
+        }
+    }
+
+    #[test]
+    fn ball_points_in_bounds() {
+        let mut s = SeededSampler::new(6);
+        let c = P3::new([1.0, -2.0, 0.5]);
+        for _ in 0..200 {
+            let p = s.point_in_ball(&c, 2.0);
+            assert!(p.distance(&c) <= 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn unit_vectors_have_unit_norm() {
+        let mut s = SeededSampler::new(7);
+        for _ in 0..50 {
+            let u: P3 = s.unit_vector();
+            assert!((u.norm() - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_roughly_standard() {
+        let mut s = SeededSampler::new(8);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| s.gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn coin_is_roughly_fair() {
+        let mut s = SeededSampler::new(9);
+        let heads = (0..10_000).filter(|_| s.coin()).count();
+        assert!((4500..5500).contains(&heads), "heads {heads}");
+    }
+
+    #[test]
+    fn derived_seeds_distinct() {
+        let a = SeededSampler::derive_seed(42, 0);
+        let b = SeededSampler::derive_seed(42, 1);
+        let c = SeededSampler::derive_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Deterministic.
+        assert_eq!(a, SeededSampler::derive_seed(42, 0));
+    }
+
+    #[test]
+    fn ball_radius_distribution_is_uniform_in_volume() {
+        // In 2-D, P(radius ≤ t·r) = t²; check the median radius ≈ r/√2.
+        let mut s = SeededSampler::new(10);
+        let c = P2::origin();
+        let mut radii: Vec<f64> = (0..20_000).map(|_| s.point_in_ball(&c, 1.0).norm()).collect();
+        radii.sort_by(f64::total_cmp);
+        let median = radii[radii.len() / 2];
+        assert!((median - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.02, "median {median}");
+    }
+}

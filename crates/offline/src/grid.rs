@@ -1,0 +1,197 @@
+//! Brute-force offline optimum on a discretized arena.
+//!
+//! Exhaustive dynamic programming over a regular grid: the state is the
+//! server's grid cell, the transition allows every cell within the
+//! movement limit. Exponential in the dimension and quadratic in the cell
+//! count — usable only on tiny instances, which is exactly its job: an
+//! independent oracle that certifies the PWL and convex solvers in tests.
+//!
+//! The grid restricts OPT's positions, so `grid_optimum ≥ OPT`; refining
+//! the grid converges from above. Tests compare solvers at matching
+//! tolerances.
+
+use msp_core::cost::{service_cost, ServingOrder};
+use msp_core::model::Instance;
+use msp_geometry::{Aabb, Point};
+
+/// Exhaustive DP optimum over a `cells_per_axis`-per-dimension grid
+/// covering the instance's bounding box (start + all requests), padded by
+/// the total reachable distance where useful.
+///
+/// # Panics
+/// Panics when the grid would be degenerate (`cells_per_axis < 2`) or
+/// infeasibly large (> 200k cells) — this is a test oracle, not a solver.
+pub fn grid_optimum<const N: usize>(
+    instance: &Instance<N>,
+    cells_per_axis: usize,
+    order: ServingOrder,
+) -> f64 {
+    assert!(cells_per_axis >= 2, "need at least 2 cells per axis");
+    let cells = cells_per_axis.pow(N as u32);
+    assert!(
+        cells <= 200_000,
+        "grid too large ({cells} cells); shrink the instance"
+    );
+
+    // Arena: bounding box of the start and every request, padded slightly
+    // so boundary optima are representable.
+    let mut bbox = Aabb::<N>::from_points(&[instance.start]);
+    for step in &instance.steps {
+        for v in &step.requests {
+            bbox.insert(v);
+        }
+    }
+    let pad = 0.5 * instance.max_move.max(1e-6);
+    bbox = Aabb::from_corners(
+        bbox.min - Point::splat(pad),
+        bbox.max + Point::splat(pad),
+    );
+
+    // Enumerate grid nodes.
+    let mut nodes: Vec<Point<N>> = Vec::with_capacity(cells);
+    let mut idx = [0usize; N];
+    loop {
+        let mut p = Point::<N>::origin();
+        for i in 0..N {
+            let frac = idx[i] as f64 / (cells_per_axis - 1) as f64;
+            p[i] = bbox.min[i] + frac * (bbox.max[i] - bbox.min[i]);
+        }
+        nodes.push(p);
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            idx[i] += 1;
+            if idx[i] < cells_per_axis {
+                break;
+            }
+            idx[i] = 0;
+            i += 1;
+            if i == N {
+                break;
+            }
+        }
+        if i == N {
+            break;
+        }
+    }
+
+    // Movement tolerance: half a grid diagonal so the discretized path is
+    // not starved by rounding.
+    let mut diag2 = 0.0;
+    for i in 0..N {
+        let h = (bbox.max[i] - bbox.min[i]) / (cells_per_axis - 1) as f64;
+        diag2 += h * h;
+    }
+    let slack = diag2.sqrt() * 0.51;
+    let reach = instance.max_move + slack;
+
+    // DP: cost[j] = cheapest cost to have processed the prefix and be at
+    // node j. Start: server must begin at `start`, which may be off-grid —
+    // allow a free snap of at most `slack`.
+    let inf = f64::INFINITY;
+    let mut cost = vec![inf; nodes.len()];
+    for (j, p) in nodes.iter().enumerate() {
+        if p.distance(&instance.start) <= slack {
+            cost[j] = 0.0;
+        }
+    }
+    if cost.iter().all(|c| c.is_infinite()) {
+        // Extremely coarse grid: snap to the nearest node unconditionally.
+        let (j, _) = nodes
+            .iter()
+            .enumerate()
+            .map(|(j, p)| (j, p.distance(&instance.start)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        cost[j] = 0.0;
+    }
+
+    let mut next = vec![inf; nodes.len()];
+    for step in &instance.steps {
+        for c in next.iter_mut() {
+            *c = inf;
+        }
+        for (j, pj) in nodes.iter().enumerate() {
+            if cost[j].is_infinite() {
+                continue;
+            }
+            let serve_old = service_cost(pj, &step.requests);
+            for (k, pk) in nodes.iter().enumerate() {
+                let move_dist = pj.distance(pk);
+                if move_dist > reach {
+                    continue;
+                }
+                let c = match order {
+                    ServingOrder::MoveFirst => {
+                        cost[j] + instance.d * move_dist + service_cost(pk, &step.requests)
+                    }
+                    ServingOrder::AnswerFirst => cost[j] + serve_old + instance.d * move_dist,
+                };
+                if c < next[k] {
+                    next[k] = c;
+                }
+            }
+        }
+        std::mem::swap(&mut cost, &mut next);
+    }
+
+    cost.into_iter().fold(inf, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::line::solve_line;
+    use msp_core::model::Step;
+    use msp_geometry::{P1, P2};
+
+    #[test]
+    fn matches_exact_line_solver_on_small_instance() {
+        let steps = vec![
+            Step::single(P1::new([2.0])),
+            Step::single(P1::new([2.0])),
+            Step::single(P1::new([-1.0])),
+            Step::single(P1::new([0.5])),
+        ];
+        let inst = Instance::new(2.0, 1.0, P1::origin(), steps);
+        for order in [ServingOrder::MoveFirst, ServingOrder::AnswerFirst] {
+            let exact = solve_line(&inst, order).cost;
+            let grid = grid_optimum(&inst, 241, order);
+            assert!(
+                (grid - exact).abs() < 0.12,
+                "{order:?}: grid {grid} vs exact {exact}"
+            );
+            // The grid never undercuts the true optimum by more than the
+            // start-snap slack.
+            assert!(grid >= exact - 0.1);
+        }
+    }
+
+    #[test]
+    fn planar_triangle_instance_is_consistent_across_resolutions() {
+        let steps = vec![
+            Step::new(vec![P2::xy(1.0, 0.0), P2::xy(0.0, 1.0)]),
+            Step::new(vec![P2::xy(1.0, 1.0)]),
+        ];
+        let inst = Instance::new(1.0, 0.7, P2::origin(), steps);
+        let coarse = grid_optimum(&inst, 15, ServingOrder::MoveFirst);
+        let fine = grid_optimum(&inst, 41, ServingOrder::MoveFirst);
+        // Refinement should not increase the optimum by much (monotone up
+        // to snap slack) and both must be finite.
+        assert!(fine.is_finite() && coarse.is_finite());
+        assert!(fine <= coarse + 0.2, "fine {fine} vs coarse {coarse}");
+    }
+
+    #[test]
+    fn zero_steps_cost_zero() {
+        let inst = Instance::new(1.0, 1.0, P2::origin(), vec![]);
+        assert_eq!(grid_optimum(&inst, 5, ServingOrder::MoveFirst), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid too large")]
+    fn oversize_grid_rejected() {
+        let inst = Instance::new(1.0, 1.0, P2::origin(), vec![]);
+        let _ = grid_optimum(&inst, 500, ServingOrder::MoveFirst);
+    }
+}

@@ -1,0 +1,537 @@
+//! Convex piecewise-linear functions on a bounded interval.
+//!
+//! The exact 1-D offline solver represents its cost-to-go `f_t(p)` — "the
+//! cheapest way to have processed steps `1..t` and be parked at `p`" — as a
+//! convex piecewise-linear (PWL) function. Two operations drive the DP:
+//!
+//! 1. **Move transform** ([`ConvexPwl::move_transform`]):
+//!    `h(p) = min_{|p−q| ≤ m} f(q) + D·|p−q|`. For convex `f` this has a
+//!    closed form: let `a` be the leftmost point where the slope of `f`
+//!    reaches `−D` and `b` the rightmost where it is still `≤ D`. Then `h`
+//!    equals `f` on `[a, b]`, extends with slope `±D` for `m` on each side,
+//!    and beyond that window equals `f` shifted outward by `m` and lifted
+//!    by `D·m` (the server pays a full-budget move). The domain widens by
+//!    `m` on both ends.
+//! 2. **Service addition** ([`ConvexPwl::add_service`]): add
+//!    `Σ_i |p − v_i|`, itself convex PWL.
+//!
+//! Both preserve convexity, so the invariant — secant slopes nondecreasing
+//! — is checked in debug builds after every operation.
+//!
+//! Because the initial function is the indicator of the start position
+//! (domain a single point) and every transform widens the domain by `m`,
+//! all domains are finite intervals; the function is `+∞` outside.
+
+/// A convex piecewise-linear function on the finite interval
+/// `[xs[0], xs[last]]`, linearly interpolating the samples `(xs[i], ys[i])`
+/// and `+∞` outside.
+#[derive(Clone, Debug)]
+pub struct ConvexPwl {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl ConvexPwl {
+    /// The indicator of a single point: domain `{x0}`, value 0.
+    pub fn point(x0: f64) -> Self {
+        ConvexPwl {
+            xs: vec![x0],
+            ys: vec![0.0],
+        }
+    }
+
+    /// Builds a function from breakpoint samples.
+    ///
+    /// # Panics
+    /// Panics unless `xs` is strictly increasing, the lengths match, and
+    /// the samples are convex (nondecreasing secant slopes, with a small
+    /// tolerance).
+    pub fn from_samples(xs: Vec<f64>, ys: Vec<f64>) -> Self {
+        assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+        assert!(!xs.is_empty(), "need at least one sample");
+        for w in xs.windows(2) {
+            assert!(w[0] < w[1], "xs must be strictly increasing");
+        }
+        let f = ConvexPwl { xs, ys };
+        f.check_convex(); // unconditional: this is a public constructor
+        f
+    }
+
+    /// Domain `[lo, hi]` of finiteness.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.xs[0], *self.xs.last().unwrap())
+    }
+
+    /// The breakpoint abscissas (sorted, strictly increasing). Exposed for
+    /// the trajectory-recovery backward pass, which enumerates kink
+    /// candidates.
+    pub fn breakpoints(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Number of stored breakpoints.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// A PWL function always has at least one breakpoint.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Evaluates the function; `+∞` outside the domain.
+    pub fn eval(&self, x: f64) -> f64 {
+        let (lo, hi) = self.domain();
+        if x < lo || x > hi {
+            return f64::INFINITY;
+        }
+        match self.xs.binary_search_by(|v| v.total_cmp(&x)) {
+            Ok(i) => self.ys[i],
+            Err(i) => {
+                // lo < x < hi and x not a breakpoint → 1 ≤ i ≤ len-1.
+                let (x0, x1) = (self.xs[i - 1], self.xs[i]);
+                let (y0, y1) = (self.ys[i - 1], self.ys[i]);
+                y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+            }
+        }
+    }
+
+    /// Minimum value and the interval of minimizers `[arg_lo, arg_hi]`.
+    /// By convexity the minimum is attained on a (possibly degenerate)
+    /// sub-interval whose endpoints are breakpoints.
+    pub fn min(&self) -> (f64, f64, f64) {
+        let mut best = f64::INFINITY;
+        for &y in &self.ys {
+            if y < best {
+                best = y;
+            }
+        }
+        // All breakpoints within tolerance of the minimum form the flat
+        // bottom (convexity ⇒ they are contiguous).
+        let tol = 1e-12 * (1.0 + best.abs());
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (x, y) in self.xs.iter().zip(&self.ys) {
+            if *y <= best + tol {
+                lo = lo.min(*x);
+                hi = hi.max(*x);
+            }
+        }
+        (best, lo, hi)
+    }
+
+    /// Minimizes the function over `[lo, hi] ∩ domain`.
+    ///
+    /// Returns `(value, argmin)`, with the argmin chosen closest to the
+    /// unconstrained minimizer interval. Used by the trajectory recovery
+    /// backward pass.
+    ///
+    /// # Panics
+    /// Panics when the window misses the domain entirely.
+    pub fn min_on(&self, lo: f64, hi: f64) -> (f64, f64) {
+        let (dlo, dhi) = self.domain();
+        let lo = lo.max(dlo);
+        let hi = hi.min(dhi);
+        assert!(
+            lo <= hi + 1e-12,
+            "window [{lo}, {hi}] misses the domain [{dlo}, {dhi}]"
+        );
+        let hi = hi.max(lo);
+        let (_, mlo, mhi) = self.min();
+        // Convexity: restrict the minimizer interval to the window by
+        // clamping; if disjoint, the best point is the window end nearest
+        // the minimizer.
+        let x = if mhi < lo {
+            lo
+        } else if mlo > hi {
+            hi
+        } else {
+            // Overlap: any common point is optimal; pick the clamped center
+            // of the overlap for stability.
+            (mlo.max(lo) + mhi.min(hi)) / 2.0
+        };
+        (self.eval(x), x)
+    }
+
+    /// The move transform `h(p) = min_{|p−q| ≤ m} f(q) + D·|p−q|` described
+    /// in the module docs. `m > 0`, `d ≥ 0`.
+    pub fn move_transform(&self, d: f64, m: f64) -> ConvexPwl {
+        assert!(m > 0.0, "movement limit must be positive");
+        assert!(d >= 0.0, "movement weight must be non-negative");
+        let n = self.xs.len();
+        let (dlo, dhi) = self.domain();
+
+        // Locate a: the leftmost point where the right-slope is ≥ −D, and
+        // b: the rightmost point where the left-slope is ≤ D. Slopes of
+        // segment i (between breakpoints i and i+1).
+        let slope = |i: usize| (self.ys[i + 1] - self.ys[i]) / (self.xs[i + 1] - self.xs[i]);
+        // index of first breakpoint from which slopes are ≥ −D
+        let mut ia = 0;
+        while ia + 1 < n && slope(ia) < -d {
+            ia += 1;
+        }
+        // index of last breakpoint up to which slopes are ≤ D
+        let mut ib = n - 1;
+        while ib > 0 && slope(ib - 1) > d {
+            ib -= 1;
+        }
+        // Convexity guarantees ia ≤ ib.
+        debug_assert!(ia <= ib);
+        let a = self.xs[ia];
+        let b = self.xs[ib];
+        let fa = self.ys[ia];
+        let fb = self.ys[ib];
+
+        let mut xs = Vec::with_capacity(n + 4);
+        let mut ys = Vec::with_capacity(n + 4);
+
+        // Steep left tail (slopes < −D): original breakpoints shifted left
+        // by m, lifted by D·m — for p < a − m the constrained optimum is a
+        // full-budget move to q = p + m.
+        for i in 0..ia {
+            xs.push(self.xs[i] - m);
+            ys.push(self.ys[i] + d * m);
+        }
+        // Slope −D connector on [a − m, a].
+        xs.push(a - m);
+        ys.push(fa + d * m);
+        // The untouched middle [a, b] (slopes within [−D, D]): stay put.
+        for i in ia..=ib {
+            // Avoid duplicating `a` when it already equals the connector
+            // endpoint — cannot happen since m > 0, so a − m < a strictly.
+            xs.push(self.xs[i]);
+            ys.push(self.ys[i]);
+        }
+        // Slope +D connector on [b, b + m].
+        xs.push(b + m);
+        ys.push(fb + d * m);
+        // Steep right tail shifted right by m.
+        for i in ib + 1..n {
+            xs.push(self.xs[i] + m);
+            ys.push(self.ys[i] + d * m);
+        }
+
+        debug_assert!(xs[0] <= dlo - m + 1e-9 && *xs.last().unwrap() >= dhi + m - 1e-9);
+        let mut out = ConvexPwl { xs, ys };
+        out.dedupe();
+        out.assert_convex();
+        out
+    }
+
+    /// Adds the service cost `p ↦ Σ_i |p − v_i|` of a request batch.
+    ///
+    /// The result's breakpoints are the union of the current breakpoints
+    /// and the requests that fall inside the domain (requests outside add
+    /// a linear — not kinked — contribution there).
+    pub fn add_service(&self, requests: &[f64]) -> ConvexPwl {
+        if requests.is_empty() {
+            return self.clone();
+        }
+        let mut vs: Vec<f64> = requests.to_vec();
+        vs.sort_by(f64::total_cmp);
+        // Prefix sums for O(log r) service evaluation.
+        let mut prefix = Vec::with_capacity(vs.len() + 1);
+        prefix.push(0.0);
+        for v in &vs {
+            prefix.push(prefix.last().unwrap() + v);
+        }
+        let total: f64 = *prefix.last().unwrap();
+        let service = |p: f64| -> f64 {
+            // #requests ≤ p
+            let k = vs.partition_point(|v| *v <= p);
+            let below = prefix[k];
+            let above = total - below;
+            p * k as f64 - below + (above - p * (vs.len() - k) as f64)
+        };
+
+        let (dlo, dhi) = self.domain();
+        // Merged breakpoint set: existing xs plus in-domain requests.
+        let mut merged: Vec<f64> = self.xs.clone();
+        merged.extend(vs.iter().copied().filter(|v| *v > dlo && *v < dhi));
+        merged.sort_by(f64::total_cmp);
+        merged.dedup_by(|a, b| *a == *b);
+
+        let ys = merged.iter().map(|&x| self.eval(x) + service(x)).collect();
+        let mut out = ConvexPwl { xs: merged, ys };
+        out.dedupe();
+        out.assert_convex();
+        out
+    }
+
+    /// Canonicalizes the representation: merges breakpoints with nearly
+    /// identical abscissas (whose secant slopes would be numerical
+    /// garbage), then removes interior breakpoints collinear with their
+    /// neighbours. Keeps the representation small and well-conditioned
+    /// across thousands of DP steps.
+    fn dedupe(&mut self) {
+        // Pass 1: merge near-duplicate abscissas. Such pairs arise when a
+        // request lands within float-epsilon of an existing breakpoint or
+        // when transform connectors collide with shifted tail points; the
+        // merged point takes the smaller value (the functions are pointwise
+        // minima, so this errs by at most slope·1e-9 downward).
+        if self.xs.len() >= 2 {
+            let mut xs = Vec::with_capacity(self.xs.len());
+            let mut ys = Vec::with_capacity(self.ys.len());
+            xs.push(self.xs[0]);
+            ys.push(self.ys[0]);
+            for i in 1..self.xs.len() {
+                let last = *xs.last().unwrap();
+                let x = self.xs[i];
+                let y = self.ys[i];
+                if x - last <= 1e-9 * (1.0 + x.abs().max(last.abs())) {
+                    // Keep the right abscissa when merging the final point
+                    // so the domain's upper end is preserved.
+                    if i == self.xs.len() - 1 {
+                        *xs.last_mut().unwrap() = x;
+                    }
+                    let ly = ys.last_mut().unwrap();
+                    if y < *ly {
+                        *ly = y;
+                    }
+                } else {
+                    xs.push(x);
+                    ys.push(y);
+                }
+            }
+            self.xs = xs;
+            self.ys = ys;
+        }
+        if self.xs.len() <= 2 {
+            return;
+        }
+        let mut keep_xs = Vec::with_capacity(self.xs.len());
+        let mut keep_ys = Vec::with_capacity(self.ys.len());
+        keep_xs.push(self.xs[0]);
+        keep_ys.push(self.ys[0]);
+        for i in 1..self.xs.len() - 1 {
+            let (x0, y0) = (*keep_xs.last().unwrap(), *keep_ys.last().unwrap());
+            let (x1, y1) = (self.xs[i], self.ys[i]);
+            let (x2, y2) = (self.xs[i + 1], self.ys[i + 1]);
+            let s01 = (y1 - y0) / (x1 - x0);
+            let s12 = (y2 - y1) / (x2 - x1);
+            let scale = 1.0 + s01.abs().max(s12.abs());
+            if (s12 - s01).abs() > 1e-12 * scale {
+                keep_xs.push(x1);
+                keep_ys.push(y1);
+            }
+        }
+        keep_xs.push(*self.xs.last().unwrap());
+        keep_ys.push(*self.ys.last().unwrap());
+        self.xs = keep_xs;
+        self.ys = keep_ys;
+    }
+
+    /// Debug-build convexity audit on the hot DP path.
+    fn assert_convex(&self) {
+        #[cfg(debug_assertions)]
+        self.check_convex();
+    }
+
+    /// Convexity check: secant slopes must be nondecreasing (with a small
+    /// relative tolerance for float drift).
+    fn check_convex(&self) {
+        let mut prev = f64::NEG_INFINITY;
+        for w in self.xs.windows(2).zip(self.ys.windows(2)) {
+            let s = (w.1[1] - w.1[0]) / (w.0[1] - w.0[0]);
+            let scale = 1.0 + s.abs().max(prev.abs());
+            assert!(
+                s >= prev - 1e-7 * scale,
+                "convexity violated: slope {s} after {prev}"
+            );
+            prev = s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force reference for the move transform.
+    fn brute_move(f: &ConvexPwl, d: f64, m: f64, p: f64, grid: usize) -> f64 {
+        let (lo, hi) = f.domain();
+        let qlo = (p - m).max(lo);
+        let qhi = (p + m).min(hi);
+        if qlo > qhi {
+            return f64::INFINITY;
+        }
+        let mut best = f64::INFINITY;
+        for k in 0..=grid {
+            let q = qlo + (qhi - qlo) * k as f64 / grid as f64;
+            best = best.min(f.eval(q) + d * (p - q).abs());
+        }
+        // Also test breakpoints inside the window and q = p (kink of the
+        // move term) — together with the window ends these are the exact
+        // candidates, so the reference is exact despite the coarse grid.
+        for (x, y) in f.xs.iter().zip(&f.ys) {
+            if *x >= qlo && *x <= qhi {
+                best = best.min(y + d * (p - x).abs());
+            }
+        }
+        if p >= qlo && p <= qhi {
+            best = best.min(f.eval(p));
+        }
+        best
+    }
+
+    #[test]
+    fn point_indicator_evaluates() {
+        let f = ConvexPwl::point(2.0);
+        assert_eq!(f.eval(2.0), 0.0);
+        assert!(f.eval(2.1).is_infinite());
+        assert_eq!(f.min(), (0.0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn eval_interpolates_linearly() {
+        let f = ConvexPwl::from_samples(vec![0.0, 1.0, 2.0], vec![1.0, 0.0, 3.0]);
+        assert_eq!(f.eval(0.5), 0.5);
+        assert_eq!(f.eval(1.5), 1.5);
+        assert!(f.eval(-0.1).is_infinite());
+    }
+
+    #[test]
+    fn move_transform_of_point_is_vee() {
+        // From the indicator of 0: h(p) = D|p| on [−m, m].
+        let f = ConvexPwl::point(0.0);
+        let h = f.move_transform(3.0, 2.0);
+        assert_eq!(h.domain(), (-2.0, 2.0));
+        assert!((h.eval(0.0) - 0.0).abs() < 1e-12);
+        assert!((h.eval(1.0) - 3.0).abs() < 1e-12);
+        assert!((h.eval(-2.0) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn move_transform_keeps_shallow_middle() {
+        // f with slopes ±1, D = 5 ⇒ nothing is steeper than D: h = f
+        // extended by slope ±D connectors… wait, slopes within [−D, D]
+        // means a = dom_lo, b = dom_hi: connectors extend from the ends.
+        let f = ConvexPwl::from_samples(vec![-1.0, 0.0, 1.0], vec![1.0, 0.0, 1.0]);
+        let h = f.move_transform(5.0, 1.0);
+        assert_eq!(h.domain(), (-2.0, 2.0));
+        assert!((h.eval(0.5) - 0.5).abs() < 1e-12); // middle untouched
+        assert!((h.eval(2.0) - (1.0 + 5.0)).abs() < 1e-12); // full-budget move
+    }
+
+    #[test]
+    fn move_transform_clamps_steep_tails() {
+        // f = 10·|p| (slopes ∓10), D = 2, m = 1. For p ∈ [0, 1]:
+        // h(p) = min_q 10|q| + 2|p−q| = 2p (go to 0 — reachable). For p > 1:
+        // q = p − 1: h(p) = 10(p−1) + 2.
+        let f = ConvexPwl::from_samples(vec![-3.0, 0.0, 3.0], vec![30.0, 0.0, 30.0]);
+        let h = f.move_transform(2.0, 1.0);
+        assert!((h.eval(0.5) - 1.0).abs() < 1e-12);
+        assert!((h.eval(1.0) - 2.0).abs() < 1e-12);
+        assert!((h.eval(2.0) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn move_transform_matches_brute_force() {
+        let f = ConvexPwl::from_samples(
+            vec![-2.0, -1.0, 0.5, 1.0, 3.0],
+            vec![8.0, 2.0, 0.5, 1.0, 9.0],
+        );
+        for (d, m) in [(1.0, 0.5), (3.0, 1.0), (0.5, 2.0), (10.0, 0.3)] {
+            let h = f.move_transform(d, m);
+            let (lo, hi) = h.domain();
+            for k in 0..=60 {
+                let p = lo + (hi - lo) * k as f64 / 60.0;
+                let want = brute_move(&f, d, m, p, 2000);
+                let got = h.eval(p);
+                assert!(
+                    (got - want).abs() < 1e-6 * (1.0 + want.abs()),
+                    "D={d} m={m} p={p}: got {got}, want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn add_service_single_request() {
+        let f = ConvexPwl::from_samples(vec![-1.0, 1.0], vec![0.0, 0.0]);
+        let g = f.add_service(&[0.0]);
+        assert!((g.eval(0.0) - 0.0).abs() < 1e-12);
+        assert!((g.eval(1.0) - 1.0).abs() < 1e-12);
+        assert!((g.eval(-0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_service_outside_domain_adds_linear_part() {
+        let f = ConvexPwl::from_samples(vec![0.0, 1.0], vec![0.0, 0.0]);
+        // Request at 5: inside the domain the service is 5 − p (linear).
+        let g = f.add_service(&[5.0]);
+        assert!((g.eval(0.0) - 5.0).abs() < 1e-12);
+        assert!((g.eval(1.0) - 4.0).abs() < 1e-12);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn add_service_batch() {
+        let f = ConvexPwl::from_samples(vec![-2.0, 2.0], vec![0.0, 0.0]);
+        let g = f.add_service(&[-1.0, 0.0, 1.0]);
+        // At 0: |−1| + 0 + |1| = 2; at 2: 3 + 2 + 1 = 6.
+        assert!((g.eval(0.0) - 2.0).abs() < 1e-12);
+        assert!((g.eval(2.0) - 6.0).abs() < 1e-12);
+        let (min, lo, hi) = g.min();
+        assert!((min - 2.0).abs() < 1e-12);
+        assert_eq!((lo, hi), (0.0, 0.0));
+    }
+
+    #[test]
+    fn add_empty_service_is_identity() {
+        let f = ConvexPwl::from_samples(vec![0.0, 1.0], vec![1.0, 2.0]);
+        let g = f.add_service(&[]);
+        assert_eq!(g.eval(0.5), f.eval(0.5));
+    }
+
+    #[test]
+    fn min_on_window_clamps_to_minimizer() {
+        let f = ConvexPwl::from_samples(vec![-1.0, 0.0, 1.0], vec![1.0, 0.0, 1.0]);
+        let (v, x) = f.min_on(-2.0, 2.0);
+        assert_eq!((v, x), (0.0, 0.0));
+        let (v, x) = f.min_on(0.5, 2.0);
+        assert!((v - 0.5).abs() < 1e-12);
+        assert!((x - 0.5).abs() < 1e-12);
+        let (v, x) = f.min_on(-2.0, -0.75);
+        assert!((v - 0.75).abs() < 1e-12);
+        assert!((x + 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dedupe_removes_collinear_points() {
+        // Build with a redundant midpoint via service addition of nothing…
+        // construct directly: three collinear samples should collapse when
+        // run through an operation.
+        let f = ConvexPwl::from_samples(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 2.0]);
+        let h = f.move_transform(10.0, 1.0);
+        // Slope-1 stretch survives as a single segment: endpoints plus the
+        // two connectors only.
+        assert!(h.len() <= 4, "got {} breakpoints", h.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_samples_rejects_unsorted() {
+        let _ = ConvexPwl::from_samples(vec![1.0, 0.0], vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "convexity")]
+    fn from_samples_rejects_concave() {
+        let _ = ConvexPwl::from_samples(vec![0.0, 1.0, 2.0], vec![0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn repeated_transforms_keep_convexity_and_grow_domain() {
+        let mut f = ConvexPwl::point(0.0);
+        for t in 0..50 {
+            f = f.move_transform(2.0, 1.0);
+            f = f.add_service(&[(t as f64 * 0.37).sin() * 5.0]);
+        }
+        let (lo, hi) = f.domain();
+        assert!((lo + 50.0).abs() < 1e-9);
+        assert!((hi - 50.0).abs() < 1e-9);
+        // Convexity asserted internally; evaluate a few points for sanity.
+        assert!(f.eval(0.0).is_finite());
+    }
+}

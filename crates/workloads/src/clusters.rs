@@ -1,0 +1,178 @@
+//! Cluster-mixture workload with regime switches.
+//!
+//! Demand concentrates at a few well-separated sites (say, data consumers
+//! in different districts) and occasionally jumps between them. The jump
+//! distance relative to the movement budget `m` is what separates a page
+//! that can "follow" demand from one that must absorb long service costs
+//! while in transit — the regime the paper's potential analysis is really
+//! about.
+
+use msp_core::model::{Instance, Step};
+use msp_geometry::sample::SeededSampler;
+use msp_geometry::Point;
+
+use crate::counts::RequestCount;
+
+/// Configuration of the cluster-mixture generator.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterMixtureConfig<const N: usize> {
+    /// Horizon `T`.
+    pub horizon: usize,
+    /// Movement cost weight `D` of the produced instance.
+    pub d: f64,
+    /// Server movement limit `m` of the produced instance.
+    pub max_move: f64,
+    /// Number of cluster sites.
+    pub sites: usize,
+    /// Half-width of the box the sites are scattered in.
+    pub arena_half_width: f64,
+    /// Gaussian spread of requests around the active site.
+    pub spread: f64,
+    /// Probability per step of switching to a uniformly random other site.
+    pub switch_probability: f64,
+    /// Per-step request counts.
+    pub count: RequestCount,
+}
+
+impl<const N: usize> Default for ClusterMixtureConfig<N> {
+    fn default() -> Self {
+        ClusterMixtureConfig {
+            horizon: 1000,
+            d: 4.0,
+            max_move: 1.0,
+            sites: 4,
+            arena_half_width: 30.0,
+            spread: 0.8,
+            switch_probability: 0.01,
+            count: RequestCount::Fixed(3),
+        }
+    }
+}
+
+/// The generator object (see [`ClusterMixtureConfig`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterMixture<const N: usize> {
+    /// Configuration used by [`ClusterMixture::generate`].
+    pub config: ClusterMixtureConfig<N>,
+}
+
+impl<const N: usize> ClusterMixture<N> {
+    /// Creates the generator.
+    pub fn new(config: ClusterMixtureConfig<N>) -> Self {
+        config.count.validate();
+        assert!(config.sites >= 1, "need at least one site");
+        assert!(
+            (0.0..=1.0).contains(&config.switch_probability),
+            "switch probability ∈ [0,1]"
+        );
+        ClusterMixture { config }
+    }
+
+    /// Generates an instance from `seed`.
+    pub fn generate(&self, seed: u64) -> Instance<N> {
+        let c = &self.config;
+        let mut s = SeededSampler::new(seed);
+        let sites: Vec<Point<N>> = (0..c.sites)
+            .map(|_| s.point_in_cube(c.arena_half_width))
+            .collect();
+
+        let mut active = s.int_inclusive(0, c.sites - 1);
+        let mut steps = Vec::with_capacity(c.horizon);
+        for t in 0..c.horizon {
+            if c.sites > 1 && s.uniform(0.0, 1.0) < c.switch_probability {
+                // Jump to a different site.
+                let mut next = s.int_inclusive(0, c.sites - 2);
+                if next >= active {
+                    next += 1;
+                }
+                active = next;
+            }
+            let r = c.count.draw(t, &mut s);
+            let requests = (0..r)
+                .map(|_| s.gaussian_point(&sites[active], c.spread))
+                .collect();
+            steps.push(Step::new(requests));
+        }
+        Instance::new(c.d, c.max_move, Point::origin(), steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ClusterMixtureConfig<2> {
+        ClusterMixtureConfig {
+            horizon: 400,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = ClusterMixture::new(cfg());
+        let a = g.generate(1);
+        let b = g.generate(1);
+        for (sa, sb) in a.steps.iter().zip(&b.steps) {
+            assert_eq!(sa.requests, sb.requests);
+        }
+    }
+
+    #[test]
+    fn single_site_never_switches() {
+        let mut config = cfg();
+        config.sites = 1;
+        config.switch_probability = 1.0;
+        config.spread = 0.1;
+        let g = ClusterMixture::new(config);
+        let inst = g.generate(2);
+        // All requests huddle around one point.
+        let anchor = inst.steps[0].requests[0];
+        for step in &inst.steps {
+            for v in &step.requests {
+                assert!(v.distance(&anchor) < 5.0);
+            }
+        }
+    }
+
+    #[test]
+    fn switching_produces_multiple_regimes() {
+        let mut config = cfg();
+        config.switch_probability = 0.1;
+        config.spread = 0.01;
+        config.sites = 4;
+        let g = ClusterMixture::new(config);
+        let inst = g.generate(3);
+        // Count distinct rough request locations (rounded to 1 unit).
+        let mut locs: Vec<(i64, i64)> = inst
+            .steps
+            .iter()
+            .flat_map(|s| s.requests.iter())
+            .map(|v| (v[0].round() as i64, v[1].round() as i64))
+            .collect();
+        locs.sort_unstable();
+        locs.dedup();
+        assert!(locs.len() >= 2, "never switched site");
+    }
+
+    #[test]
+    fn respects_bursty_counts() {
+        let mut config = cfg();
+        config.count = RequestCount::Bursty {
+            base: 1,
+            burst: 6,
+            period: 10,
+        };
+        let g = ClusterMixture::new(config);
+        let inst = g.generate(4);
+        assert_eq!(inst.request_bounds(), (1, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn rejects_zero_sites() {
+        let mut config = cfg();
+        config.sites = 0;
+        let _ = ClusterMixture::new(config);
+    }
+}

@@ -1,0 +1,140 @@
+//! Per-step request-count models.
+//!
+//! Theorems 2 and 4 expose the ratio `R_max/R_min` as the price of
+//! fluctuating request volume; these models generate `r_t` streams with a
+//! controlled ratio.
+
+use msp_geometry::sample::SeededSampler;
+
+/// How many requests arrive per step.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RequestCount {
+    /// Exactly `r` requests every step (the fixed-`r` setting of
+    /// Sections 4.1–4.2).
+    Fixed(usize),
+    /// Uniformly random in `[lo, hi]` per step.
+    Uniform {
+        /// Minimum per-step count (≥ 1 keeps `R_min ≥ 1`).
+        lo: usize,
+        /// Maximum per-step count.
+        hi: usize,
+    },
+    /// `base` requests normally; every `period`-th step brings `burst`.
+    Bursty {
+        /// Quiet-step count.
+        base: usize,
+        /// Burst-step count.
+        burst: usize,
+        /// Distance between bursts (in steps, ≥ 1).
+        period: usize,
+    },
+}
+
+impl RequestCount {
+    /// Draws the request count for step `t`.
+    pub fn draw(&self, t: usize, sampler: &mut SeededSampler) -> usize {
+        match *self {
+            RequestCount::Fixed(r) => r,
+            RequestCount::Uniform { lo, hi } => sampler.int_inclusive(lo, hi),
+            RequestCount::Bursty {
+                base,
+                burst,
+                period,
+            } => {
+                if (t + 1).is_multiple_of(period.max(1)) {
+                    burst
+                } else {
+                    base
+                }
+            }
+        }
+    }
+
+    /// The `(R_min, R_max)` bounds this model can produce.
+    pub fn bounds(&self) -> (usize, usize) {
+        match *self {
+            RequestCount::Fixed(r) => (r, r),
+            RequestCount::Uniform { lo, hi } => (lo, hi),
+            RequestCount::Bursty { base, burst, .. } => (base.min(burst), base.max(burst)),
+        }
+    }
+
+    /// Validates the model (positive counts, ordered ranges).
+    ///
+    /// # Panics
+    /// Panics on a model that could produce zero-request "minimum" steps
+    /// while claiming a positive `R_min`, or inverted ranges.
+    pub fn validate(&self) {
+        match *self {
+            RequestCount::Fixed(r) => assert!(r >= 1, "fixed count must be ≥ 1"),
+            RequestCount::Uniform { lo, hi } => {
+                assert!(lo >= 1, "R_min must be ≥ 1");
+                assert!(lo <= hi, "range inverted");
+            }
+            RequestCount::Bursty {
+                base,
+                burst,
+                period,
+            } => {
+                assert!(base >= 1 && burst >= 1, "counts must be ≥ 1");
+                assert!(period >= 1, "period must be ≥ 1");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut s = SeededSampler::new(1);
+        let m = RequestCount::Fixed(3);
+        m.validate();
+        for t in 0..20 {
+            assert_eq!(m.draw(t, &mut s), 3);
+        }
+        assert_eq!(m.bounds(), (3, 3));
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut s = SeededSampler::new(2);
+        let m = RequestCount::Uniform { lo: 2, hi: 5 };
+        m.validate();
+        let mut seen = [false; 6];
+        for t in 0..500 {
+            let r = m.draw(t, &mut s);
+            assert!((2..=5).contains(&r));
+            seen[r] = true;
+        }
+        assert!(seen[2] && seen[3] && seen[4] && seen[5]);
+    }
+
+    #[test]
+    fn bursty_fires_on_period() {
+        let mut s = SeededSampler::new(3);
+        let m = RequestCount::Bursty {
+            base: 1,
+            burst: 10,
+            period: 4,
+        };
+        m.validate();
+        let counts: Vec<usize> = (0..8).map(|t| m.draw(t, &mut s)).collect();
+        assert_eq!(counts, vec![1, 1, 1, 10, 1, 1, 1, 10]);
+        assert_eq!(m.bounds(), (1, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "R_min must be ≥ 1")]
+    fn uniform_rejects_zero_lo() {
+        RequestCount::Uniform { lo: 0, hi: 3 }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "range inverted")]
+    fn uniform_rejects_inverted() {
+        RequestCount::Uniform { lo: 5, hi: 3 }.validate();
+    }
+}

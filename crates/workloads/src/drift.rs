@@ -1,0 +1,194 @@
+//! Drifting-hotspot workload: demand follows a slowly moving center.
+//!
+//! The edge-computing story of the paper's introduction — users
+//! congregate, the crowd drifts, the data should follow. A hotspot center
+//! performs a speed-limited random walk (with momentum) inside an arena;
+//! each step, `r_t` requests scatter around the center with Gaussian
+//! spread. The hotspot speed relative to the server budget `m` controls
+//! how hard the instance is.
+
+use msp_core::model::{Instance, Step};
+use msp_geometry::sample::SeededSampler;
+use msp_geometry::{Aabb, Point};
+
+use crate::counts::RequestCount;
+
+/// Configuration of the drifting-hotspot generator.
+#[derive(Clone, Copy, Debug)]
+pub struct DriftingHotspotConfig<const N: usize> {
+    /// Horizon `T`.
+    pub horizon: usize,
+    /// Movement cost weight `D` of the produced instance.
+    pub d: f64,
+    /// Server movement limit `m` of the produced instance.
+    pub max_move: f64,
+    /// Hotspot drift per step (the crowd's speed).
+    pub drift_speed: f64,
+    /// Momentum of the drift direction in `[0, 1)`: 0 = fresh random
+    /// direction each step, →1 = nearly straight-line motion.
+    pub momentum: f64,
+    /// Gaussian spread of requests around the center.
+    pub spread: f64,
+    /// Arena half-width (hotspot is reflected back inside).
+    pub arena_half_width: f64,
+    /// Per-step request counts.
+    pub count: RequestCount,
+}
+
+impl<const N: usize> Default for DriftingHotspotConfig<N> {
+    fn default() -> Self {
+        DriftingHotspotConfig {
+            horizon: 1000,
+            d: 4.0,
+            max_move: 1.0,
+            drift_speed: 0.5,
+            momentum: 0.8,
+            spread: 0.5,
+            arena_half_width: 50.0,
+            count: RequestCount::Fixed(2),
+        }
+    }
+}
+
+/// The generator object (see [`DriftingHotspotConfig`]).
+#[derive(Clone, Copy, Debug)]
+pub struct DriftingHotspot<const N: usize> {
+    /// Configuration used by [`DriftingHotspot::generate`].
+    pub config: DriftingHotspotConfig<N>,
+}
+
+impl<const N: usize> DriftingHotspot<N> {
+    /// Creates the generator.
+    pub fn new(config: DriftingHotspotConfig<N>) -> Self {
+        config.count.validate();
+        assert!(config.momentum >= 0.0 && config.momentum < 1.0, "momentum ∈ [0,1)");
+        assert!(config.drift_speed >= 0.0, "drift speed must be non-negative");
+        DriftingHotspot { config }
+    }
+
+    /// Generates an instance from `seed`. The same seed reproduces the
+    /// same instance exactly.
+    pub fn generate(&self, seed: u64) -> Instance<N> {
+        let c = &self.config;
+        let mut s = SeededSampler::new(seed);
+        let arena = Aabb::cube(Point::origin(), c.arena_half_width);
+
+        let mut center = Point::<N>::origin();
+        let mut velocity: Point<N> = s.unit_vector::<N>() * c.drift_speed;
+        let mut steps = Vec::with_capacity(c.horizon);
+        for t in 0..c.horizon {
+            // Momentum walk: blend the previous direction with a fresh one.
+            let fresh: Point<N> = s.unit_vector::<N>() * c.drift_speed;
+            velocity = velocity * c.momentum + fresh * (1.0 - c.momentum);
+            // Cap the drift speed (momentum blending can only shrink the
+            // norm, but keep the invariant explicit).
+            if velocity.norm() > c.drift_speed {
+                velocity = velocity * (c.drift_speed / velocity.norm());
+            }
+            center += velocity;
+            let clamped = arena.clamp(&center);
+            if clamped != center {
+                // Bounce: reflect the velocity away from the wall.
+                velocity = -velocity;
+                center = clamped;
+            }
+
+            let r = c.count.draw(t, &mut s);
+            let requests = (0..r).map(|_| s.gaussian_point(&center, c.spread)).collect();
+            steps.push(Step::new(requests));
+        }
+        Instance::new(c.d, c.max_move, Point::origin(), steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DriftingHotspotConfig<2> {
+        DriftingHotspotConfig {
+            horizon: 200,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = DriftingHotspot::new(cfg());
+        let a = g.generate(42);
+        let b = g.generate(42);
+        for (sa, sb) in a.steps.iter().zip(&b.steps) {
+            assert_eq!(sa.requests, sb.requests);
+        }
+        let c = g.generate(43);
+        assert!(a.steps.iter().zip(&c.steps).any(|(x, y)| x.requests != y.requests));
+    }
+
+    #[test]
+    fn respects_request_count_model() {
+        let mut config = cfg();
+        config.count = RequestCount::Uniform { lo: 1, hi: 4 };
+        let g = DriftingHotspot::new(config);
+        let inst = g.generate(1);
+        let (lo, hi) = inst.request_bounds();
+        assert!(lo >= 1 && hi <= 4);
+    }
+
+    #[test]
+    fn requests_stay_near_arena() {
+        let mut config = cfg();
+        config.arena_half_width = 10.0;
+        config.spread = 0.1;
+        let g = DriftingHotspot::new(config);
+        let inst = g.generate(9);
+        for step in &inst.steps {
+            for v in &step.requests {
+                // Center is clamped to the arena; requests scatter at most
+                // a few σ beyond.
+                assert!(v[0].abs() <= 11.0 && v[1].abs() <= 11.0, "escaped: {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_actually_drifts() {
+        let g = DriftingHotspot::new(cfg());
+        let inst = g.generate(5);
+        let first = inst.steps[0].requests[0];
+        let last = inst.steps[inst.horizon() - 1].requests[0];
+        assert!(first.distance(&last) > 1.0, "hotspot did not move");
+    }
+
+    #[test]
+    fn zero_drift_keeps_requests_clustered() {
+        let mut config = cfg();
+        config.drift_speed = 0.0;
+        config.spread = 0.2;
+        let g = DriftingHotspot::new(config);
+        let inst = g.generate(2);
+        for step in &inst.steps {
+            for v in &step.requests {
+                assert!(v.norm() < 3.0, "request strayed with zero drift: {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn rejects_momentum_one() {
+        let mut config = cfg();
+        config.momentum = 1.0;
+        let _ = DriftingHotspot::new(config);
+    }
+
+    #[test]
+    fn works_in_one_dimension() {
+        let config = DriftingHotspotConfig::<1> {
+            horizon: 50,
+            ..Default::default()
+        };
+        let g = DriftingHotspot::new(config);
+        let inst = g.generate(3);
+        assert_eq!(inst.horizon(), 50);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Synthetic workloads for the Mobile Server Problem.
+//!
+//! The paper motivates the model with edge computing: data following users
+//! around (drifting demand), embedded servers in autonomous cars (fleets
+//! of mobile requesters), and ad-hoc disaster-response networks (the
+//! Moving-Client variant). This crate turns those scenarios into seeded,
+//! reproducible request-sequence generators:
+//!
+//! * [`counts`] — models for the per-step request count `r_t` (fixed,
+//!   uniform range, bursty), controlling the `R_max/R_min` knob of
+//!   Theorems 2 and 4.
+//! * [`drift`] — a demand hotspot performing a speed-limited random walk
+//!   inside an arena; requests scatter around it.
+//! * [`agents`] — a fleet of random-waypoint agents (the autonomous-car
+//!   picture); a random subset requests each step. Also produces single
+//!   [`msp_core::moving_client::AgentWalk`]s for the Moving-Client
+//!   variant.
+//! * [`clusters`] — a Gaussian mixture with regime switches: demand jumps
+//!   between well-separated sites, stressing the server's catch-up
+//!   behaviour.
+//! * [`walk`] — a single request point on a bounded random walk, the
+//!   canonical line workload for the Theorem 4 (1-D) experiments.
+//!
+//! Every generator takes an explicit seed and derives sub-streams via
+//! [`msp_geometry::sample::SeededSampler::derive_seed`], so experiment
+//! cells are independently replayable.
+
+pub mod agents;
+pub mod clusters;
+pub mod counts;
+pub mod drift;
+pub mod walk;
+
+pub use agents::{AgentFleet, AgentFleetConfig};
+pub use clusters::{ClusterMixture, ClusterMixtureConfig};
+pub use counts::RequestCount;
+pub use drift::{DriftingHotspot, DriftingHotspotConfig};
+pub use walk::{RandomWalk, RandomWalkConfig};

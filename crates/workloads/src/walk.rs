@@ -1,0 +1,174 @@
+//! Random-walk request workload.
+//!
+//! A single demand point performs a bounded random walk; each step it
+//! issues `r_t` requests at (or tightly around) its position. This is the
+//! canonical 1-D workload for the Theorem 4 line experiments — the exact
+//! PWL solver prices it, and MtC's ratio can be watched as the walk speed
+//! crosses the server budget.
+
+use msp_core::model::{Instance, Step};
+use msp_geometry::sample::SeededSampler;
+use msp_geometry::Point;
+
+use crate::counts::RequestCount;
+
+/// Configuration of the random-walk generator.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomWalkConfig<const N: usize> {
+    /// Horizon `T`.
+    pub horizon: usize,
+    /// Movement cost weight `D` of the produced instance.
+    pub d: f64,
+    /// Server movement limit `m` of the produced instance.
+    pub max_move: f64,
+    /// Walk step length per round (relative to `m`, this sets difficulty).
+    pub walk_speed: f64,
+    /// Probability of re-drawing the walk direction each step; 0 walks a
+    /// straight line, 1 is a fresh direction every step.
+    pub turn_probability: f64,
+    /// Gaussian spread of requests around the walker (0 = exactly on it).
+    pub spread: f64,
+    /// Per-step request counts.
+    pub count: RequestCount,
+}
+
+impl<const N: usize> Default for RandomWalkConfig<N> {
+    fn default() -> Self {
+        RandomWalkConfig {
+            horizon: 1000,
+            d: 2.0,
+            max_move: 1.0,
+            walk_speed: 0.8,
+            turn_probability: 0.2,
+            spread: 0.0,
+            count: RequestCount::Fixed(1),
+        }
+    }
+}
+
+/// The generator object (see [`RandomWalkConfig`]).
+#[derive(Clone, Copy, Debug)]
+pub struct RandomWalk<const N: usize> {
+    /// Configuration used by [`RandomWalk::generate`].
+    pub config: RandomWalkConfig<N>,
+}
+
+impl<const N: usize> RandomWalk<N> {
+    /// Creates the generator.
+    pub fn new(config: RandomWalkConfig<N>) -> Self {
+        config.count.validate();
+        assert!(config.walk_speed >= 0.0, "walk speed must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&config.turn_probability),
+            "turn probability ∈ [0,1]"
+        );
+        RandomWalk { config }
+    }
+
+    /// Generates an instance from `seed`.
+    pub fn generate(&self, seed: u64) -> Instance<N> {
+        let c = &self.config;
+        let mut s = SeededSampler::new(seed);
+        let mut pos = Point::<N>::origin();
+        let mut dir: Point<N> = s.unit_vector();
+
+        let mut steps = Vec::with_capacity(c.horizon);
+        for t in 0..c.horizon {
+            if s.uniform(0.0, 1.0) < c.turn_probability {
+                dir = s.unit_vector();
+            }
+            pos += dir * c.walk_speed;
+            let r = c.count.draw(t, &mut s);
+            let requests = (0..r)
+                .map(|_| {
+                    if c.spread == 0.0 {
+                        pos
+                    } else {
+                        s.gaussian_point(&pos, c.spread)
+                    }
+                })
+                .collect();
+            steps.push(Step::new(requests));
+        }
+        Instance::new(c.d, c.max_move, Point::origin(), steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp_geometry::P1;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = RandomWalk::new(RandomWalkConfig::<1> {
+            horizon: 100,
+            ..Default::default()
+        });
+        let a = g.generate(5);
+        let b = g.generate(5);
+        for (sa, sb) in a.steps.iter().zip(&b.steps) {
+            assert_eq!(sa.requests, sb.requests);
+        }
+    }
+
+    #[test]
+    fn walker_moves_at_configured_speed() {
+        let g = RandomWalk::new(RandomWalkConfig::<2> {
+            horizon: 200,
+            walk_speed: 0.5,
+            spread: 0.0,
+            count: RequestCount::Fixed(1),
+            ..Default::default()
+        });
+        let inst = g.generate(6);
+        let mut prev = inst.steps[0].requests[0];
+        for step in &inst.steps[1..] {
+            let cur = step.requests[0];
+            assert!(prev.distance(&cur) <= 0.5 + 1e-9);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn one_dimensional_walk_stays_on_the_line() {
+        let g = RandomWalk::new(RandomWalkConfig::<1> {
+            horizon: 50,
+            ..Default::default()
+        });
+        let inst = g.generate(7);
+        // Trivially 1-D, but verify the request positions vary.
+        let positions: Vec<f64> = inst.steps.iter().map(|s| s.requests[0].x()).collect();
+        let spread = positions.iter().cloned().fold(f64::MIN, f64::max)
+            - positions.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 1.0, "walk did not move");
+        let _: &P1 = &inst.steps[0].requests[0];
+    }
+
+    #[test]
+    fn straight_line_with_zero_turn_probability() {
+        let g = RandomWalk::new(RandomWalkConfig::<2> {
+            horizon: 100,
+            turn_probability: 0.0,
+            walk_speed: 1.0,
+            ..Default::default()
+        });
+        let inst = g.generate(8);
+        let end = inst.steps[99].requests[0];
+        assert!((end.norm() - 100.0).abs() < 1e-6, "turned despite p=0");
+    }
+
+    #[test]
+    fn spread_scatters_requests() {
+        let g = RandomWalk::new(RandomWalkConfig::<2> {
+            horizon: 100,
+            spread: 1.0,
+            count: RequestCount::Fixed(4),
+            ..Default::default()
+        });
+        let inst = g.generate(9);
+        // Requests within a step should not all coincide.
+        let step = &inst.steps[0];
+        assert!(step.requests.windows(2).any(|w| w[0] != w[1]));
+    }
+}

@@ -1,0 +1,64 @@
+//! The augmentation / competitiveness trade-off, measured against the
+//! exact offline optimum.
+//!
+//! This is the library's headline capability for a systems user: given a
+//! workload and a movement budget, how much extra server speed buys how
+//! much worst-case performance? We sweep δ on the paper's adversarial
+//! family and price everything with the exact 1-D solver.
+//!
+//! ```text
+//! cargo run --release --example competitive_tradeoff
+//! ```
+
+use mobile_server::analysis::{fit_power_law, Table};
+use mobile_server::core::simulator::run;
+use mobile_server::offline::solve_line;
+use mobile_server::prelude::*;
+
+fn main() {
+    println!("Competitive ratio vs augmentation δ (adversarial family, exact OPT)\n");
+
+    let mut table = Table::new(vec!["δ", "MtC cost", "exact OPT", "ratio", "paper bound O(1/δ)"]);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for delta in [0.05, 0.1, 0.2, 0.4, 0.8] {
+        let params = Thm2Params {
+            delta,
+            r_min: 1,
+            r_max: 1,
+            d: 1.0,
+            m: 1.0,
+            x: None,
+            cycles: 3,
+        };
+        // Average over the adversary's coin flips.
+        let mut cost_acc = 0.0;
+        let mut opt_acc = 0.0;
+        let runs = 8;
+        for seed in 0..runs {
+            let cert = build_thm2::<1>(&params, seed);
+            let mut alg = MoveToCenter::new();
+            cost_acc += run(&cert.instance, &mut alg, delta, ServingOrder::MoveFirst).total_cost();
+            opt_acc += solve_line(&cert.instance, ServingOrder::MoveFirst).cost;
+        }
+        let ratio = cost_acc / opt_acc;
+        table.push_row(vec![
+            format!("{delta:.2}"),
+            format!("{:.0}", cost_acc / runs as f64),
+            format!("{:.0}", opt_acc / runs as f64),
+            format!("{ratio:.2}"),
+            format!("{:.1}", 1.0 / delta),
+        ]);
+        xs.push(delta);
+        ys.push(ratio);
+    }
+    println!("{}", table.to_markdown());
+
+    let fit = fit_power_law(&xs, &ys);
+    println!(
+        "Fitted scaling: ratio ≈ {:.2}·δ^{:.2}  (R² = {:.3})",
+        fit.prefactor, fit.exponent, fit.r_squared
+    );
+    println!("Theorem 4 (line): O(1/δ) — exponent −1 is the worst possible; Theorem 2: Ω(1/δ) — it is also necessary.");
+    println!("\nRule of thumb for deployments: doubling the server's speed headroom roughly halves the worst-case overhead.");
+}

@@ -1,0 +1,78 @@
+//! Edge-computing scenario: a data page follows a drifting crowd.
+//!
+//! The paper's introduction motivates the model with edge computing —
+//! computation moving back towards mobile users. Here a demand hotspot (a
+//! crowd of devices) drifts through a city-sized arena; the mobile server
+//! holds the page they read. We compare every algorithm in the suite and
+//! sweep the resource-augmentation factor δ to show the price of a
+//! movement budget.
+//!
+//! ```text
+//! cargo run --release --example edge_datacenter
+//! ```
+
+use mobile_server::analysis::Table;
+use mobile_server::core::algorithm::BoxedAlgorithm;
+use mobile_server::core::baselines::MoveToMinN;
+use mobile_server::prelude::*;
+
+fn main() {
+    let gen = DriftingHotspot::new(DriftingHotspotConfig::<2> {
+        horizon: 2_000,
+        d: 4.0,
+        max_move: 1.0,
+        drift_speed: 0.7,
+        momentum: 0.85,
+        spread: 0.6,
+        arena_half_width: 60.0,
+        count: RequestCount::Uniform { lo: 1, hi: 4 },
+    });
+    let instance = gen.generate(2024);
+    println!(
+        "Edge data-center workload: {} rounds, {} requests, hotspot speed 0.7 vs server speed 1.0\n",
+        instance.horizon(),
+        instance.total_requests()
+    );
+
+    // All algorithms at δ = 0.25.
+    type Factory = fn() -> BoxedAlgorithm<2>;
+    let algs: Vec<(&str, Factory)> = vec![
+        ("move-to-center (paper)", || Box::new(MoveToCenter::new())),
+        ("lazy", || Box::new(Lazy)),
+        ("follow-center", || Box::new(FollowCenter::new())),
+        ("move-to-min", || Box::new(MoveToMinN::<2>::new())),
+        ("coin-flip", || Box::new(RandomizedCoinFlip::<2>::new(7))),
+    ];
+    let mut table = Table::new(vec!["algorithm", "movement", "service", "total"]);
+    let mut best = f64::INFINITY;
+    for (name, factory) in &algs {
+        let mut alg = factory();
+        let res = run(&instance, &mut alg, 0.25, ServingOrder::MoveFirst);
+        best = best.min(res.total_cost());
+        table.push_row(vec![
+            name.to_string(),
+            format!("{:.0}", res.cost.movement),
+            format!("{:.0}", res.cost.service),
+            format!("{:.0}", res.total_cost()),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+
+    // δ sweep for MtC: how much does extra speed buy?
+    let mut sweep = Table::new(vec!["δ", "MtC total cost", "vs δ=0"]);
+    let mut base = 0.0;
+    for (i, delta) in [0.0, 0.1, 0.25, 0.5, 1.0].into_iter().enumerate() {
+        let mut alg = MoveToCenter::new();
+        let res = run(&instance, &mut alg, delta, ServingOrder::MoveFirst);
+        if i == 0 {
+            base = res.total_cost();
+        }
+        sweep.push_row(vec![
+            format!("{delta:.2}"),
+            format!("{:.0}", res.total_cost()),
+            format!("{:.2}×", res.total_cost() / base),
+        ]);
+    }
+    println!("Resource augmentation sweep (Move-to-Center):\n{}", sweep.to_markdown());
+    println!("Augmentation matters when the crowd is fast; against a 0.7-speed hotspot even δ=0 tracks well.");
+}

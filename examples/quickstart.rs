@@ -1,0 +1,45 @@
+//! Quickstart: define an instance, run Move-to-Center, inspect the costs.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mobile_server::prelude::*;
+
+fn main() {
+    // A demand source drifting to the right at half the server's speed,
+    // with two co-located requests per round.
+    let horizon = 200;
+    let steps: Vec<Step<2>> = (0..horizon)
+        .map(|t| Step::repeated(P2::xy(0.5 * t as f64, 2.0), 2))
+        .collect();
+
+    // D = 4 (moving a unit of distance costs four times serving one),
+    // m = 1 (the server moves at most one unit per round).
+    let instance = Instance::new(4.0, 1.0, P2::origin(), steps);
+
+    // The paper's algorithm with 25% resource augmentation.
+    let mut mtc = MoveToCenter::new();
+    let result = run(&instance, &mut mtc, 0.25, ServingOrder::MoveFirst);
+
+    println!("Move-to-Center on a drifting workload");
+    println!("  horizon           : {} rounds", instance.horizon());
+    println!("  movement cost     : {:.2}", result.cost.movement);
+    println!("  service cost      : {:.2}", result.cost.service);
+    println!("  total cost        : {:.2}", result.total_cost());
+    println!("  final position    : {}", result.positions[horizon]);
+    println!(
+        "  max step used     : {:.3} (budget {:.3})",
+        result.max_step_used(),
+        (1.0 + result.delta) * instance.max_move
+    );
+
+    // Compare against never moving at all.
+    let mut lazy = Lazy;
+    let lazy_cost = run(&instance, &mut lazy, 0.25, ServingOrder::MoveFirst).total_cost();
+    println!(
+        "  vs Lazy (never move): {:.2} — MtC is {:.1}× cheaper",
+        lazy_cost,
+        lazy_cost / result.total_cost()
+    );
+}

@@ -1,0 +1,126 @@
+//! Property-based tests of the lower-bound constructions: for *arbitrary*
+//! admissible parameters, the generated certificates must be feasible
+//! (checked by the constructor), structurally faithful to the proofs, and
+//! priced within the proofs' closed-form cost bounds.
+
+use mobile_server::adversary::{
+    build_thm1, build_thm2, build_thm3, build_thm8, Thm1Params, Thm2Params, Thm3Params,
+    Thm8Params,
+};
+use mobile_server::core::cost::ServingOrder;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn thm1_certificate_is_within_the_proof_bound(
+        t in 10usize..600,
+        d in 1.0f64..16.0,
+        m in 0.2f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let p = Thm1Params { horizon: t, d, m, x: None };
+        let cert = build_thm1::<1>(&p, seed);
+        prop_assert_eq!(cert.horizon(), t);
+        // Proof: cost ≤ x·D·m + m·x² (phase 1) + (T−x)·D·m (phase 2).
+        let x = p.phase_len() as f64;
+        let bound = x * d * m + m * x * x + (t as f64 - x) * d * m;
+        let cost = cert.adversary_cost(ServingOrder::MoveFirst);
+        prop_assert!(cost <= bound + 1e-6, "cost {cost} > bound {bound}");
+        // Every step carries exactly one request (the theorem's setting).
+        prop_assert!(cert.instance.has_fixed_request_count(1));
+    }
+
+    #[test]
+    fn thm2_certificate_structure_and_cost(
+        delta in 0.05f64..1.0,
+        r_min in 1usize..4,
+        extra in 0usize..6,
+        cycles in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let r_max = r_min + extra;
+        let p = Thm2Params { delta, r_min, r_max, d: 1.0, m: 1.0, x: None, cycles };
+        let cert = build_thm2::<1>(&p, seed);
+        prop_assert_eq!(cert.horizon(), p.horizon());
+        let (lo, hi) = cert.instance.request_bounds();
+        prop_assert_eq!(lo, r_min.min(r_max));
+        prop_assert_eq!(hi, r_max);
+        // The adversary always moves at full speed: movement cost = D·m·T.
+        let cost = cert.adversary_cost(ServingOrder::MoveFirst);
+        let movement = 1.0 * 1.0 * p.horizon() as f64;
+        prop_assert!(cost >= movement - 1e-9);
+        // Per phase, service is only paid during separation: at most
+        // R_min·(x·m)·x per cycle (requests at most x·m away).
+        let x = p.phase_len() as f64;
+        let service_bound = cycles as f64 * (r_min as f64) * x * x * 1.0;
+        prop_assert!(cost <= movement + service_bound + 1e-6);
+    }
+
+    #[test]
+    fn thm3_certificate_cost_is_exactly_d_m_per_cycle(
+        r in 1usize..32,
+        d in 1.0f64..8.0,
+        m in 0.2f64..2.0,
+        cycles in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let p = Thm3Params { r, d, m, cycles };
+        let cert = build_thm3::<1>(&p, seed);
+        prop_assert_eq!(cert.horizon(), 2 * cycles);
+        // Under Answer-First the adversary pays exactly D·m per cycle.
+        let cost = cert.adversary_cost(ServingOrder::AnswerFirst);
+        let expected = d * m * cycles as f64;
+        prop_assert!((cost - expected).abs() < 1e-6 * (1.0 + expected),
+            "cost {cost} != D·m·cycles {expected}");
+    }
+
+    #[test]
+    fn thm8_agent_is_always_legal_and_catches_up(
+        t in 50usize..500,
+        eps in 0.1f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let p = Thm8Params { horizon: t, d: 1.0, ms: 1.0, epsilon: eps, x: None };
+        let out = build_thm8::<1>(&p, seed);
+        // AgentWalk::new would have panicked on a speed violation. In
+        // phase 2 the agent closes any ceiling slack at rate ε·m_s per
+        // round and then rides the adversary exactly; the gap must be
+        // non-increasing throughout.
+        let phase1 = p.phase1_len().min(t);
+        let settle = phase1 + (1.0 / eps).ceil() as usize + 2;
+        let mut prev_gap = f64::INFINITY;
+        for step in (phase1 + 1)..=t {
+            let agent = out.moving_client.agent.positions()[step - 1];
+            let adv = out.certificate.adversary[step];
+            let gap = agent.distance(&adv);
+            prop_assert!(gap <= prev_gap + 1e-9,
+                "gap grew during phase 2 at step {step}");
+            if step >= settle {
+                prop_assert!(gap < 1e-6,
+                    "agent not riding the adversary at step {step} (gap {gap})");
+            }
+            prev_gap = gap;
+        }
+    }
+
+    #[test]
+    fn certificates_price_identically_under_reflection(
+        t in 20usize..200,
+        seed in any::<u64>(),
+    ) {
+        // The coin picks left vs right; by symmetry the adversary cost must
+        // not depend on it — only the algorithm's cost does.
+        let p = Thm1Params { horizon: t, d: 2.0, m: 1.0, x: None };
+        let costs: Vec<f64> = (0..8)
+            .map(|k| {
+                build_thm1::<1>(&p, seed.wrapping_add(k))
+                    .adversary_cost(ServingOrder::MoveFirst)
+            })
+            .collect();
+        for w in costs.windows(2) {
+            prop_assert!((w[0] - w[1]).abs() < 1e-9);
+        }
+    }
+}

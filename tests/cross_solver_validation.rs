@@ -1,0 +1,153 @@
+//! Cross-validation of the three offline solvers.
+//!
+//! The competitive ratios in every experiment are only as trustworthy as
+//! OPT. These tests pin the solvers against each other:
+//! exact line PWL DP ⟷ grid brute force ⟷ convex solver, on instances
+//! small enough for all three.
+
+use mobile_server::core::cost::{evaluate_trajectory, first_move_violation, ServingOrder};
+use mobile_server::core::model::{Instance, Step};
+use mobile_server::geometry::{P1, P2};
+use mobile_server::offline::convex::ConvexSolver;
+use mobile_server::offline::grid::grid_optimum;
+use mobile_server::offline::line::{solve_line, solve_line_with_trajectory};
+use mobile_server::workloads::{RandomWalk, RandomWalkConfig, RequestCount};
+
+fn line_instance(seed: u64, horizon: usize, d: f64) -> Instance<1> {
+    RandomWalk::new(RandomWalkConfig::<1> {
+        horizon,
+        d,
+        max_move: 1.0,
+        walk_speed: 0.9,
+        turn_probability: 0.3,
+        spread: 0.4,
+        count: RequestCount::Uniform { lo: 1, hi: 3 },
+    })
+    .generate(seed)
+}
+
+/// Embeds a 1-D instance into the plane (y = 0 everywhere).
+fn embed(inst: &Instance<1>) -> Instance<2> {
+    let steps = inst
+        .steps
+        .iter()
+        .map(|s| Step::new(s.requests.iter().map(|v| P2::xy(v.x(), 0.0)).collect()))
+        .collect();
+    Instance::new(inst.d, inst.max_move, P2::xy(inst.start.x(), 0.0), steps)
+}
+
+#[test]
+fn exact_line_matches_grid_bruteforce() {
+    for seed in 0..3 {
+        let inst = line_instance(seed, 8, 2.0);
+        for order in [ServingOrder::MoveFirst, ServingOrder::AnswerFirst] {
+            let exact = solve_line(&inst, order).cost;
+            let grid = grid_optimum(&inst, 201, order);
+            // The grid restricts OPT's positions, so it may only
+            // overestimate (up to the start-snap slack).
+            assert!(
+                grid >= exact - 0.15,
+                "{order:?} seed {seed}: grid {grid} < exact {exact}"
+            );
+            assert!(
+                grid <= exact + 0.35,
+                "{order:?} seed {seed}: grid {grid} too far above exact {exact}"
+            );
+        }
+    }
+}
+
+#[test]
+fn convex_solver_matches_exact_line_on_embedded_instances() {
+    for seed in 0..4 {
+        let inst1 = line_instance(seed, 60, 2.0);
+        let inst2 = embed(&inst1);
+        for order in [ServingOrder::MoveFirst, ServingOrder::AnswerFirst] {
+            let exact = solve_line(&inst1, order).cost;
+            let convex = ConvexSolver::new().solve(&inst2, order).cost;
+            // The convex solver returns a feasible trajectory, so it upper
+            // bounds OPT; it should land within a few percent.
+            assert!(
+                convex >= exact - 1e-6,
+                "{order:?} seed {seed}: convex {convex} below exact {exact}"
+            );
+            assert!(
+                convex <= exact * 1.05 + 0.5,
+                "{order:?} seed {seed}: convex {convex} vs exact {exact} — poor convergence"
+            );
+        }
+    }
+}
+
+#[test]
+fn convex_solver_matches_grid_on_planar_instances() {
+    let steps = vec![
+        Step::new(vec![P2::xy(1.5, 0.5)]),
+        Step::new(vec![P2::xy(1.0, 1.5), P2::xy(2.0, 1.0)]),
+        Step::new(vec![P2::xy(0.0, 2.0)]),
+        Step::new(vec![P2::xy(-1.0, 1.0)]),
+    ];
+    let inst = Instance::new(1.5, 0.8, P2::origin(), steps);
+    for order in [ServingOrder::MoveFirst, ServingOrder::AnswerFirst] {
+        let convex = ConvexSolver::new().solve(&inst, order).cost;
+        let grid = grid_optimum(&inst, 61, order);
+        assert!(
+            (convex - grid).abs() <= 0.35,
+            "{order:?}: convex {convex} vs grid {grid}"
+        );
+    }
+}
+
+#[test]
+fn recovered_line_trajectory_is_feasible_and_optimal() {
+    for seed in 0..3 {
+        let inst = line_instance(seed, 120, 3.0);
+        for order in [ServingOrder::MoveFirst, ServingOrder::AnswerFirst] {
+            let (sol, traj) = solve_line_with_trajectory(&inst, order);
+            assert_eq!(traj.len(), inst.horizon() + 1);
+            assert_eq!(first_move_violation(&traj, inst.max_move, 1e-9), None);
+            let priced = evaluate_trajectory(&inst, &traj, order).total();
+            assert!(
+                (priced - sol.cost).abs() <= 1e-6 * (1.0 + sol.cost),
+                "{order:?} seed {seed}: trajectory {priced} vs value {}",
+                sol.cost
+            );
+        }
+    }
+}
+
+#[test]
+fn opt_is_monotone_in_the_prefix() {
+    let inst = line_instance(9, 80, 2.0);
+    let mut prev = 0.0;
+    for t in (10..=80).step_by(10) {
+        let cost = solve_line(&inst.prefix(t), ServingOrder::MoveFirst).cost;
+        assert!(
+            cost >= prev - 1e-9,
+            "OPT decreased when extending the instance: {prev} -> {cost} at t={t}"
+        );
+        prev = cost;
+    }
+}
+
+#[test]
+fn opt_lower_bounds_any_feasible_trajectory() {
+    use mobile_server::geometry::sample::SeededSampler;
+    let inst = line_instance(4, 50, 2.0);
+    let opt = solve_line(&inst, ServingOrder::MoveFirst).cost;
+    let mut s = SeededSampler::new(77);
+    for _ in 0..20 {
+        // Random feasible trajectory: bounded random steps.
+        let mut traj = vec![inst.start];
+        for _ in 0..inst.horizon() {
+            let step = s.uniform(-1.0, 1.0) * inst.max_move;
+            let prev = traj.last().unwrap().x();
+            traj.push(P1::new([prev + step]));
+        }
+        let cost = evaluate_trajectory(&inst, &traj, ServingOrder::MoveFirst).total();
+        assert!(
+            cost >= opt - 1e-9,
+            "random feasible trajectory beat the 'optimal' solver: {cost} < {opt}"
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Dimension coverage: the paper claims its lower bounds "hold in the
+//! Euclidean space for an arbitrary dimension" and its algorithm is
+//! dimension-agnostic. These tests run the stack in 1-D, 2-D, 3-D and 8-D
+//! and check the dimension-independent invariants.
+
+use mobile_server::adversary::{build_thm1, build_thm2, Thm1Params, Thm2Params};
+use mobile_server::core::cost::ServingOrder;
+use mobile_server::core::model::{Instance, Step};
+use mobile_server::core::ratio::ratio_lower_bound;
+use mobile_server::core::simulator::run;
+use mobile_server::geometry::sample::SeededSampler;
+use mobile_server::geometry::Point;
+use mobile_server::prelude::*;
+
+fn random_instance<const N: usize>(seed: u64, t: usize) -> Instance<N> {
+    let mut s = SeededSampler::new(seed);
+    let steps = (0..t)
+        .map(|_| {
+            let r = s.int_inclusive(1, 3);
+            Step::new((0..r).map(|_| s.point_in_cube::<N>(5.0)).collect())
+        })
+        .collect();
+    Instance::new(2.0, 1.0, Point::origin(), steps)
+}
+
+fn check_dimension<const N: usize>() {
+    // 1. Simulator invariants.
+    let inst = random_instance::<N>(7, 100);
+    let mut alg = MoveToCenter::new();
+    let res = run(&inst, &mut alg, 0.25, ServingOrder::MoveFirst);
+    assert!(res.total_cost().is_finite());
+    assert!(res.max_step_used() <= 1.25 + 1e-9, "budget broken in {N}-D");
+
+    // 2. Theorem 1 adversary: ratio grows with T in every dimension.
+    let ratio_at = |t: usize| {
+        let p = Thm1Params {
+            horizon: t,
+            d: 1.0,
+            m: 1.0,
+            x: None,
+        };
+        let mut acc = 0.0;
+        for seed in 0..4 {
+            let cert = build_thm1::<N>(&p, seed);
+            let mut alg = MoveToCenter::new();
+            let r = run(&cert.instance, &mut alg, 0.0, ServingOrder::MoveFirst);
+            acc += ratio_lower_bound(
+                r.total_cost(),
+                cert.adversary_cost(ServingOrder::MoveFirst),
+            );
+        }
+        acc / 4.0
+    };
+    let small = ratio_at(100);
+    let large = ratio_at(900);
+    assert!(
+        large > 1.6 * small,
+        "Thm 1 growth missing in {N}-D: {small:.2} -> {large:.2}"
+    );
+
+    // 3. Theorem 2 adversary: augmentation bounds the ratio in every
+    //    dimension.
+    let p = Thm2Params {
+        delta: 0.5,
+        r_min: 1,
+        r_max: 1,
+        d: 1.0,
+        m: 1.0,
+        x: None,
+        cycles: 3,
+    };
+    let cert = build_thm2::<N>(&p, 1);
+    let mut alg = MoveToCenter::new();
+    let r = run(&cert.instance, &mut alg, 0.5, ServingOrder::MoveFirst);
+    let ratio = ratio_lower_bound(
+        r.total_cost(),
+        cert.adversary_cost(ServingOrder::MoveFirst),
+    );
+    assert!(
+        ratio < 10.0,
+        "augmented MtC ratio {ratio:.2} too large in {N}-D"
+    );
+}
+
+#[test]
+fn one_dimensional_stack() {
+    check_dimension::<1>();
+}
+
+#[test]
+fn two_dimensional_stack() {
+    check_dimension::<2>();
+}
+
+#[test]
+fn three_dimensional_stack() {
+    check_dimension::<3>();
+}
+
+#[test]
+fn eight_dimensional_stack() {
+    check_dimension::<8>();
+}
+
+#[test]
+fn geometric_median_works_in_high_dimension() {
+    use mobile_server::geometry::median::{geometric_median, median_optimality_gap};
+    let mut s = SeededSampler::new(3);
+    let pts: Vec<Point<8>> = (0..20).map(|_| s.point_in_cube(10.0)).collect();
+    let med = geometric_median(&pts);
+    assert!(med.is_finite());
+    assert!(
+        median_optimality_gap(&pts, &med) < 1e-4,
+        "8-D median not optimal"
+    );
+}
+
+#[test]
+fn higher_dimensions_are_no_easier_for_the_adversary() {
+    // The Theorem 1 construction is one-dimensional at heart; embedding it
+    // in higher dimensions must not change the certificate ratio of a
+    // deterministic chaser (the geometry is identical along the axis).
+    let p = Thm1Params {
+        horizon: 400,
+        d: 2.0,
+        m: 1.0,
+        x: None,
+    };
+    let ratio_in = |cert_cost: f64, alg_cost: f64| alg_cost / cert_cost;
+    let c1 = build_thm1::<1>(&p, 5);
+    let c3 = build_thm1::<3>(&p, 5);
+    let mut alg = MoveToCenter::new();
+    let r1 = run(&c1.instance, &mut alg, 0.0, ServingOrder::MoveFirst).total_cost();
+    let r3 = run(&c3.instance, &mut alg, 0.0, ServingOrder::MoveFirst).total_cost();
+    let q1 = ratio_in(c1.adversary_cost(ServingOrder::MoveFirst), r1);
+    let q3 = ratio_in(c3.adversary_cost(ServingOrder::MoveFirst), r3);
+    assert!(
+        (q1 - q3).abs() < 1e-9,
+        "axis-aligned embedding changed the ratio: {q1} vs {q3}"
+    );
+}

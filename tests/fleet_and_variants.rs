@@ -1,0 +1,142 @@
+//! Integration tests for the model variants: the Moving-Client lowering,
+//! the multi-agent extension, and the server-fleet substrate, exercised
+//! through the public facade exactly as a downstream user would.
+
+use mobile_server::core::fleet::{run_fleet, GreedyFleet, MtcFleet, SpreadFleet};
+use mobile_server::core::simulator::run;
+use mobile_server::geometry::sample::SeededSampler;
+use mobile_server::offline::solve_line;
+use mobile_server::prelude::*;
+use mobile_server::workloads::agents::{random_waypoint_walk, runaway_walk};
+
+#[test]
+fn moving_client_lowering_round_trips_through_cost_model() {
+    let walk = random_waypoint_walk::<2>(300, 0.8, 20.0, 5);
+    let mc = MovingClientInstance::new(2.0, 1.0, walk);
+    let inst = mc.to_instance();
+    assert!(inst.has_fixed_request_count(1));
+    assert!(mc.speed_ratio() <= 1.0);
+    let mut alg = MoveToCenter::new();
+    let res = run(&inst, &mut alg, 0.0, ServingOrder::MoveFirst);
+    // Section 5 cost form: every step pays D·move + d(P_t, A_t).
+    assert_eq!(res.cost.per_step.len(), 300);
+    assert!(res.total_cost().is_finite());
+}
+
+#[test]
+fn theorem10_gap_invariant_holds_under_arbitrary_agent_behaviour() {
+    // The key step of Theorem 10's proof: once d(P, A) ≤ D·m, the MtC rule
+    // (step d/D toward the agent) keeps it there forever, for ANY legal
+    // agent motion. Fuzz agent walks and check the invariant.
+    let mut s = SeededSampler::new(42);
+    for trial in 0..20 {
+        let d = s.uniform(1.0, 6.0);
+        let speed = 1.0;
+        let walk = AgentWalk::from_fn(P2::origin(), 150, speed, |_, prev| {
+            *prev + P2::xy(s.uniform(-3.0, 3.0), s.uniform(-3.0, 3.0))
+        });
+        let mc = MovingClientInstance::new(d, speed, walk);
+        let inst = mc.to_instance();
+        let mut alg = MoveToCenter::new();
+        let res = run(&inst, &mut alg, 0.0, ServingOrder::MoveFirst);
+        let mut locked = false;
+        for (t, a) in mc.agent.positions().iter().enumerate() {
+            let gap = res.positions[t + 1].distance(a);
+            if gap <= d * speed {
+                locked = true;
+            } else {
+                assert!(
+                    !locked,
+                    "trial {trial}: gap {gap} re-exceeded D·m = {} after locking on at step {t}",
+                    d * speed
+                );
+            }
+        }
+        assert!(locked, "trial {trial}: never got within D·m");
+    }
+}
+
+#[test]
+fn multi_agent_instance_dominates_single_agent_cost() {
+    // Adding agents can only add service cost for the same trajectory, so
+    // the k-agent optimum is at least the 1-agent optimum (on the line,
+    // where we can solve exactly).
+    let a1 = random_waypoint_walk::<1>(200, 1.0, 30.0, 1);
+    let a2 = random_waypoint_walk::<1>(200, 1.0, 30.0, 2);
+    let single = MultiAgentInstance::new(2.0, 1.0, vec![a1.clone()]);
+    let double = MultiAgentInstance::new(2.0, 1.0, vec![a1, a2]);
+    let opt1 = solve_line(&single.to_instance(), ServingOrder::MoveFirst).cost;
+    let opt2 = solve_line(&double.to_instance(), ServingOrder::MoveFirst).cost;
+    assert!(opt2 >= opt1 - 1e-9, "adding an agent lowered OPT: {opt1} -> {opt2}");
+}
+
+#[test]
+fn fleet_cost_is_monotone_in_k_for_partitioned_mtc() {
+    // More servers never hurt MtcFleet on a fixed instance: extra servers
+    // start idle and only claim requests they are closest to.
+    let mut s = SeededSampler::new(9);
+    let steps: Vec<Step<2>> = (0..300)
+        .map(|_| {
+            let r = s.int_inclusive(1, 3);
+            Step::new((0..r).map(|_| s.point_in_cube(25.0)).collect())
+        })
+        .collect();
+    let inst = Instance::new(2.0, 1.0, P2::origin(), steps);
+    let mut prev = f64::INFINITY;
+    for k in [1usize, 2, 4] {
+        let mut alg = MtcFleet::new();
+        let cost = run_fleet(&inst, k, &mut alg, 0.0, ServingOrder::MoveFirst).total_cost();
+        // Not strictly monotone in theory (partitions shift), but large
+        // regressions would indicate broken dispatching.
+        assert!(
+            cost <= prev * 1.10 + 1e-9,
+            "k={k} cost {cost} ≫ k-1 cost {prev}"
+        );
+        prev = cost;
+    }
+}
+
+#[test]
+fn all_fleet_policies_agree_at_k_equals_one_with_single_server_mtc_family() {
+    // With one server, MtcFleet IS MtC and GreedyFleet IS FollowCenter.
+    let mut s = SeededSampler::new(11);
+    let steps: Vec<Step<2>> = (0..100)
+        .map(|_| Step::single(s.point_in_cube(10.0)))
+        .collect();
+    let inst = Instance::new(3.0, 1.0, P2::origin(), steps);
+
+    let mut fleet_mtc = MtcFleet::new();
+    let f1 = run_fleet(&inst, 1, &mut fleet_mtc, 0.2, ServingOrder::MoveFirst);
+    let mut single_mtc = MoveToCenter::new();
+    let s1 = run(&inst, &mut single_mtc, 0.2, ServingOrder::MoveFirst);
+    assert!((f1.total_cost() - s1.total_cost()).abs() < 1e-9);
+
+    let mut fleet_greedy = GreedyFleet;
+    let f2 = run_fleet(&inst, 1, &mut fleet_greedy, 0.2, ServingOrder::MoveFirst);
+    let mut single_greedy = FollowCenter::new();
+    let s2 = run(&inst, &mut single_greedy, 0.2, ServingOrder::MoveFirst);
+    assert!((f2.total_cost() - s2.total_cost()).abs() < 1e-9);
+
+    // SpreadFleet with one server never idles differently either.
+    let mut fleet_spread = SpreadFleet::new();
+    let f3 = run_fleet(&inst, 1, &mut fleet_spread, 0.2, ServingOrder::MoveFirst);
+    assert!((f3.total_cost() - s1.total_cost()).abs() < 1e-9);
+}
+
+#[test]
+fn runaway_agent_defeats_unaugmented_fleet_of_any_size() {
+    // Extra servers do not help against a single runaway agent: only speed
+    // does. Cost grows with horizon for every k.
+    let agent = runaway_walk::<2>(400, 1.5, 3);
+    let mc = MovingClientInstance::new(1.0, 1.0, agent);
+    let inst = mc.to_instance();
+    let mut costs = Vec::new();
+    for k in [1usize, 4] {
+        let mut alg = MtcFleet::new();
+        costs.push(run_fleet(&inst, k, &mut alg, 0.0, ServingOrder::MoveFirst).total_cost());
+    }
+    assert!(
+        (costs[0] - costs[1]).abs() < 0.05 * costs[0],
+        "extra servers should not materially help against a runaway agent: {costs:?}"
+    );
+}

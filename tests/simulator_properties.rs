@@ -1,0 +1,120 @@
+//! Property-based tests of the simulator and cost model: for *arbitrary*
+//! instances and any algorithm in the suite, the structural invariants of
+//! Section 2 must hold.
+
+use mobile_server::core::algorithm::BoxedAlgorithm;
+use mobile_server::core::baselines::MoveToMinN;
+use mobile_server::core::cost::evaluate_trajectory;
+use mobile_server::core::simulator::run;
+use mobile_server::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a small random planar instance.
+fn arb_instance() -> impl Strategy<Value = Instance<2>> {
+    (
+        1.0f64..8.0,              // D
+        0.1f64..2.0,              // m
+        prop::collection::vec(
+            prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 0..5),
+            1..40,
+        ),
+    )
+        .prop_map(|(d, m, steps)| {
+            let steps = steps
+                .into_iter()
+                .map(|reqs| Step::new(reqs.into_iter().map(|(x, y)| P2::xy(x, y)).collect()))
+                .collect();
+            Instance::new(d, m, P2::origin(), steps)
+        })
+}
+
+fn all_algorithms() -> Vec<BoxedAlgorithm<2>> {
+    vec![
+        Box::new(MoveToCenter::new()),
+        Box::new(Lazy),
+        Box::new(FollowCenter::new()),
+        Box::new(MoveToMinN::<2>::new()),
+        Box::new(RandomizedCoinFlip::<2>::new(42)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn movement_budget_is_never_exceeded(inst in arb_instance(), delta in 0.0f64..1.0) {
+        for mut alg in all_algorithms() {
+            let res = run(&inst, &mut alg, delta, ServingOrder::MoveFirst);
+            let budget = (1.0 + delta) * inst.max_move;
+            prop_assert!(
+                res.max_step_used() <= budget + 1e-9,
+                "{} moved {} > budget {}",
+                res.algorithm,
+                res.max_step_used(),
+                budget
+            );
+        }
+    }
+
+    #[test]
+    fn simulator_accounting_matches_trajectory_pricing(
+        inst in arb_instance(),
+        delta in 0.0f64..1.0,
+        answer_first in any::<bool>(),
+    ) {
+        let order = if answer_first { ServingOrder::AnswerFirst } else { ServingOrder::MoveFirst };
+        for mut alg in all_algorithms() {
+            let res = run(&inst, &mut alg, delta, order);
+            let priced = evaluate_trajectory(&inst, &res.positions, order);
+            prop_assert!((priced.total() - res.total_cost()).abs() < 1e-9 * (1.0 + res.total_cost()));
+            prop_assert!((priced.movement - res.cost.movement).abs() < 1e-9 * (1.0 + res.cost.movement));
+        }
+    }
+
+    #[test]
+    fn costs_are_finite_and_nonnegative(inst in arb_instance(), delta in 0.0f64..1.0) {
+        for mut alg in all_algorithms() {
+            let res = run(&inst, &mut alg, delta, ServingOrder::MoveFirst);
+            prop_assert!(res.total_cost().is_finite());
+            prop_assert!(res.cost.movement >= 0.0);
+            prop_assert!(res.cost.service >= 0.0);
+            for sc in &res.cost.per_step {
+                prop_assert!(sc.movement >= 0.0 && sc.service >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn reruns_are_deterministic(inst in arb_instance(), delta in 0.0f64..1.0) {
+        for mut alg in all_algorithms() {
+            let a = run(&inst, &mut alg, delta, ServingOrder::MoveFirst);
+            let b = run(&inst, &mut alg, delta, ServingOrder::MoveFirst);
+            prop_assert_eq!(&a.positions, &b.positions);
+            prop_assert_eq!(a.total_cost(), b.total_cost());
+        }
+    }
+
+    #[test]
+    fn more_augmentation_never_hurts_mtc_much(inst in arb_instance()) {
+        // MtC is not formally monotone in δ, but a large regression would
+        // signal a budget-handling bug: with more headroom it must not get
+        // more than marginally worse on the same instance.
+        let mut alg = MoveToCenter::new();
+        let low = run(&inst, &mut alg, 0.0, ServingOrder::MoveFirst).total_cost();
+        let high = run(&inst, &mut alg, 1.0, ServingOrder::MoveFirst).total_cost();
+        prop_assert!(high <= low * 1.5 + 1e-6, "δ=1 cost {high} ≫ δ=0 cost {low}");
+    }
+
+    #[test]
+    fn silent_steps_cost_nothing_for_stationary_algorithms(
+        d in 1.0f64..8.0,
+        m in 0.1f64..2.0,
+        t in 1usize..30,
+    ) {
+        let inst = Instance::new(d, m, P2::origin(), vec![Step::new(vec![]); t]);
+        for mut alg in all_algorithms() {
+            let res = run(&inst, &mut alg, 0.5, ServingOrder::MoveFirst);
+            prop_assert_eq!(res.cost.service, 0.0);
+        }
+    }
+}

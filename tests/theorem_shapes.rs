@@ -1,0 +1,231 @@
+//! Small-scale shape checks for every theorem — the integration-level
+//! contract of the reproduction. The full-size versions live in the
+//! experiment suite (`msp-bench`); these assert the same directional
+//! claims at test-suite cost.
+
+use mobile_server::adversary::{
+    build_thm1, build_thm2, build_thm3, build_thm8, Thm1Params, Thm2Params, Thm3Params,
+    Thm8Params,
+};
+use mobile_server::core::ratio::ratio_lower_bound;
+use mobile_server::core::simulator::run;
+use mobile_server::offline::solve_line;
+use mobile_server::prelude::*;
+use mobile_server::workloads::agents::random_waypoint_walk;
+
+fn mean_thm1_ratio(t: usize, d: f64) -> f64 {
+    let p = Thm1Params {
+        horizon: t,
+        d,
+        m: 1.0,
+        x: None,
+    };
+    let mut acc = 0.0;
+    for seed in 0..6 {
+        let cert = build_thm1::<1>(&p, seed);
+        let mut alg = MoveToCenter::new();
+        let res = run(&cert.instance, &mut alg, 0.0, ServingOrder::MoveFirst);
+        acc += ratio_lower_bound(
+            res.total_cost(),
+            cert.adversary_cost(ServingOrder::MoveFirst),
+        );
+    }
+    acc / 6.0
+}
+
+#[test]
+fn theorem1_ratio_roughly_quadruples_when_t_grows_16x() {
+    // √T scaling: T ×16 ⇒ ratio ×≈4.
+    let small = mean_thm1_ratio(100, 1.0);
+    let large = mean_thm1_ratio(1600, 1.0);
+    let factor = large / small;
+    assert!(
+        (2.5..6.0).contains(&factor),
+        "√T scaling violated: {small:.2} -> {large:.2} (×{factor:.2})"
+    );
+}
+
+#[test]
+fn theorem1_larger_d_lowers_the_ratio() {
+    let light = mean_thm1_ratio(900, 1.0);
+    let heavy = mean_thm1_ratio(900, 16.0);
+    assert!(
+        heavy < light / 2.0,
+        "√(T/D): D=16 should more than halve the ratio ({light:.2} vs {heavy:.2})"
+    );
+}
+
+#[test]
+fn theorem2_ratio_doubles_when_delta_halves() {
+    let ratio_for = |delta: f64| {
+        let p = Thm2Params {
+            delta,
+            r_min: 1,
+            r_max: 1,
+            d: 1.0,
+            m: 1.0,
+            x: None,
+            cycles: 3,
+        };
+        let mut acc = 0.0;
+        for seed in 0..6 {
+            let cert = build_thm2::<1>(&p, seed);
+            let mut alg = MoveToCenter::new();
+            let res = run(&cert.instance, &mut alg, delta, ServingOrder::MoveFirst);
+            acc += ratio_lower_bound(
+                res.total_cost(),
+                cert.adversary_cost(ServingOrder::MoveFirst),
+            );
+        }
+        acc / 6.0
+    };
+    let loose = ratio_for(0.4);
+    let tight = ratio_for(0.1);
+    assert!(
+        tight > 2.0 * loose,
+        "1/δ scaling violated: δ=0.4 → {loose:.2}, δ=0.1 → {tight:.2}"
+    );
+}
+
+#[test]
+fn theorem3_answer_first_penalty_scales_linearly_in_r() {
+    let ratio_for = |r: usize| {
+        let p = Thm3Params {
+            r,
+            d: 2.0,
+            m: 1.0,
+            cycles: 6,
+        };
+        let mut acc = 0.0;
+        for seed in 0..6 {
+            let cert = build_thm3::<1>(&p, seed);
+            let mut alg = MoveToCenter::new();
+            let res = run(&cert.instance, &mut alg, 1.0, ServingOrder::AnswerFirst);
+            acc += ratio_lower_bound(
+                res.total_cost(),
+                cert.adversary_cost(ServingOrder::AnswerFirst),
+            );
+        }
+        acc / 6.0
+    };
+    let r4 = ratio_for(4);
+    let r32 = ratio_for(32);
+    // (r/D + 1)-ish: 3 vs 17 — expect ×4–×8 growth for ×8 in r.
+    assert!(
+        r32 > 3.0 * r4,
+        "r/D scaling violated: r=4 → {r4:.2}, r=32 → {r32:.2}"
+    );
+}
+
+#[test]
+fn theorem4_mtc_ratio_is_flat_in_t_on_the_line() {
+    let ratio_for = |horizon: usize| {
+        let gen = RandomWalk::new(RandomWalkConfig::<1> {
+            horizon,
+            d: 2.0,
+            max_move: 1.0,
+            walk_speed: 1.2,
+            turn_probability: 0.1,
+            spread: 0.0,
+            count: RequestCount::Fixed(1),
+        });
+        let mut acc = 0.0;
+        for seed in 0..4 {
+            let inst = gen.generate(seed);
+            let mut alg = MoveToCenter::new();
+            let cost = run(&inst, &mut alg, 0.3, ServingOrder::MoveFirst).total_cost();
+            let opt = solve_line(&inst, ServingOrder::MoveFirst).cost;
+            acc += cost / opt;
+        }
+        acc / 4.0
+    };
+    let short = ratio_for(300);
+    let long = ratio_for(2400);
+    assert!(
+        (long / short) < 1.4 && (short / long) < 1.4,
+        "augmented MtC ratio should be flat in T: {short:.2} vs {long:.2}"
+    );
+}
+
+#[test]
+fn theorem8_fast_agent_ratio_grows_with_t() {
+    let ratio_for = |t: usize| {
+        let p = Thm8Params {
+            horizon: t,
+            d: 1.0,
+            ms: 1.0,
+            epsilon: 1.0,
+            x: None,
+        };
+        let mut acc = 0.0;
+        for seed in 0..4 {
+            let out = build_thm8::<1>(&p, seed);
+            let mut alg = MoveToCenter::new();
+            let res = run(
+                &out.certificate.instance,
+                &mut alg,
+                0.0,
+                ServingOrder::MoveFirst,
+            );
+            acc += ratio_lower_bound(
+                res.total_cost(),
+                out.certificate.adversary_cost(ServingOrder::MoveFirst),
+            );
+        }
+        acc / 4.0
+    };
+    let small = ratio_for(200);
+    let large = ratio_for(3200);
+    assert!(
+        large > 2.5 * small,
+        "√T scaling violated in the moving-client variant: {small:.2} vs {large:.2}"
+    );
+}
+
+#[test]
+fn theorem10_equal_speed_ratio_is_a_small_constant() {
+    for (seed, t) in [(1u64, 500usize), (2, 2000), (3, 4000)] {
+        let walk = random_waypoint_walk::<1>(t, 1.0, 40.0, seed);
+        let mc = MovingClientInstance::new(4.0, 1.0, walk);
+        let inst = mc.to_instance();
+        let mut alg = MoveToCenter::new();
+        let cost = run(&inst, &mut alg, 0.0, ServingOrder::MoveFirst).total_cost();
+        let opt = solve_line(&inst, ServingOrder::MoveFirst).cost;
+        let ratio = cost / opt;
+        assert!(
+            ratio < 5.0,
+            "Theorem 10 promises O(1); measured {ratio:.2} at T={t}"
+        );
+    }
+}
+
+#[test]
+fn corollary9_augmentation_flattens_the_fast_agent_ratio() {
+    let ratio_for = |t: usize| {
+        let p = Thm8Params {
+            horizon: t,
+            d: 1.0,
+            ms: 1.0,
+            epsilon: 1.0,
+            x: None,
+        };
+        let out = build_thm8::<1>(&p, 5);
+        let mut alg = MoveToCenter::new();
+        let res = run(
+            &out.certificate.instance,
+            &mut alg,
+            0.5,
+            ServingOrder::MoveFirst,
+        );
+        ratio_lower_bound(
+            res.total_cost(),
+            out.certificate.adversary_cost(ServingOrder::MoveFirst),
+        )
+    };
+    let short = ratio_for(400);
+    let long = ratio_for(6400);
+    assert!(
+        long < 1.5 * short,
+        "augmented moving-client ratio should be flat: {short:.2} vs {long:.2}"
+    );
+}
