@@ -59,12 +59,7 @@ mod tests {
 
     #[test]
     fn cost_is_priced_with_the_shared_evaluator() {
-        let inst = Instance::new(
-            2.0,
-            1.0,
-            P2::origin(),
-            vec![Step::single(P2::xy(1.0, 0.0))],
-        );
+        let inst = Instance::new(2.0, 1.0, P2::origin(), vec![Step::single(P2::xy(1.0, 0.0))]);
         let cert = Certificate::new(inst, vec![P2::origin(), P2::xy(1.0, 0.0)]);
         // Move cost 2·1, serve 0.
         assert!((cert.adversary_cost(ServingOrder::MoveFirst) - 2.0).abs() < 1e-12);
@@ -75,12 +70,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "violates the movement limit")]
     fn infeasible_certificate_rejected() {
-        let inst = Instance::new(
-            1.0,
-            1.0,
-            P2::origin(),
-            vec![Step::single(P2::xy(1.0, 0.0))],
-        );
+        let inst = Instance::new(1.0, 1.0, P2::origin(), vec![Step::single(P2::xy(1.0, 0.0))]);
         let _ = Certificate::new(inst, vec![P2::origin(), P2::xy(5.0, 0.0)]);
     }
 

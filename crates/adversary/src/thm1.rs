@@ -115,7 +115,10 @@ mod tests {
         let t = p.horizon as f64;
         let bound = x * p.d * p.m + p.m * x * x + (t - x) * p.d * p.m;
         let cost = cert.adversary_cost(ServingOrder::MoveFirst);
-        assert!(cost <= bound + 1e-9, "cost {cost} exceeds proof bound {bound}");
+        assert!(
+            cost <= bound + 1e-9,
+            "cost {cost} exceeds proof bound {bound}"
+        );
     }
 
     #[test]

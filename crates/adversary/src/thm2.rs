@@ -212,10 +212,7 @@ mod tests {
         };
         let loose = ratio_for(1.0);
         let tight = ratio_for(0.25);
-        assert!(
-            tight > 1.3 * loose,
-            "δ=1 → {loose:.3}, δ=0.25 → {tight:.3}"
-        );
+        assert!(tight > 1.3 * loose, "δ=1 → {loose:.3}, δ=0.25 → {tight:.3}");
     }
 
     #[test]

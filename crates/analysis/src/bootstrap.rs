@@ -15,12 +15,7 @@ use rand::{Rng, SeedableRng};
 ///
 /// # Panics
 /// Panics on an empty sample or a silly confidence level.
-pub fn bootstrap_mean_ci(
-    values: &[f64],
-    resamples: usize,
-    level: f64,
-    seed: u64,
-) -> (f64, f64) {
+pub fn bootstrap_mean_ci(values: &[f64], resamples: usize, level: f64, seed: u64) -> (f64, f64) {
     assert!(!values.is_empty(), "bootstrap of empty sample");
     assert!(
         level > 0.0 && level < 1.0,

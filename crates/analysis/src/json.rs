@@ -29,12 +29,7 @@ pub enum Json {
 impl Json {
     /// Convenience: builds an object from key/value pairs.
     pub fn obj<const K: usize>(pairs: [(&str, Json); K]) -> Json {
-        Json::Obj(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
     /// Serializes to a compact JSON string (`Display` renders the same).
@@ -167,7 +162,10 @@ mod tests {
             ("n", Json::from(3usize)),
         ]);
         // BTreeMap sorts keys.
-        assert_eq!(j.to_string(), "{\"n\":3,\"name\":\"e1\",\"ratios\":[1,2.5]}");
+        assert_eq!(
+            j.to_string(),
+            "{\"n\":3,\"name\":\"e1\",\"ratios\":[1,2.5]}"
+        );
     }
 
     #[test]

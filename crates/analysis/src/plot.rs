@@ -65,11 +65,7 @@ pub fn ascii_chart(series: &[Series], width: usize, height: usize) -> String {
         let glyph = s.name.chars().next().unwrap_or('*');
         let n = s.values.len();
         for (i, &v) in s.values.iter().enumerate() {
-            let x = if n == 1 {
-                0
-            } else {
-                i * (width - 1) / (n - 1)
-            };
+            let x = if n == 1 { 0 } else { i * (width - 1) / (n - 1) };
             let frac = (v - lo) / (hi - lo);
             let y = ((1.0 - frac) * (height - 1) as f64).round() as usize;
             grid[y.min(height - 1)][x] = glyph;
@@ -88,21 +84,11 @@ pub fn ascii_chart(series: &[Series], width: usize, height: usize) -> String {
         } else {
             ""
         };
-        let _ = writeln!(
-            out,
-            "{label:>gutter$} |{}",
-            row.iter().collect::<String>()
-        );
+        let _ = writeln!(out, "{label:>gutter$} |{}", row.iter().collect::<String>());
     }
     let legend = series
         .iter()
-        .map(|s| {
-            format!(
-                "{} = {}",
-                s.name.chars().next().unwrap_or('*'),
-                s.name
-            )
-        })
+        .map(|s| format!("{} = {}", s.name.chars().next().unwrap_or('*'), s.name))
         .collect::<Vec<_>>()
         .join(", ");
     let _ = writeln!(out, "{:>gutter$} +{}", "", "-".repeat(width));

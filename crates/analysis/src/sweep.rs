@@ -2,18 +2,29 @@
 //!
 //! Experiment grids are embarrassingly parallel: every cell is an
 //! independent (seeded) simulation. This executor fans cells out over
-//! crossbeam scoped threads with dynamic work stealing via a shared atomic
-//! cursor, and returns results in input order so tables render
+//! `std::thread::scope` workers with dynamic work stealing via a shared
+//! atomic cursor, and returns results in input order so tables render
 //! deterministically regardless of scheduling.
 
-use parking_lot::Mutex;
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// True while the current thread is a sweep worker. Nested
+    /// `parallel_map*` calls (a seed fan inside a cell fan) then run
+    /// sequentially instead of multiplying CPU-bound threads to
+    /// `cores × cells`.
+    static IN_SWEEP: Cell<bool> = const { Cell::new(false) };
+}
 
 /// Applies `f` to every item on up to `threads` worker threads (0 = number
 /// of available CPUs), returning outputs in input order.
 ///
 /// `f` must be `Sync` (shared across workers) and is given `(index, item)`
-/// so callers can derive per-cell seeds from the index.
+/// so callers can derive per-cell seeds from the index. Calls nested
+/// inside another sweep's worker run sequentially on that worker — the
+/// outer sweep already owns the machine's parallelism.
 pub fn parallel_map_indexed<I, O, F>(items: &[I], threads: usize, f: F) -> Vec<O>
 where
     I: Sync,
@@ -24,7 +35,9 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let threads = if threads == 0 {
+    let threads = if IN_SWEEP.with(Cell::get) {
+        1
+    } else if threads == 0 {
         std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(4)
@@ -40,23 +53,29 @@ where
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                IN_SWEEP.with(|flag| flag.set(true));
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = f(i, &items[i]);
+                    *slots[i].lock().expect("sweep slot poisoned") = Some(out);
                 }
-                let out = f(i, &items[i]);
-                *slots[i].lock() = Some(out);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("missing sweep result"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("sweep slot poisoned")
+                .expect("missing sweep result")
+        })
         .collect()
 }
 
@@ -113,6 +132,20 @@ mod tests {
         let items: Vec<&str> = vec!["a", "b", "c", "d"];
         let out = parallel_map_indexed(&items, 2, |i, s| format!("{i}:{s}"));
         assert_eq!(out, vec!["0:a", "1:b", "2:c", "3:d"]);
+    }
+
+    #[test]
+    fn nested_sweeps_stay_ordered_and_sequential_inside_workers() {
+        let outer: Vec<usize> = (0..8).collect();
+        let out = parallel_map(&outer, |&cell| {
+            // Inner fan: must run (sequentially) on the worker and still
+            // return ordered results.
+            let inner: Vec<usize> = (0..5).collect();
+            parallel_map(&inner, move |&s| cell * 10 + s)
+        });
+        for (cell, inner) in out.iter().enumerate() {
+            assert_eq!(*inner, (0..5).map(|s| cell * 10 + s).collect::<Vec<_>>());
+        }
     }
 
     #[test]

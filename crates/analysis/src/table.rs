@@ -128,7 +128,9 @@ mod tests {
         let lines: Vec<&str> = md.lines().collect();
         assert_eq!(lines.len(), 4);
         assert!(lines[0].contains("a") && lines[0].contains("b"));
-        assert!(lines[1].starts_with("|-") || lines[1].starts_with("| -") || lines[1].contains("--"));
+        assert!(
+            lines[1].starts_with("|-") || lines[1].starts_with("| -") || lines[1].contains("--")
+        );
         assert!(lines[2].contains('1'));
         assert!(lines[3].contains("30"));
     }

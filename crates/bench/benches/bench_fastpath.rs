@@ -1,0 +1,151 @@
+//! Benchmarks of the PR-1 fast paths against their baselines:
+//!
+//! * warm-started drifting-cluster median solves vs cold starts,
+//! * multi-δ batched simulation vs repeated single runs,
+//! * radius-pruned grid DP vs the all-pairs transition scan.
+//!
+//! The `perf_report` binary measures the same pairs and records the
+//! speedups in `BENCH_1.json`; these Criterion wrappers keep the numbers
+//! under `cargo bench` alongside the rest of the suite.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use msp_core::cost::ServingOrder;
+use msp_core::model::{Instance, Step};
+use msp_core::mtc::MoveToCenter;
+use msp_core::simulator::{run, run_batch};
+use msp_geometry::median::{weighted_center, weighted_center_classic, MedianOptions, MedianSolver};
+use msp_geometry::sample::SeededSampler;
+use msp_geometry::P2;
+use msp_offline::grid::{grid_optimum, grid_optimum_unpruned};
+use msp_workloads::{DriftingHotspot, DriftingHotspotConfig, RequestCount};
+
+/// A drifting cluster: the per-step request sets of a hotspot wandering
+/// through the arena — the workload shape that makes warm starts pay.
+fn drifting_clusters(n_points: usize, steps: usize) -> Vec<Vec<P2>> {
+    let mut s = SeededSampler::new(11);
+    let offsets: Vec<P2> = (0..n_points).map(|_| s.point_in_cube(2.0)).collect();
+    (0..steps)
+        .map(|t| {
+            let c = P2::xy(0.03 * t as f64, 0.02 * t as f64);
+            offsets
+                .iter()
+                .map(|o| c + *o + s.point_in_cube(0.05))
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_median_warm_start(c: &mut Criterion) {
+    let mut group = c.benchmark_group("median_drift");
+    for &n in &[16usize, 64] {
+        let sets = drifting_clusters(n, 64);
+        // The seed's solver (full-length Weiszfeld + exhaustive snap): the
+        // "before" of this PR's trajectory.
+        group.bench_with_input(BenchmarkId::new("cold_classic", n), &sets, |b, sets| {
+            b.iter(|| {
+                let reference = P2::origin();
+                let mut acc = P2::origin();
+                for pts in sets {
+                    acc = weighted_center_classic(
+                        black_box(pts),
+                        &vec![1.0; pts.len()],
+                        &reference,
+                        MedianOptions::default(),
+                    );
+                }
+                acc
+            })
+        });
+        // The hybrid Weiszfeld/Newton pipeline, still starting cold.
+        group.bench_with_input(BenchmarkId::new("cold_hybrid", n), &sets, |b, sets| {
+            b.iter(|| {
+                let reference = P2::origin();
+                let mut acc = P2::origin();
+                for pts in sets {
+                    acc = weighted_center(black_box(pts), &reference, MedianOptions::default());
+                }
+                acc
+            })
+        });
+        // The warm-started, allocation-free per-step solver.
+        group.bench_with_input(BenchmarkId::new("warm", n), &sets, |b, sets| {
+            b.iter(|| {
+                let reference = P2::origin();
+                let mut solver = MedianSolver::<2>::new(MedianOptions::default());
+                let mut acc = P2::origin();
+                for pts in sets {
+                    acc = solver.center(black_box(pts), &reference);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_multi_delta_batch(c: &mut Criterion) {
+    let gen = DriftingHotspot::new(DriftingHotspotConfig::<2> {
+        horizon: 600,
+        d: 4.0,
+        max_move: 1.0,
+        drift_speed: 0.5,
+        momentum: 0.8,
+        spread: 0.5,
+        arena_half_width: 100.0,
+        count: RequestCount::Fixed(4),
+    });
+    let inst = gen.generate(3);
+    let deltas = [0.0, 0.1, 0.2, 0.4, 0.8];
+    let orders = [ServingOrder::MoveFirst, ServingOrder::AnswerFirst];
+
+    let mut group = c.benchmark_group("multi_delta");
+    group.bench_with_input(BenchmarkId::from_parameter("repeated"), &inst, |b, inst| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for &delta in &deltas {
+                for &order in &orders {
+                    let mut alg = MoveToCenter::new();
+                    total += run(black_box(inst), &mut alg, delta, order).total_cost();
+                }
+            }
+            total
+        })
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("batched"), &inst, |b, inst| {
+        b.iter(|| {
+            run_batch(black_box(inst), &MoveToCenter::new(), &deltas, &orders)
+                .iter()
+                .map(|r| r.total_cost())
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_grid_dp(c: &mut Criterion) {
+    let steps: Vec<Step<2>> = (0..6)
+        .map(|t| {
+            let a = t as f64 * 0.9;
+            Step::new(vec![P2::xy(a.cos(), a.sin()), P2::xy(-0.4 * a.sin(), 0.7)])
+        })
+        .collect();
+    let inst = Instance::new(2.0, 0.4, P2::origin(), steps);
+
+    let mut group = c.benchmark_group("grid_dp");
+    for &cells in &[25usize, 41] {
+        group.bench_with_input(BenchmarkId::new("allpairs", cells), &inst, |b, inst| {
+            b.iter(|| grid_optimum_unpruned(black_box(inst), cells, ServingOrder::MoveFirst))
+        });
+        group.bench_with_input(BenchmarkId::new("pruned", cells), &inst, |b, inst| {
+            b.iter(|| grid_optimum(black_box(inst), cells, ServingOrder::MoveFirst))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_median_warm_start, bench_multi_delta_batch, bench_grid_dp
+);
+criterion_main!(benches);

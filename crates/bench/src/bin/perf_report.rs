@@ -1,0 +1,229 @@
+//! Emits the machine-readable perf trajectory record (`BENCH_1.json`):
+//! wall-clock comparisons of the PR-1 fast paths against their baselines,
+//! so future optimization PRs have measured numbers to beat.
+//!
+//! Pairs measured (same shapes as `benches/bench_fastpath.rs`):
+//!
+//! * `median_drift_*` — warm-started [`MedianSolver`] vs cold
+//!   `weighted_center` over a drifting request cluster,
+//! * `multi_delta_sweep` — `run_batch` over a (δ × order) grid vs repeated
+//!   `run` calls,
+//! * `grid_dp_*` — radius-pruned `grid_optimum` vs the all-pairs scan.
+//!
+//! Usage: `cargo run --release -p msp-bench --bin perf_report [out.json]`
+//! (release mode — debug timings are meaningless).
+
+use std::time::Instant;
+
+use msp_analysis::Json;
+use msp_core::cost::ServingOrder;
+use msp_core::model::{Instance, Step};
+use msp_core::mtc::MoveToCenter;
+use msp_core::simulator::{run, run_batch};
+use msp_geometry::median::{weighted_center, weighted_center_classic, MedianOptions, MedianSolver};
+use msp_geometry::sample::SeededSampler;
+use msp_geometry::P2;
+use msp_offline::grid::{grid_optimum, grid_optimum_unpruned};
+use msp_workloads::{DriftingHotspot, DriftingHotspotConfig, RequestCount};
+
+/// Median of `reps` wall-clock timings of `f` (after one warm-up call).
+fn time_ns<O>(reps: usize, mut f: impl FnMut() -> O) -> u128 {
+    std::hint::black_box(f());
+    let mut samples: Vec<u128> = (0..reps.max(3))
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+struct Comparison {
+    name: &'static str,
+    baseline_ns: u128,
+    fast_ns: u128,
+    detail: String,
+}
+
+impl Comparison {
+    fn speedup(&self) -> f64 {
+        self.baseline_ns as f64 / self.fast_ns.max(1) as f64
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.into())),
+            ("baseline_ns", Json::Num(self.baseline_ns as f64)),
+            ("fast_ns", Json::Num(self.fast_ns as f64)),
+            ("speedup", Json::Num(self.speedup())),
+            ("detail", Json::Str(self.detail.clone())),
+        ])
+    }
+}
+
+fn drifting_clusters(n_points: usize, steps: usize) -> Vec<Vec<P2>> {
+    let mut s = SeededSampler::new(11);
+    let offsets: Vec<P2> = (0..n_points).map(|_| s.point_in_cube(2.0)).collect();
+    (0..steps)
+        .map(|t| {
+            let c = P2::xy(0.03 * t as f64, 0.02 * t as f64);
+            offsets
+                .iter()
+                .map(|o| c + *o + s.point_in_cube(0.05))
+                .collect()
+        })
+        .collect()
+}
+
+fn median_comparison(n: usize, name: &'static str) -> Comparison {
+    let sets = drifting_clusters(n, 256);
+    let reference = P2::origin();
+    let ones = vec![1.0; n];
+    // Baseline: the seed's cold-start solver (full-length Weiszfeld from
+    // the centroid plus exhaustive anchor snap) — the "before" of this PR.
+    let baseline_ns = time_ns(9, || {
+        let mut acc = P2::origin();
+        for pts in &sets {
+            acc = weighted_center_classic(pts, &ones, &reference, MedianOptions::default());
+        }
+        acc
+    });
+    let fast_ns = time_ns(9, || {
+        let mut solver = MedianSolver::<2>::new(MedianOptions::default());
+        let mut acc = P2::origin();
+        for pts in &sets {
+            acc = solver.center(pts, &reference);
+        }
+        acc
+    });
+    // Sanity: warm, hybrid-cold and classic-cold centers agree on the
+    // final set.
+    let mut solver = MedianSolver::<2>::new(MedianOptions::default());
+    let mut warm = P2::origin();
+    for pts in &sets {
+        warm = solver.center(pts, &reference);
+    }
+    let last = sets.last().unwrap();
+    let cold = weighted_center(last, &reference, MedianOptions::default());
+    let classic = weighted_center_classic(last, &ones, &reference, MedianOptions::default());
+    assert!(
+        warm.distance(&cold) < 1e-9,
+        "warm/hybrid-cold parity broken"
+    );
+    assert!(warm.distance(&classic) < 1e-9, "warm/classic parity broken");
+    Comparison {
+        name,
+        baseline_ns,
+        fast_ns,
+        detail: format!(
+            "{n}-point cluster drifting over 256 steps; seed cold-start solver vs warm \
+             MedianSolver (mean {:.1} Weiszfeld iters/solve warm)",
+            solver.telemetry.mean_iterations()
+        ),
+    }
+}
+
+fn batch_comparison() -> Comparison {
+    let gen = DriftingHotspot::new(DriftingHotspotConfig::<2> {
+        horizon: 1_000,
+        d: 4.0,
+        max_move: 1.0,
+        drift_speed: 0.5,
+        momentum: 0.8,
+        spread: 0.5,
+        arena_half_width: 100.0,
+        count: RequestCount::Fixed(4),
+    });
+    let inst = gen.generate(3);
+    let deltas = [0.0, 0.1, 0.2, 0.4, 0.8];
+    let orders = [ServingOrder::MoveFirst, ServingOrder::AnswerFirst];
+    let baseline_ns = time_ns(7, || {
+        let mut total = 0.0;
+        for &delta in &deltas {
+            for &order in &orders {
+                let mut alg = MoveToCenter::new();
+                total += run(&inst, &mut alg, delta, order).total_cost();
+            }
+        }
+        total
+    });
+    let fast_ns = time_ns(7, || {
+        run_batch(&inst, &MoveToCenter::new(), &deltas, &orders)
+            .iter()
+            .map(|r| r.total_cost())
+            .sum::<f64>()
+    });
+    Comparison {
+        name: "multi_delta_sweep",
+        baseline_ns,
+        fast_ns,
+        detail:
+            "5 δ × 2 orders on a T=1000 drifting hotspot; repeated run() vs one run_batch() pass"
+                .into(),
+    }
+}
+
+fn grid_comparison(cells: usize, name: &'static str) -> Comparison {
+    let steps: Vec<Step<2>> = (0..6)
+        .map(|t| {
+            let a = t as f64 * 0.9;
+            Step::new(vec![P2::xy(a.cos(), a.sin()), P2::xy(-0.4 * a.sin(), 0.7)])
+        })
+        .collect();
+    let inst = Instance::new(2.0, 0.4, P2::origin(), steps);
+    let baseline_ns = time_ns(5, || {
+        grid_optimum_unpruned(&inst, cells, ServingOrder::MoveFirst)
+    });
+    let fast_ns = time_ns(5, || grid_optimum(&inst, cells, ServingOrder::MoveFirst));
+    let pruned = grid_optimum(&inst, cells, ServingOrder::MoveFirst);
+    let full = grid_optimum_unpruned(&inst, cells, ServingOrder::MoveFirst);
+    assert_eq!(pruned, full, "pruned/all-pairs parity broken");
+    Comparison {
+        name,
+        baseline_ns,
+        fast_ns,
+        detail: format!(
+            "{cells}×{cells} planar grid, T=6, m=0.4: all-pairs transition scan vs radius-pruned window"
+        ),
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_1.json".into());
+
+    let comparisons = vec![
+        median_comparison(16, "median_drift_n16"),
+        median_comparison(64, "median_drift_n64"),
+        batch_comparison(),
+        grid_comparison(41, "grid_dp_41"),
+        grid_comparison(61, "grid_dp_61"),
+    ];
+
+    for c in &comparisons {
+        println!(
+            "{:<22} baseline {:>12} ns   fast {:>12} ns   speedup {:>6.2}×",
+            c.name,
+            c.baseline_ns,
+            c.fast_ns,
+            c.speedup()
+        );
+    }
+
+    let json = Json::obj([
+        ("pr", Json::Num(1.0)),
+        (
+            "tier1",
+            Json::Str("cargo build --release && cargo test -q".into()),
+        ),
+        (
+            "benches",
+            Json::Arr(comparisons.iter().map(Comparison::to_json).collect()),
+        ),
+    ]);
+    std::fs::write(&out_path, json.to_string() + "\n").expect("write perf report");
+    println!("wrote {out_path}");
+}

@@ -20,9 +20,7 @@ use msp_workloads::{RandomWalk, RandomWalkConfig, RequestCount};
 fn make_algorithms() -> Vec<(String, fn() -> BoxedAlgorithm<1>)> {
     vec![
         ("mtc (paper)".into(), || Box::new(MoveToCenter::new())),
-        ("mtc κ=0.25".into(), || {
-            Box::new(FractionalStep::new(0.25))
-        }),
+        ("mtc κ=0.25".into(), || Box::new(FractionalStep::new(0.25))),
         ("mtc κ=4".into(), || Box::new(FractionalStep::new(4.0))),
         ("follow-center (greedy)".into(), || {
             Box::new(FollowCenter::new())
@@ -42,56 +40,57 @@ pub fn run(scale: Scale) -> ExperimentReport {
     };
     let algorithms = make_algorithms();
 
-    let results: Vec<(SeedStats, SeedStats, SeedStats)> = parallel_map(&algorithms, |(_, factory)| {
-        let adv = mean_over_seeds(seeds, |seed| {
-            let p = Thm2Params {
-                delta,
-                r_min: 2,
-                r_max: 2,
-                d,
-                m: 1.0,
-                x: None,
-                cycles,
-            };
-            let cert = build_thm2::<1>(&p, seed);
-            let mut alg = factory();
-            line_ratio(&cert.instance, &mut alg, delta, ServingOrder::MoveFirst)
-        });
-        let walk = mean_over_seeds(seeds, |seed| {
-            let gen = RandomWalk::new(RandomWalkConfig::<1> {
-                horizon: walk_t,
-                d,
-                max_move: 1.0,
-                walk_speed: 0.7,
-                turn_probability: 0.2,
-                spread: 0.3,
-                count: RequestCount::Fixed(2),
+    let results: Vec<(SeedStats, SeedStats, SeedStats)> =
+        parallel_map(&algorithms, |(_, factory)| {
+            let adv = mean_over_seeds(seeds, |seed| {
+                let p = Thm2Params {
+                    delta,
+                    r_min: 2,
+                    r_max: 2,
+                    d,
+                    m: 1.0,
+                    x: None,
+                    cycles,
+                };
+                let cert = build_thm2::<1>(&p, seed);
+                let mut alg = factory();
+                line_ratio(&cert.instance, &mut alg, delta, ServingOrder::MoveFirst)
             });
-            let inst = gen.generate(seed);
-            let mut alg = factory();
-            line_ratio(&inst, &mut alg, delta, ServingOrder::MoveFirst)
+            let walk = mean_over_seeds(seeds, |seed| {
+                let gen = RandomWalk::new(RandomWalkConfig::<1> {
+                    horizon: walk_t,
+                    d,
+                    max_move: 1.0,
+                    walk_speed: 0.7,
+                    turn_probability: 0.2,
+                    spread: 0.3,
+                    count: RequestCount::Fixed(2),
+                });
+                let inst = gen.generate(seed);
+                let mut alg = factory();
+                line_ratio(&inst, &mut alg, delta, ServingOrder::MoveFirst)
+            });
+            // Oscillating requests with r ≪ D: a single request alternates
+            // between ±2 every step. The optimum hovers near the middle; a
+            // greedy full-budget chaser burns D·(1+δ)m of movement per step
+            // ping-ponging between the sides — the regime the damping rule
+            // exists for.
+            let osc = mean_over_seeds(seeds, |seed| {
+                let mut srng = msp_geometry::sample::SeededSampler::new(seed);
+                let jitter = srng.uniform(-0.1, 0.1);
+                let steps = (0..200)
+                    .map(|t| {
+                        let side = if t % 2 == 0 { 2.0 } else { -2.0 };
+                        msp_core::model::Step::single(msp_geometry::P1::new([side + jitter]))
+                    })
+                    .collect();
+                let inst =
+                    msp_core::model::Instance::new(d, 1.0, msp_geometry::P1::origin(), steps);
+                let mut alg = factory();
+                line_ratio(&inst, &mut alg, delta, ServingOrder::MoveFirst)
+            });
+            (adv, walk, osc)
         });
-        // Oscillating requests with r ≪ D: a single request alternates
-        // between ±2 every step. The optimum hovers near the middle; a
-        // greedy full-budget chaser burns D·(1+δ)m of movement per step
-        // ping-ponging between the sides — the regime the damping rule
-        // exists for.
-        let osc = mean_over_seeds(seeds, |seed| {
-            let mut srng = msp_geometry::sample::SeededSampler::new(seed);
-            let jitter = srng.uniform(-0.1, 0.1);
-            let steps = (0..200)
-                .map(|t| {
-                    let side = if t % 2 == 0 { 2.0 } else { -2.0 };
-                    msp_core::model::Step::single(msp_geometry::P1::new([side + jitter]))
-                })
-                .collect();
-            let inst =
-                msp_core::model::Instance::new(d, 1.0, msp_geometry::P1::origin(), steps);
-            let mut alg = factory();
-            line_ratio(&inst, &mut alg, delta, ServingOrder::MoveFirst)
-        });
-        (adv, walk, osc)
-    });
 
     let mut table = Table::new(vec![
         "step rule",

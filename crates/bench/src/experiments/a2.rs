@@ -51,10 +51,10 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let configs: Vec<(usize, usize, f64)> = match scale {
         Scale::Smoke => vec![(5, 1, 30.0)],
         _ => vec![
-            (5, 0, 0.0),   // control: no outliers
-            (5, 1, 10.0),  // mild outliers
-            (5, 1, 30.0),  // strong outliers
-            (5, 2, 30.0),  // more outliers (40% of mass)
+            (5, 0, 0.0),  // control: no outliers
+            (5, 1, 10.0), // mild outliers
+            (5, 1, 30.0), // strong outliers
+            (5, 2, 30.0), // more outliers (40% of mass)
         ],
     };
 

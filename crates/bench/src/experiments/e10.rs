@@ -184,11 +184,7 @@ mod tests {
     fn applied_threshold_has_no_violations() {
         let r = run(Scale::Smoke);
         assert_eq!(r.id, "e10");
-        assert!(
-            r.findings[0].contains("0 violations"),
-            "{:?}",
-            r.findings
-        );
+        assert!(r.findings[0].contains("0 violations"), "{:?}", r.findings);
     }
 
     #[test]

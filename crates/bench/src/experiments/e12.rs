@@ -81,12 +81,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
         (acc / seeds as f64, acc / norm)
     });
 
-    let mut table = Table::new(vec![
-        "k servers",
-        "policy",
-        "mean cost",
-        "vs k=1 mtc-fleet",
-    ]);
+    let mut table = Table::new(vec!["k servers", "policy", "mean cost", "vs k=1 mtc-fleet"]);
     let mut json_rows = Vec::new();
     for (&(k, pi), &(cost, rel)) in cells.iter().zip(&results) {
         table.push_row(vec![

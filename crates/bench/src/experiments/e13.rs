@@ -59,13 +59,7 @@ fn audit(instance: &Instance<1>, delta: f64, r: usize) -> (f64, usize, usize) {
     let rf = r as f64;
     let mut max_k: f64 = 0.0;
     let mut zero_opt_violations = 0usize;
-    let mut phi_prev = potential(
-        opt_traj[0].distance(&run.positions[0]),
-        rf,
-        d,
-        delta,
-        m,
-    );
+    let mut phi_prev = potential(opt_traj[0].distance(&run.positions[0]), rf, d, delta, m);
     // Scale for deciding "C_Opt(t) ≈ 0" and "lhs ≈ 0".
     let eps = 1e-7 * (1.0 + opt_costs.total() / instance.horizon().max(1) as f64);
 

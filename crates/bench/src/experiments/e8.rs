@@ -35,12 +35,8 @@ pub fn run(scale: Scale) -> ExperimentReport {
         .collect();
     let results = parallel_map(&cells, |&(d, t)| {
         mean_over_seeds(seeds, |seed| {
-            let walk = random_waypoint_walk::<1>(
-                t,
-                speed,
-                50.0,
-                SeededSampler::derive_seed(seed, 81),
-            );
+            let walk =
+                random_waypoint_walk::<1>(t, speed, 50.0, SeededSampler::derive_seed(seed, 81));
             let mc = MovingClientInstance::new(d, speed, walk);
             let inst = mc.to_instance();
             let mut alg = MoveToCenter::new();
@@ -48,12 +44,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
         })
     });
 
-    let mut table = Table::new(vec![
-        "space",
-        "D",
-        "T",
-        "ratio MtC (δ=0) [95% CI]",
-    ]);
+    let mut table = Table::new(vec!["space", "D", "T", "ratio MtC (δ=0) [95% CI]"]);
     let mut json_rows = Vec::new();
     let mut worst: f64 = 0.0;
     for (&(d, t), stats) in cells.iter().zip(&results) {

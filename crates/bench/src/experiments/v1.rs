@@ -126,7 +126,9 @@ pub fn run(scale: Scale) -> ExperimentReport {
     ];
     let planar = Instance::new(1.5, 0.8, P2::origin(), steps);
     let grid = grid_optimum(&planar, 61, ServingOrder::MoveFirst);
-    let convex = ConvexSolver::new().solve(&planar, ServingOrder::MoveFirst).cost;
+    let convex = ConvexSolver::new()
+        .solve(&planar, ServingOrder::MoveFirst)
+        .cost;
     table.push_row(vec![
         "4 (planar)".into(),
         "default vs grid oracle".into(),

@@ -24,7 +24,11 @@ impl ExperimentReport {
     /// Renders the full report as Markdown.
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("## {} — {}\n\n", self.id.to_uppercase(), self.title));
+        out.push_str(&format!(
+            "## {} — {}\n\n",
+            self.id.to_uppercase(),
+            self.title
+        ));
         out.push_str(&format!("**Claim (paper):** {}\n\n", self.claim));
         out.push_str(&self.table.to_markdown());
         out.push('\n');

@@ -1,11 +1,19 @@
 //! Shared experiment plumbing: scales, ratio computations, seed fans.
+//!
+//! Seed fans run through [`msp_analysis::sweep::parallel_map_indexed`], so
+//! a `mean_over_seeds` call inside an already-parallel δ sweep fills all
+//! cores instead of serializing the inner loop; δ sweeps over a *fixed*
+//! instance should go through [`batch_line_ratios`], which prices every δ
+//! in one simulator pass ([`msp_core::simulator::run_batch`]) against a
+//! single offline-optimum solve.
 
 use msp_analysis::bootstrap_mean_ci;
+use msp_analysis::sweep::parallel_map_indexed;
 use msp_core::algorithm::OnlineAlgorithm;
 use msp_core::cost::ServingOrder;
 use msp_core::model::Instance;
 use msp_core::ratio::competitive_ratio;
-use msp_core::simulator::run;
+use msp_core::simulator::{run, run_batch};
 use msp_offline::convex::{ConvexSolver, ConvexSolverOptions};
 use msp_offline::line::solve_line;
 
@@ -90,12 +98,23 @@ pub fn convex_ratio<const N: usize, A: OnlineAlgorithm<N>>(
     competitive_ratio(alg_cost(instance, alg, delta, order), opt)
 }
 
-/// Mean and bootstrap 95% CI of `f(seed)` over `seeds` seeds.
-pub fn mean_over_seeds(seeds: u64, f: impl Fn(u64) -> f64) -> SeedStats {
-    let values: Vec<f64> = (0..seeds).map(f).collect();
+/// Mean and bootstrap 95% CI of `f(seed)` over `seeds` seeds, fanning the
+/// seeds out over all cores.
+pub fn mean_over_seeds(seeds: u64, f: impl Fn(u64) -> f64 + Sync) -> SeedStats {
+    let seed_list: Vec<u64> = (0..seeds).collect();
+    let values = parallel_map_indexed(&seed_list, 0, |_, &seed| f(seed));
+    stats_from_values(&values)
+}
+
+/// [`SeedStats`] of an already-computed sample (mean + bootstrap 95% CI).
+///
+/// # Panics
+/// Panics on an empty sample.
+pub fn stats_from_values(values: &[f64]) -> SeedStats {
+    assert!(!values.is_empty(), "stats of empty sample");
     let mean = values.iter().sum::<f64>() / values.len() as f64;
     let (lo, hi) = if values.len() >= 2 {
-        bootstrap_mean_ci(&values, 300, 0.95, 0xB00B5)
+        bootstrap_mean_ci(values, 300, 0.95, 0xB00B5)
     } else {
         (mean, mean)
     };
@@ -104,6 +123,24 @@ pub fn mean_over_seeds(seeds: u64, f: impl Fn(u64) -> f64) -> SeedStats {
         ci_lo: lo,
         ci_hi: hi,
     }
+}
+
+/// Competitive ratios of `algorithm` at every `δ ∈ deltas` on one line
+/// instance, against a **single** exact-OPT solve, with all δ trajectories
+/// simulated in one batched pass. Equivalent to calling [`line_ratio`] per
+/// δ, at roughly `1/deltas.len()` of the OPT cost plus the batched
+/// simulation savings.
+pub fn batch_line_ratios<A: OnlineAlgorithm<1> + Clone>(
+    instance: &Instance<1>,
+    algorithm: &A,
+    deltas: &[f64],
+    order: ServingOrder,
+) -> Vec<f64> {
+    let opt = solve_line(instance, order).cost;
+    run_batch(instance, algorithm, deltas, &[order])
+        .into_iter()
+        .map(|res| competitive_ratio(res.total_cost(), opt))
+        .collect()
 }
 
 /// Mean with confidence interval.
@@ -154,6 +191,29 @@ mod tests {
         assert!((s.mean - 3.5).abs() < 1e-12);
         assert!(s.ci_lo <= s.mean && s.mean <= s.ci_hi);
         assert!(s.cell().contains('['));
+    }
+
+    #[test]
+    fn batch_line_ratios_match_sequential() {
+        let steps = (0..60)
+            .map(|t| Step::single(P1::new([(t as f64 * 0.25).cos() * 4.0])))
+            .collect();
+        let inst = Instance::new(2.0, 1.0, P1::origin(), steps);
+        let deltas = [0.0, 0.2, 0.7];
+        let batched = batch_line_ratios(
+            &inst,
+            &MoveToCenter::new(),
+            &deltas,
+            ServingOrder::MoveFirst,
+        );
+        for (&delta, &batch_ratio) in deltas.iter().zip(&batched) {
+            let mut alg = MoveToCenter::new();
+            let sequential = line_ratio(&inst, &mut alg, delta, ServingOrder::MoveFirst);
+            assert!(
+                (batch_ratio - sequential).abs() < 1e-9,
+                "δ={delta}: {batch_ratio} vs {sequential}"
+            );
+        }
     }
 
     #[test]

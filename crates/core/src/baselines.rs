@@ -40,7 +40,12 @@ impl<const N: usize> OnlineAlgorithm<N> for Lazy {
         "lazy".into()
     }
     fn reset(&mut self, _ctx: &AlgContext<N>) {}
-    fn decide(&mut self, current: &Point<N>, _requests: &[Point<N>], _ctx: &AlgContext<N>) -> Point<N> {
+    fn decide(
+        &mut self,
+        current: &Point<N>,
+        _requests: &[Point<N>],
+        _ctx: &AlgContext<N>,
+    ) -> Point<N> {
         *current
     }
 }
@@ -158,7 +163,7 @@ impl MoveToMin {
     /// Builds the 2-D convenience wrapper (most experiments run in the
     /// plane); other dimensions use [`MoveToMinN`] directly.
     #[allow(clippy::new_ret_no_self)] // namespace type: `MoveToMin` is the
-    // user-facing name, the state lives in the dimension-generic struct
+                                      // user-facing name, the state lives in the dimension-generic struct
     pub fn new() -> MoveToMinN<2> {
         MoveToMinN::new()
     }

@@ -170,18 +170,18 @@ pub fn run_fleet<const N: usize, A: FleetAlgorithm<N>>(
 /// nearest server; each server applies the paper's single-server rule to
 /// its own partition (`r_i` = partition size), staying put when idle.
 #[derive(Clone, Debug, Default)]
-pub struct MtcFleet {
-    single: MoveToCenter,
+pub struct MtcFleet<const N: usize> {
+    single: MoveToCenter<N>,
 }
 
-impl MtcFleet {
+impl<const N: usize> MtcFleet<N> {
     /// Paper-faithful per-server rule.
     pub fn new() -> Self {
         Self::default()
     }
 }
 
-impl<const N: usize> FleetAlgorithm<N> for MtcFleet {
+impl<const N: usize> FleetAlgorithm<N> for MtcFleet<N> {
     fn name(&self) -> String {
         "mtc-fleet".into()
     }
@@ -251,18 +251,18 @@ impl<const N: usize> FleetAlgorithm<N> for GreedyFleet {
 /// half budget) towards the `i`-th farthest request from the busy pack,
 /// seeding coverage.
 #[derive(Clone, Debug, Default)]
-pub struct SpreadFleet {
-    single: MoveToCenter,
+pub struct SpreadFleet<const N: usize> {
+    single: MoveToCenter<N>,
 }
 
-impl SpreadFleet {
+impl<const N: usize> SpreadFleet<N> {
     /// Fleet with the exploration heuristic enabled.
     pub fn new() -> Self {
         Self::default()
     }
 }
 
-impl<const N: usize> FleetAlgorithm<N> for SpreadFleet {
+impl<const N: usize> FleetAlgorithm<N> for SpreadFleet<N> {
     fn name(&self) -> String {
         "spread-fleet".into()
     }
@@ -295,8 +295,14 @@ impl<const N: usize> FleetAlgorithm<N> for SpreadFleet {
                 let target = requests
                     .iter()
                     .max_by(|a, b| {
-                        let da = servers.iter().map(|t| t.distance(a)).fold(f64::INFINITY, f64::min);
-                        let db = servers.iter().map(|t| t.distance(b)).fold(f64::INFINITY, f64::min);
+                        let da = servers
+                            .iter()
+                            .map(|t| t.distance(a))
+                            .fold(f64::INFINITY, f64::min);
+                        let db = servers
+                            .iter()
+                            .map(|t| t.distance(b))
+                            .fold(f64::INFINITY, f64::min);
                         da.total_cmp(&db)
                     })
                     .unwrap();
@@ -390,9 +396,7 @@ mod tests {
         // partition early on.
         let a = P2::xy(-8.0, 0.0);
         let b = P2::xy(8.0, 0.1);
-        let steps = (0..120)
-            .map(|_| Step::new(vec![a, b]))
-            .collect();
+        let steps = (0..120).map(|_| Step::new(vec![a, b])).collect();
         let inst = Instance::new(2.0, 1.0, P2::origin(), steps);
         let mut spread = SpreadFleet::new();
         let mut plain = MtcFleet::new();

@@ -70,7 +70,7 @@ pub fn write_instance<const N: usize>(instance: &Instance<N>) -> String {
             let reqs = step
                 .requests
                 .iter()
-                .map(|v| coords(v))
+                .map(&coords)
                 .collect::<Vec<_>>()
                 .join(" ; ");
             let _ = writeln!(out, "step {reqs}");

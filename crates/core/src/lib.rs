@@ -22,7 +22,9 @@
 //!   migration, and step-rule/center ablation variants;
 //! * the **simulator** ([`simulator`]) that runs any
 //!   [`algorithm::OnlineAlgorithm`] over an [`model::Instance`] with strict
-//!   budget enforcement and full per-step cost traces;
+//!   budget enforcement and full per-step cost traces — including the
+//!   batched fast path [`simulator::run_batch`], which prices many δ
+//!   values under both serving orders in one pass over the steps;
 //! * the **Moving-Client variant** ([`moving_client`]) of Section 5, where
 //!   the single requester is itself speed-limited.
 //!
@@ -45,7 +47,7 @@ pub use cost::{CostBreakdown, ServingOrder, StepCost};
 pub use model::{Instance, Step};
 pub use mtc::MoveToCenter;
 pub use ratio::competitive_ratio;
-pub use simulator::{run, RunResult};
+pub use simulator::{run, run_batch, RunResult};
 
 /// Common imports for downstream users.
 pub mod prelude {
@@ -56,6 +58,6 @@ pub mod prelude {
     pub use crate::moving_client::{AgentWalk, MovingClientInstance, MultiAgentInstance};
     pub use crate::mtc::MoveToCenter;
     pub use crate::ratio::competitive_ratio;
-    pub use crate::simulator::{run, RunResult};
+    pub use crate::simulator::{run, run_batch, RunResult};
     pub use msp_geometry::{Point, P1, P2, P3};
 }

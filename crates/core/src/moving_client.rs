@@ -217,14 +217,7 @@ impl<const N: usize> MultiAgentInstance<N> {
     pub fn to_instance(&self) -> Instance<N> {
         let horizon = self.agents[0].horizon();
         let steps = (0..horizon)
-            .map(|t| {
-                Step::new(
-                    self.agents
-                        .iter()
-                        .map(|a| a.positions()[t])
-                        .collect(),
-                )
-            })
+            .map(|t| Step::new(self.agents.iter().map(|a| a.positions()[t]).collect()))
             .collect();
         Instance::new(self.d, self.server_speed, self.agents[0].start(), steps)
     }
@@ -239,9 +232,7 @@ mod tests {
     use msp_geometry::P2;
 
     fn straight_walk(t: usize, speed: f64) -> AgentWalk<2> {
-        AgentWalk::from_fn(P2::origin(), t, speed, |_, prev| {
-            *prev + P2::xy(10.0, 0.0)
-        })
+        AgentWalk::from_fn(P2::origin(), t, speed, |_, prev| *prev + P2::xy(10.0, 0.0))
     }
 
     #[test]
@@ -264,11 +255,7 @@ mod tests {
 
     #[test]
     fn validation_accepts_legal_walk() {
-        let w = AgentWalk::new(
-            P2::origin(),
-            vec![P2::xy(1.0, 0.0), P2::xy(1.0, 1.0)],
-            1.0,
-        );
+        let w = AgentWalk::new(P2::origin(), vec![P2::xy(1.0, 0.0), P2::xy(1.0, 1.0)], 1.0);
         assert_eq!(w.horizon(), 2);
     }
 
@@ -379,10 +366,7 @@ mod tests {
         let res = run(&inst, &mut alg, 0.0, ServingOrder::MoveFirst);
         for (t, a) in mc.agent.positions().iter().enumerate() {
             let gap = res.positions[t + 1].distance(a);
-            assert!(
-                gap <= d * ms + 1e-6,
-                "gap {gap} exceeded D·m at step {t}"
-            );
+            assert!(gap <= d * ms + 1e-6, "gap {gap} exceeded D·m at step {t}");
         }
     }
 }

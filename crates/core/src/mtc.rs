@@ -12,9 +12,19 @@
 //! extends it to the Answer-First variant and Theorem 10 shows the same
 //! rule (with `r = 1 ≤ D`, i.e. step `d(P, A_t)/D`) is `O(1)`-competitive
 //! in the Moving-Client variant without augmentation.
+//!
+//! **Performance:** the struct is const-generic over the dimension so it
+//! can own a [`MedianSolver`] — a warm-starting, allocation-free
+//! geometric-median solver. Successive request sets drift slowly, so
+//! seeding each step's Weiszfeld iteration from the previous center
+//! collapses the per-step iteration count; [`MoveToCenter::median_telemetry`]
+//! exposes the counters. The warm state is cleared on every
+//! [`OnlineAlgorithm::reset`], so repeated runs stay deterministic.
 
 use crate::algorithm::{AlgContext, OnlineAlgorithm};
-use msp_geometry::median::{centroid, weighted_center, MedianOptions};
+use msp_geometry::median::{
+    centroid, weighted_center, MedianOptions, MedianSolver, MedianTelemetry,
+};
 use msp_geometry::{step_towards, Point};
 
 /// Which center of the request set MtC targets. The paper uses the
@@ -31,51 +41,57 @@ pub enum CenterTarget {
 
 /// The paper's deterministic online algorithm.
 #[derive(Clone, Debug)]
-pub struct MoveToCenter {
+pub struct MoveToCenter<const N: usize> {
     /// Center of the request multiset to head towards.
     pub center: CenterTarget,
     /// Convergence options for the geometric-median computation.
     pub median_opts: MedianOptions,
+    solver: MedianSolver<N>,
 }
 
-impl MoveToCenter {
+impl<const N: usize> MoveToCenter<N> {
     /// Paper-faithful MtC (geometric-median target, default solver
     /// tolerances).
     pub fn new() -> Self {
-        MoveToCenter {
-            center: CenterTarget::GeometricMedian,
-            median_opts: MedianOptions::default(),
-        }
+        Self::with_center(CenterTarget::GeometricMedian)
     }
 
     /// MtC with an alternative center target (ablation A2).
     pub fn with_center(center: CenterTarget) -> Self {
+        let median_opts = MedianOptions::default();
         MoveToCenter {
             center,
-            median_opts: MedianOptions::default(),
+            median_opts,
+            solver: MedianSolver::new(median_opts),
         }
     }
 
     /// The center point `c` for a request set as seen from `current`.
-    pub fn center_of<const N: usize>(
-        &self,
-        requests: &[Point<N>],
-        current: &Point<N>,
-    ) -> Point<N> {
+    ///
+    /// Stateless cold-start computation, for external callers (fleet
+    /// partitioning, experiment replays) that probe centers out of
+    /// sequence; the simulation hot path goes through the internal
+    /// warm-started solver instead.
+    pub fn center_of(&self, requests: &[Point<N>], current: &Point<N>) -> Point<N> {
         match self.center {
             CenterTarget::GeometricMedian => weighted_center(requests, current, self.median_opts),
             CenterTarget::Centroid => centroid(requests),
         }
     }
+
+    /// Iteration counters of the internal warm-started median solver.
+    pub fn median_telemetry(&self) -> MedianTelemetry {
+        self.solver.telemetry
+    }
 }
 
-impl Default for MoveToCenter {
+impl<const N: usize> Default for MoveToCenter<N> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<const N: usize> OnlineAlgorithm<N> for MoveToCenter {
+impl<const N: usize> OnlineAlgorithm<N> for MoveToCenter<N> {
     fn name(&self) -> String {
         match self.center {
             CenterTarget::GeometricMedian => "mtc".into(),
@@ -84,8 +100,12 @@ impl<const N: usize> OnlineAlgorithm<N> for MoveToCenter {
     }
 
     fn reset(&mut self, _ctx: &AlgContext<N>) {
-        // MtC is memoryless: each decision depends only on the current
-        // position and the current requests.
+        // MtC is memoryless in the model sense: each decision depends only
+        // on the current position and the current requests. The solver's
+        // warm-start iterate is a numerical accelerator, not algorithmic
+        // state, and is cleared here so reruns are bit-identical.
+        self.solver.set_options(self.median_opts);
+        self.solver.reset();
     }
 
     fn decide(
@@ -98,7 +118,16 @@ impl<const N: usize> OnlineAlgorithm<N> for MoveToCenter {
             // No requests: nothing pulls the server anywhere.
             return *current;
         }
-        let c = self.center_of(requests, current);
+        let c = match self.center {
+            CenterTarget::GeometricMedian => {
+                // Keep the solver in lockstep with the public `median_opts`
+                // field even when callers mutate it between decisions
+                // without an intervening reset (a cheap Copy assignment).
+                self.solver.set_options(self.median_opts);
+                self.solver.center(requests, current)
+            }
+            CenterTarget::Centroid => centroid(requests),
+        };
         let r = requests.len() as f64;
         let pull = (r / ctx.d).min(1.0) * current.distance(&c);
         let step = pull.min(ctx.online_budget());
@@ -186,7 +215,10 @@ mod tests {
         // Median of {0,0,10} on the line is 0; centroid is 10/3.
         let reqs = [P2::origin(), P2::origin(), P2::xy(10.0, 0.0)];
         let next = mtc.decide(&P2::xy(5.0, 0.0), &reqs, &ctx);
-        assert!(next.distance(&P2::xy(10.0 / 3.0, 0.0)) < 1e-9, "got {next:?}");
+        assert!(
+            next.distance(&P2::xy(10.0 / 3.0, 0.0)) < 1e-9,
+            "got {next:?}"
+        );
     }
 
     #[test]
@@ -224,5 +256,44 @@ mod tests {
         let b: &dyn OnlineAlgorithm<2> = &MoveToCenter::with_center(CenterTarget::Centroid);
         assert_eq!(a.name(), "mtc");
         assert_eq!(b.name(), "mtc-centroid");
+    }
+
+    #[test]
+    fn warm_solver_threads_through_decisions() {
+        // A long decision sequence on drifting requests: the internal
+        // solver must record warm starts and stay in lockstep with the
+        // stateless center computation.
+        let mut mtc = MoveToCenter::<2>::new();
+        let ctx = ctx2(4.0, 0.5, 0.2);
+        mtc.reset(&ctx);
+        let mut pos = P2::origin();
+        for t in 0..100 {
+            let s = 0.05 * t as f64;
+            let reqs = [
+                P2::xy(1.0 + s, 0.4),
+                P2::xy(0.5 + s, -0.7),
+                P2::xy(1.5 + s, 0.9),
+            ];
+            let cold_center = mtc.center_of(&reqs, &pos);
+            let next = mtc.decide(&pos, &reqs, &ctx);
+            // The decision must head towards (within 1e-9 of) the cold
+            // center — warm starting is numerics, not policy.
+            let pull = (3.0f64 / ctx.d).min(1.0) * pos.distance(&cold_center);
+            let expect = step_towards(&pos, &cold_center, pull.min(ctx.online_budget()));
+            assert!(next.distance(&expect) < 1e-9, "step {t}");
+            pos = next;
+        }
+        let telemetry = mtc.median_telemetry();
+        assert_eq!(telemetry.solves, 100);
+        assert!(telemetry.warm_starts >= 99);
+        // Reset clears the warm state: the next solve is cold again.
+        mtc.reset(&ctx);
+        let before = mtc.median_telemetry().warm_starts;
+        let _ = mtc.decide(
+            &P2::origin(),
+            &[P2::xy(1.0, 0.2), P2::xy(0.0, 1.1), P2::xy(-1.0, 0.3)],
+            &ctx,
+        );
+        assert_eq!(mtc.median_telemetry().warm_starts, before);
     }
 }

@@ -13,7 +13,10 @@
 /// # Panics
 /// Panics on negative or non-finite costs.
 pub fn competitive_ratio(alg: f64, opt: f64) -> f64 {
-    assert!(alg >= 0.0 && alg.is_finite(), "algorithm cost invalid: {alg}");
+    assert!(
+        alg >= 0.0 && alg.is_finite(),
+        "algorithm cost invalid: {alg}"
+    );
     assert!(opt >= 0.0 && opt.is_finite(), "optimal cost invalid: {opt}");
     if opt == 0.0 {
         if alg == 0.0 {

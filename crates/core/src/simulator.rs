@@ -1,6 +1,17 @@
 //! The discrete-time simulator: runs an online algorithm over an instance
 //! under a serving order and a resource-augmentation factor, with strict
 //! enforcement of the movement budget.
+//!
+//! Two entry points:
+//!
+//! * [`run`] — one `(algorithm, δ, order)` combination, the classic path.
+//! * [`run_batch`] — the multi-configuration fast path: one pass over the
+//!   steps prices every requested δ under every requested serving order.
+//!   The decision trajectory depends only on δ (the model reveals the
+//!   requests before the move in *both* orders, so the serving order is a
+//!   pure pricing choice), which lets a single decision sequence per δ be
+//!   priced under all orders simultaneously — halving the number of
+//!   expensive median solves for the common both-orders sweep.
 
 use crate::algorithm::{AlgContext, OnlineAlgorithm};
 use crate::cost::{service_cost, CostBreakdown, ServingOrder, StepCost};
@@ -102,6 +113,112 @@ pub fn run_move_first<const N: usize, A: OnlineAlgorithm<N>>(
     run(instance, algorithm, delta, ServingOrder::MoveFirst)
 }
 
+/// One δ-lane of a batched run: its own algorithm clone (decisions depend
+/// on the augmented budget) pricing the shared trajectory under every
+/// requested order.
+struct BatchLane<const N: usize, A> {
+    ctx: AlgContext<N>,
+    budget: f64,
+    algorithm: A,
+    current: Point<N>,
+    positions: Vec<Point<N>>,
+    costs: Vec<CostBreakdown>, // one per serving order
+}
+
+/// Runs `algorithm` over `instance` for every `(δ, order)` combination in
+/// a single pass over the steps, returning results in δ-major, order-minor
+/// sequence (`deltas.len() · orders.len()` entries).
+///
+/// Per δ the decision sequence is computed **once** and priced under every
+/// serving order; results agree with [`run`] for the matching `(δ, order)`
+/// to within floating-point identity — the decision, clamping, and pricing
+/// arithmetic is the same code — and the parity is pinned by tests. For
+/// warm-started algorithms such as [`crate::mtc::MoveToCenter`], batching
+/// additionally keeps each δ-lane's solver warm across the whole pass,
+/// exactly as the sequential path would.
+///
+/// # Panics
+/// Panics when `deltas` or `orders` is empty.
+pub fn run_batch<const N: usize, A: OnlineAlgorithm<N> + Clone>(
+    instance: &Instance<N>,
+    algorithm: &A,
+    deltas: &[f64],
+    orders: &[ServingOrder],
+) -> Vec<RunResult<N>> {
+    assert!(!deltas.is_empty(), "run_batch needs at least one δ");
+    assert!(!orders.is_empty(), "run_batch needs at least one order");
+
+    let mut lanes: Vec<BatchLane<N, A>> = deltas
+        .iter()
+        .map(|&delta| {
+            let ctx = AlgContext::new(instance, delta);
+            let mut algorithm = algorithm.clone();
+            algorithm.reset(&ctx);
+            let mut positions = Vec::with_capacity(instance.horizon() + 1);
+            positions.push(instance.start);
+            BatchLane {
+                budget: ctx.online_budget(),
+                ctx,
+                algorithm,
+                current: instance.start,
+                positions,
+                costs: orders
+                    .iter()
+                    .map(|_| CostBreakdown {
+                        per_step: Vec::with_capacity(instance.horizon()),
+                        ..Default::default()
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+
+    for step in &instance.steps {
+        for lane in &mut lanes {
+            let proposal = lane
+                .algorithm
+                .decide(&lane.current, &step.requests, &lane.ctx);
+            debug_assert!(
+                proposal.is_finite(),
+                "{} proposed a non-finite position",
+                lane.algorithm.name()
+            );
+            let next = step_towards(&lane.current, &proposal, lane.budget);
+            let movement = instance.d * lane.current.distance(&next);
+            // Price the shared move under every requested order. The two
+            // orders differ only in the serving endpoint, so the service
+            // sums are the only per-order work.
+            for (order, cost) in orders.iter().zip(&mut lane.costs) {
+                let serve_from = match order {
+                    ServingOrder::MoveFirst => &next,
+                    ServingOrder::AnswerFirst => &lane.current,
+                };
+                let service = service_cost(serve_from, &step.requests);
+                cost.movement += movement;
+                cost.service += service;
+                cost.per_step.push(StepCost { movement, service });
+            }
+            lane.current = next;
+            lane.positions.push(next);
+        }
+    }
+
+    let mut out = Vec::with_capacity(deltas.len() * orders.len());
+    for (lane, &delta) in lanes.into_iter().zip(deltas) {
+        let name = lane.algorithm.name();
+        for (&order, cost) in orders.iter().zip(lane.costs) {
+            out.push(RunResult {
+                algorithm: name.clone(),
+                order,
+                delta,
+                positions: lane.positions.clone(),
+                cost,
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,12 +293,7 @@ mod tests {
 
     #[test]
     fn answer_first_charges_old_position() {
-        let inst = Instance::new(
-            1.0,
-            1.0,
-            P2::origin(),
-            vec![Step::single(P2::xy(1.0, 0.0))],
-        );
+        let inst = Instance::new(1.0, 1.0, P2::origin(), vec![Step::single(P2::xy(1.0, 0.0))]);
         // FollowCenter reaches the request in one step.
         let mut alg = FollowCenter::new();
         let mf = run(&inst, &mut alg, 0.0, ServingOrder::MoveFirst);
@@ -214,6 +326,52 @@ mod tests {
         let b = run_move_first(&inst, &mut alg, 0.3);
         assert_eq!(a.positions, b.positions);
         assert_eq!(a.total_cost(), b.total_cost());
+    }
+
+    #[test]
+    fn run_batch_matches_repeated_runs() {
+        let inst = chase_instance(25);
+        let deltas = [0.0, 0.1, 0.5, 1.0];
+        let orders = [ServingOrder::MoveFirst, ServingOrder::AnswerFirst];
+        let batch = run_batch(&inst, &MoveToCenter::new(), &deltas, &orders);
+        assert_eq!(batch.len(), deltas.len() * orders.len());
+        let mut i = 0;
+        for &delta in &deltas {
+            for &order in &orders {
+                let mut alg = MoveToCenter::new();
+                let single = run(&inst, &mut alg, delta, order);
+                let b = &batch[i];
+                assert_eq!(b.delta, delta);
+                assert_eq!(b.order, order);
+                assert_eq!(b.positions.len(), single.positions.len());
+                for (p, q) in b.positions.iter().zip(&single.positions) {
+                    assert!(p.distance(q) < 1e-9, "δ={delta} {order:?}");
+                }
+                assert!((b.total_cost() - single.total_cost()).abs() < 1e-9);
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn run_batch_shares_trajectory_across_orders() {
+        let inst = chase_instance(10);
+        let batch = run_batch(
+            &inst,
+            &MoveToCenter::new(),
+            &[0.25],
+            &[ServingOrder::MoveFirst, ServingOrder::AnswerFirst],
+        );
+        assert_eq!(batch[0].positions, batch[1].positions);
+        // Same movement, different service pricing.
+        assert_eq!(batch[0].cost.movement, batch[1].cost.movement);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one δ")]
+    fn run_batch_rejects_empty_deltas() {
+        let inst = chase_instance(2);
+        let _ = run_batch(&inst, &MoveToCenter::new(), &[], &[ServingOrder::MoveFirst]);
     }
 
     #[test]

@@ -11,9 +11,10 @@
 //! * [`Point`] — a fixed-dimension Euclidean point with vector arithmetic,
 //!   plus the aliases [`P1`], [`P2`], [`P3`].
 //! * [`median`] — exact 1-D medians and the geometric median in arbitrary
-//!   dimension (Weiszfeld iteration with Vardi–Zhang singular handling),
-//!   including the paper's tie-breaking rule ("pick the center closest to
-//!   the algorithm's server").
+//!   dimension (hybrid Weiszfeld/Newton with Vardi–Zhang singular
+//!   handling), including the paper's tie-breaking rule ("pick the center
+//!   closest to the algorithm's server") and the warm-starting,
+//!   allocation-free [`MedianSolver`] used by simulation hot loops.
 //! * [`bbox`] — axis-aligned bounding boxes.
 //! * [`kdtree`] — a KD-tree for nearest-neighbour queries over request
 //!   clouds (used by workload generators and diagnostics).
@@ -29,7 +30,10 @@ pub mod point;
 pub mod sample;
 
 pub use bbox::Aabb;
-pub use median::{centroid, geometric_median, line_median_interval, weighted_center, MedianOptions};
+pub use median::{
+    centroid, geometric_median, line_median_interval, weighted_center, MedianOptions, MedianSolver,
+    MedianTelemetry,
+};
 pub use motion::step_towards;
 pub use point::{DynPoint, Point, P1, P2, P3};
 

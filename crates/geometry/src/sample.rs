@@ -195,9 +195,14 @@ mod tests {
         // In 2-D, P(radius ≤ t·r) = t²; check the median radius ≈ r/√2.
         let mut s = SeededSampler::new(10);
         let c = P2::origin();
-        let mut radii: Vec<f64> = (0..20_000).map(|_| s.point_in_ball(&c, 1.0).norm()).collect();
+        let mut radii: Vec<f64> = (0..20_000)
+            .map(|_| s.point_in_ball(&c, 1.0).norm())
+            .collect();
         radii.sort_by(f64::total_cmp);
         let median = radii[radii.len() / 2];
-        assert!((median - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.02, "median {median}");
+        assert!(
+            (median - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.02,
+            "median {median}"
+        );
     }
 }

@@ -411,7 +411,12 @@ mod tests {
         let mut mtc = MoveToCenter::new();
         let warm = run(&inst, &mut mtc, 0.0, ServingOrder::MoveFirst).total_cost();
         let sol = ConvexSolver::new().solve(&inst, ServingOrder::MoveFirst);
-        assert!(sol.cost <= warm + 1e-9, "solver {} vs warm {}", sol.cost, warm);
+        assert!(
+            sol.cost <= warm + 1e-9,
+            "solver {} vs warm {}",
+            sol.cost,
+            warm
+        );
     }
 
     #[test]

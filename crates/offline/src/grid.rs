@@ -2,30 +2,40 @@
 //!
 //! Exhaustive dynamic programming over a regular grid: the state is the
 //! server's grid cell, the transition allows every cell within the
-//! movement limit. Exponential in the dimension and quadratic in the cell
-//! count — usable only on tiny instances, which is exactly its job: an
-//! independent oracle that certifies the PWL and convex solvers in tests.
+//! movement limit. Exponential in the dimension — usable only on modest
+//! instances, which is exactly its job: an independent oracle that
+//! certifies the PWL and convex solvers in tests.
 //!
 //! The grid restricts OPT's positions, so `grid_optimum ≥ OPT`; refining
 //! the grid converges from above. Tests compare solvers at matching
 //! tolerances.
+//!
+//! **Transitions are radius-pruned**: the per-step movement budget bounds
+//! each axis offset by `⌈reach/h_i⌉` cells, so [`grid_optimum`] scans only
+//! the neighbor window of each live cell — `O(cells · window · T)` with
+//! per-cell service costs hoisted out of the transition loop — instead of
+//! the all-pairs `O(cells² · r · T)` scan. The unpruned scan survives as
+//! [`grid_optimum_unpruned`], kept as the parity oracle for the pruned
+//! path and as the benchmark baseline; both compute the *same* minima over
+//! the same transition sets, so their results agree exactly.
 
 use msp_core::cost::{service_cost, ServingOrder};
 use msp_core::model::Instance;
 use msp_geometry::{Aabb, Point};
 
-/// Exhaustive DP optimum over a `cells_per_axis`-per-dimension grid
-/// covering the instance's bounding box (start + all requests), padded by
-/// the total reachable distance where useful.
-///
-/// # Panics
-/// Panics when the grid would be degenerate (`cells_per_axis < 2`) or
-/// infeasibly large (> 200k cells) — this is a test oracle, not a solver.
-pub fn grid_optimum<const N: usize>(
-    instance: &Instance<N>,
-    cells_per_axis: usize,
-    order: ServingOrder,
-) -> f64 {
+/// Grid geometry shared by the DP variants: node positions plus the
+/// start-snap and movement slack described in [`grid_optimum`].
+struct GridArena<const N: usize> {
+    nodes: Vec<Point<N>>,
+    /// Per-axis node spacing.
+    spacing: [f64; N],
+    /// Movement tolerance: `max_move` plus half a grid diagonal.
+    reach: f64,
+    /// Start-snap radius (half a grid diagonal).
+    slack: f64,
+}
+
+fn build_arena<const N: usize>(instance: &Instance<N>, cells_per_axis: usize) -> GridArena<N> {
     assert!(cells_per_axis >= 2, "need at least 2 cells per axis");
     let cells = cells_per_axis.pow(N as u32);
     assert!(
@@ -42,12 +52,9 @@ pub fn grid_optimum<const N: usize>(
         }
     }
     let pad = 0.5 * instance.max_move.max(1e-6);
-    bbox = Aabb::from_corners(
-        bbox.min - Point::splat(pad),
-        bbox.max + Point::splat(pad),
-    );
+    bbox = Aabb::from_corners(bbox.min - Point::splat(pad), bbox.max + Point::splat(pad));
 
-    // Enumerate grid nodes.
+    // Enumerate grid nodes (axis 0 varies fastest).
     let mut nodes: Vec<Point<N>> = Vec::with_capacity(cells);
     let mut idx = [0usize; N];
     loop {
@@ -77,36 +84,165 @@ pub fn grid_optimum<const N: usize>(
 
     // Movement tolerance: half a grid diagonal so the discretized path is
     // not starved by rounding.
+    let mut spacing = [0.0f64; N];
     let mut diag2 = 0.0;
-    for i in 0..N {
+    for (i, s) in spacing.iter_mut().enumerate() {
         let h = (bbox.max[i] - bbox.min[i]) / (cells_per_axis - 1) as f64;
+        *s = h;
         diag2 += h * h;
     }
     let slack = diag2.sqrt() * 0.51;
     let reach = instance.max_move + slack;
 
-    // DP: cost[j] = cheapest cost to have processed the prefix and be at
-    // node j. Start: server must begin at `start`, which may be off-grid —
-    // allow a free snap of at most `slack`.
+    GridArena {
+        nodes,
+        spacing,
+        reach,
+        slack,
+    }
+}
+
+/// Initial DP costs: the server must begin at `start`, which may be
+/// off-grid — allow a free snap of at most `slack`.
+fn initial_costs<const N: usize>(arena: &GridArena<N>, start: &Point<N>) -> Vec<f64> {
     let inf = f64::INFINITY;
-    let mut cost = vec![inf; nodes.len()];
-    for (j, p) in nodes.iter().enumerate() {
-        if p.distance(&instance.start) <= slack {
+    let mut cost = vec![inf; arena.nodes.len()];
+    for (j, p) in arena.nodes.iter().enumerate() {
+        if p.distance(start) <= arena.slack {
             cost[j] = 0.0;
         }
     }
     if cost.iter().all(|c| c.is_infinite()) {
         // Extremely coarse grid: snap to the nearest node unconditionally.
-        let (j, _) = nodes
+        let (j, _) = arena
+            .nodes
             .iter()
             .enumerate()
-            .map(|(j, p)| (j, p.distance(&instance.start)))
+            .map(|(j, p)| (j, p.distance(start)))
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .unwrap();
         cost[j] = 0.0;
     }
+    cost
+}
 
+/// Exhaustive DP optimum over a `cells_per_axis`-per-dimension grid
+/// covering the instance's bounding box (start + all requests), using the
+/// radius-pruned neighbor-window transition scan.
+///
+/// # Panics
+/// Panics when the grid would be degenerate (`cells_per_axis < 2`) or
+/// infeasibly large (> 200k cells) — this is a test oracle, not a solver.
+pub fn grid_optimum<const N: usize>(
+    instance: &Instance<N>,
+    cells_per_axis: usize,
+    order: ServingOrder,
+) -> f64 {
+    let arena = build_arena(instance, cells_per_axis);
+    let nodes = &arena.nodes;
+    let inf = f64::INFINITY;
+    let mut cost = initial_costs(&arena, &instance.start);
     let mut next = vec![inf; nodes.len()];
+
+    // Per-axis neighbor window: a move of length ≤ reach changes axis `i`
+    // by at most ⌈reach/h_i⌉ cells. The window over-approximates the
+    // Euclidean ball; the exact distance check inside the loop keeps the
+    // transition set identical to the all-pairs scan.
+    let mut window = [0usize; N];
+    for (w, &h) in window.iter_mut().zip(&arena.spacing) {
+        *w = if h > 0.0 {
+            ((arena.reach / h).ceil() as usize).min(cells_per_axis - 1)
+        } else {
+            cells_per_axis - 1
+        };
+    }
+    let mut stride = [1usize; N];
+    for i in 1..N {
+        stride[i] = stride[i - 1] * cells_per_axis;
+    }
+
+    let mut serve = vec![0.0f64; nodes.len()];
+    for step in &instance.steps {
+        // Hoist the service cost out of the transition loop: one O(r) sum
+        // per cell instead of one per (source, destination) pair.
+        for (k, pk) in nodes.iter().enumerate() {
+            serve[k] = service_cost(pk, &step.requests);
+        }
+        for c in next.iter_mut() {
+            *c = inf;
+        }
+        for (j, pj) in nodes.iter().enumerate() {
+            if cost[j].is_infinite() {
+                continue;
+            }
+            // Decode j's cell coordinates and clamp the window per axis.
+            let mut lo = [0usize; N];
+            let mut hi = [0usize; N];
+            let mut cur = [0usize; N];
+            for i in 0..N {
+                let c = (j / stride[i]) % cells_per_axis;
+                lo[i] = c.saturating_sub(window[i]);
+                hi[i] = (c + window[i]).min(cells_per_axis - 1);
+                cur[i] = lo[i];
+            }
+            // Odometer over the neighbor box.
+            loop {
+                let mut k = 0usize;
+                for i in 0..N {
+                    k += cur[i] * stride[i];
+                }
+                let pk = &nodes[k];
+                let move_dist = pj.distance(pk);
+                if move_dist <= arena.reach {
+                    let c = match order {
+                        ServingOrder::MoveFirst => cost[j] + instance.d * move_dist + serve[k],
+                        ServingOrder::AnswerFirst => cost[j] + serve[j] + instance.d * move_dist,
+                    };
+                    if c < next[k] {
+                        next[k] = c;
+                    }
+                }
+                // Advance the odometer.
+                let mut i = 0;
+                loop {
+                    cur[i] += 1;
+                    if cur[i] <= hi[i] {
+                        break;
+                    }
+                    cur[i] = lo[i];
+                    i += 1;
+                    if i == N {
+                        break;
+                    }
+                }
+                if i == N {
+                    break;
+                }
+            }
+        }
+        std::mem::swap(&mut cost, &mut next);
+    }
+
+    cost.into_iter().fold(inf, f64::min)
+}
+
+/// The original all-pairs transition scan (`O(cells² · r · T)`), retained
+/// as the independent baseline the pruned [`grid_optimum`] is certified
+/// against — and as the "before" side of the DP benchmarks.
+///
+/// # Panics
+/// Same contract as [`grid_optimum`].
+pub fn grid_optimum_unpruned<const N: usize>(
+    instance: &Instance<N>,
+    cells_per_axis: usize,
+    order: ServingOrder,
+) -> f64 {
+    let arena = build_arena(instance, cells_per_axis);
+    let nodes = &arena.nodes;
+    let inf = f64::INFINITY;
+    let mut cost = initial_costs(&arena, &instance.start);
+    let mut next = vec![inf; nodes.len()];
+
     for step in &instance.steps {
         for c in next.iter_mut() {
             *c = inf;
@@ -118,7 +254,7 @@ pub fn grid_optimum<const N: usize>(
             let serve_old = service_cost(pj, &step.requests);
             for (k, pk) in nodes.iter().enumerate() {
                 let move_dist = pj.distance(pk);
-                if move_dist > reach {
+                if move_dist > arena.reach {
                     continue;
                 }
                 let c = match order {
@@ -193,5 +329,60 @@ mod tests {
     fn oversize_grid_rejected() {
         let inst = Instance::new(1.0, 1.0, P2::origin(), vec![]);
         let _ = grid_optimum(&inst, 500, ServingOrder::MoveFirst);
+    }
+
+    #[test]
+    fn pruned_equals_unpruned_on_the_line() {
+        let steps = vec![
+            Step::single(P1::new([2.0])),
+            Step::new(vec![P1::new([-1.5]), P1::new([1.0])]),
+            Step::new(vec![]),
+            Step::single(P1::new([0.25])),
+        ];
+        let inst = Instance::new(1.5, 0.8, P1::origin(), steps);
+        for order in [ServingOrder::MoveFirst, ServingOrder::AnswerFirst] {
+            for cells in [17, 65, 129] {
+                let pruned = grid_optimum(&inst, cells, order);
+                let full = grid_optimum_unpruned(&inst, cells, order);
+                assert_eq!(
+                    pruned, full,
+                    "{order:?} cells={cells}: pruned {pruned} vs all-pairs {full}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_equals_unpruned_on_the_plane() {
+        let steps = vec![
+            Step::new(vec![P2::xy(1.0, 0.0), P2::xy(0.0, 1.0)]),
+            Step::new(vec![P2::xy(1.2, 1.1)]),
+            Step::new(vec![P2::xy(-0.5, 0.6), P2::xy(0.9, -0.4)]),
+        ];
+        let inst = Instance::new(2.0, 0.6, P2::origin(), steps);
+        for order in [ServingOrder::MoveFirst, ServingOrder::AnswerFirst] {
+            for cells in [9, 21, 33] {
+                let pruned = grid_optimum(&inst, cells, order);
+                let full = grid_optimum_unpruned(&inst, cells, order);
+                assert_eq!(
+                    pruned, full,
+                    "{order:?} cells={cells}: pruned {pruned} vs all-pairs {full}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn window_never_excludes_reachable_cells_with_large_budget() {
+        // Budget larger than the whole arena: the window clamps to the full
+        // grid and the DP must still agree with the all-pairs scan.
+        let steps = vec![
+            Step::single(P2::xy(1.0, 1.0)),
+            Step::single(P2::xy(-1.0, 0.5)),
+        ];
+        let inst = Instance::new(1.0, 50.0, P2::origin(), steps);
+        let pruned = grid_optimum(&inst, 13, ServingOrder::MoveFirst);
+        let full = grid_optimum_unpruned(&inst, 13, ServingOrder::MoveFirst);
+        assert_eq!(pruned, full);
     }
 }

@@ -23,9 +23,11 @@
 //! * [`convex`] — projected subgradient descent with Dykstra projections
 //!   for arbitrary dimension, polished by coordinate descent; converges to
 //!   the global optimum of the convex program (tolerance reported).
-//! * [`grid`] — brute-force dynamic program on a discretized arena. Only
-//!   practical for tiny instances; exists to cross-validate the other two
-//!   and to certify them in property tests.
+//! * [`grid`] — brute-force dynamic program on a discretized arena, with
+//!   movement-radius-pruned transitions (`O(cells · window · T)` instead
+//!   of all-pairs `O(cells² · r · T)`). Only practical for modest
+//!   instances; exists to cross-validate the other two and to certify
+//!   them in property tests.
 
 pub mod convex;
 pub mod grid;
@@ -33,6 +35,6 @@ pub mod line;
 pub mod pwl;
 
 pub use convex::{ConvexSolver, ConvexSolverOptions};
-pub use grid::grid_optimum;
+pub use grid::{grid_optimum, grid_optimum_unpruned};
 pub use line::{solve_line, solve_line_with_trajectory, IncrementalLineOpt, LineSolution};
 pub use pwl::ConvexPwl;

@@ -90,7 +90,11 @@ pub fn solve_line_with_trajectory(
     // constant w.r.t. q).
     for t in (1..=instance.horizon()).rev() {
         let p = positions[t].x();
-        let reqs: Vec<f64> = instance.steps[t - 1].requests.iter().map(|v| v.x()).collect();
+        let reqs: Vec<f64> = instance.steps[t - 1]
+            .requests
+            .iter()
+            .map(|v| v.x())
+            .collect();
         let candidate_fn = match order {
             ServingOrder::MoveFirst => post[t - 1].clone(),
             ServingOrder::AnswerFirst => post[t - 1].add_service(&reqs),
@@ -160,14 +164,10 @@ impl IncrementalLineOpt {
     /// Processes the next step's requests (positions on the line).
     pub fn push_step(&mut self, requests: &[f64]) {
         self.f = match self.order {
-            ServingOrder::MoveFirst => self
-                .f
-                .move_transform(self.d, self.m)
-                .add_service(requests),
-            ServingOrder::AnswerFirst => self
-                .f
-                .add_service(requests)
-                .move_transform(self.d, self.m),
+            ServingOrder::MoveFirst => self.f.move_transform(self.d, self.m).add_service(requests),
+            ServingOrder::AnswerFirst => {
+                self.f.add_service(requests).move_transform(self.d, self.m)
+            }
         };
         self.steps += 1;
     }

@@ -225,7 +225,10 @@ mod tests {
     fn runaway_walk_moves_at_full_speed_in_a_line() {
         let w = runaway_walk::<2>(100, 1.0, 11);
         let end = w.positions()[99];
-        assert!((end.norm() - 100.0).abs() < 1e-6, "did not run straight: {end:?}");
+        assert!(
+            (end.norm() - 100.0).abs() < 1e-6,
+            "did not run straight: {end:?}"
+        );
     }
 
     #[test]

@@ -61,8 +61,14 @@ impl<const N: usize> DriftingHotspot<N> {
     /// Creates the generator.
     pub fn new(config: DriftingHotspotConfig<N>) -> Self {
         config.count.validate();
-        assert!(config.momentum >= 0.0 && config.momentum < 1.0, "momentum ∈ [0,1)");
-        assert!(config.drift_speed >= 0.0, "drift speed must be non-negative");
+        assert!(
+            config.momentum >= 0.0 && config.momentum < 1.0,
+            "momentum ∈ [0,1)"
+        );
+        assert!(
+            config.drift_speed >= 0.0,
+            "drift speed must be non-negative"
+        );
         DriftingHotspot { config }
     }
 
@@ -94,7 +100,9 @@ impl<const N: usize> DriftingHotspot<N> {
             }
 
             let r = c.count.draw(t, &mut s);
-            let requests = (0..r).map(|_| s.gaussian_point(&center, c.spread)).collect();
+            let requests = (0..r)
+                .map(|_| s.gaussian_point(&center, c.spread))
+                .collect();
             steps.push(Step::new(requests));
         }
         Instance::new(c.d, c.max_move, Point::origin(), steps)
@@ -121,7 +129,11 @@ mod tests {
             assert_eq!(sa.requests, sb.requests);
         }
         let c = g.generate(43);
-        assert!(a.steps.iter().zip(&c.steps).any(|(x, y)| x.requests != y.requests));
+        assert!(a
+            .steps
+            .iter()
+            .zip(&c.steps)
+            .any(|(x, y)| x.requests != y.requests));
     }
 
     #[test]

@@ -18,7 +18,13 @@ use mobile_server::prelude::*;
 fn main() {
     println!("Competitive ratio vs augmentation δ (adversarial family, exact OPT)\n");
 
-    let mut table = Table::new(vec!["δ", "MtC cost", "exact OPT", "ratio", "paper bound O(1/δ)"]);
+    let mut table = Table::new(vec![
+        "δ",
+        "MtC cost",
+        "exact OPT",
+        "ratio",
+        "paper bound O(1/δ)",
+    ]);
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for delta in [0.05, 0.1, 0.2, 0.4, 0.8] {

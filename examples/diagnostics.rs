@@ -36,7 +36,8 @@ fn main() {
     // Run MtC and track the exact optimum incrementally, in lockstep.
     let mut alg = MoveToCenter::new();
     let run = run(&instance, &mut alg, delta, ServingOrder::MoveFirst);
-    let mut opt = IncrementalLineOpt::new(instance.d, instance.max_move, 0.0, ServingOrder::MoveFirst);
+    let mut opt =
+        IncrementalLineOpt::new(instance.d, instance.max_move, 0.0, ServingOrder::MoveFirst);
 
     let mut cumulative_alg = 0.0;
     let mut ratio_series = Vec::new();
@@ -61,10 +62,7 @@ fn main() {
         ascii_chart(&[Series::new("ratio", ratio_series.clone())], 72, 12)
     );
     println!("Server-to-demand gap over time:\n");
-    println!(
-        "{}",
-        ascii_chart(&[Series::new("gap", gap_series)], 72, 10)
-    );
+    println!("{}", ascii_chart(&[Series::new("gap", gap_series)], 72, 10));
 
     let final_ratio = ratio_series.last().unwrap();
     println!("Final cumulative ratio: {final_ratio:.3}");

@@ -36,7 +36,11 @@ fn main() {
         .fold(0.0f64, f64::max);
     println!("Equal speeds (m_s = m_a = 1.0), search party on random waypoints:");
     println!("  total cost        : {:.0}", res.total_cost());
-    println!("  max station-party gap: {:.2} (Theorem 10 guarantees ≤ D·m = {:.1})", max_gap, d * 1.0);
+    println!(
+        "  max station-party gap: {:.2} (Theorem 10 guarantees ≤ D·m = {:.1})",
+        max_gap,
+        d * 1.0
+    );
 
     // Regime 2 (Theorem 8): the party outruns the station.
     let fast = runaway_walk::<2>(horizon, 1.5, 11); // 50% faster than the station
@@ -46,7 +50,10 @@ fn main() {
     let final_gap = res_fast.positions[horizon].distance(&mc_fast.agent.positions()[horizon - 1]);
     println!("\nFast party (m_a = 1.5 > m_s = 1.0), worst-case straight escape:");
     println!("  total cost        : {:.0}", res_fast.total_cost());
-    println!("  final gap         : {:.0} — the station falls behind forever (Theorem 8)", final_gap);
+    println!(
+        "  final gap         : {:.0} — the station falls behind forever (Theorem 8)",
+        final_gap
+    );
 
     // Regime 3 (Corollary 9): augmentation rescues the chase.
     let res_aug = run(&inst_fast, &mut mtc, 0.6, ServingOrder::MoveFirst);

@@ -73,6 +73,9 @@ fn main() {
             format!("{:.2}×", res.total_cost() / base),
         ]);
     }
-    println!("Resource augmentation sweep (Move-to-Center):\n{}", sweep.to_markdown());
+    println!(
+        "Resource augmentation sweep (Move-to-Center):\n{}",
+        sweep.to_markdown()
+    );
     println!("Augmentation matters when the crowd is fast; against a 0.7-speed hotspot even δ=0 tracks well.");
 }

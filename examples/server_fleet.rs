@@ -61,7 +61,13 @@ fn main() {
         }
     }
     println!("{}", table.to_markdown());
-    println!("One page cannot be in four places: with k < 4 some district always pays ~15 per request.");
-    println!("At k = 4 every district gets a resident server and the cost collapses to local noise —");
-    println!("whether any policy is *competitive* here is exactly the problem the paper leaves open.");
+    println!(
+        "One page cannot be in four places: with k < 4 some district always pays ~15 per request."
+    );
+    println!(
+        "At k = 4 every district gets a resident server and the cost collapses to local noise —"
+    );
+    println!(
+        "whether any policy is *competitive* here is exactly the problem the paper leaves open."
+    );
 }

@@ -54,8 +54,8 @@ pub mod prelude {
         Thm3Params, Thm8Params,
     };
     pub use msp_analysis::{fit_power_law, Summary, Table};
-    pub use msp_core::prelude::*;
     pub use msp_core::cost::ServingOrder;
+    pub use msp_core::prelude::*;
     pub use msp_geometry::{Point, P1, P2, P3};
     pub use msp_offline::{solve_line, ConvexSolver};
     pub use msp_workloads::{

@@ -4,8 +4,7 @@
 //! priced within the proofs' closed-form cost bounds.
 
 use mobile_server::adversary::{
-    build_thm1, build_thm2, build_thm3, build_thm8, Thm1Params, Thm2Params, Thm3Params,
-    Thm8Params,
+    build_thm1, build_thm2, build_thm3, build_thm8, Thm1Params, Thm2Params, Thm3Params, Thm8Params,
 };
 use mobile_server::core::cost::ServingOrder;
 use proptest::prelude::*;

@@ -44,10 +44,7 @@ fn check_dimension<const N: usize>() {
             let cert = build_thm1::<N>(&p, seed);
             let mut alg = MoveToCenter::new();
             let r = run(&cert.instance, &mut alg, 0.0, ServingOrder::MoveFirst);
-            acc += ratio_lower_bound(
-                r.total_cost(),
-                cert.adversary_cost(ServingOrder::MoveFirst),
-            );
+            acc += ratio_lower_bound(r.total_cost(), cert.adversary_cost(ServingOrder::MoveFirst));
         }
         acc / 4.0
     };
@@ -72,10 +69,7 @@ fn check_dimension<const N: usize>() {
     let cert = build_thm2::<N>(&p, 1);
     let mut alg = MoveToCenter::new();
     let r = run(&cert.instance, &mut alg, 0.5, ServingOrder::MoveFirst);
-    let ratio = ratio_lower_bound(
-        r.total_cost(),
-        cert.adversary_cost(ServingOrder::MoveFirst),
-    );
+    let ratio = ratio_lower_bound(r.total_cost(), cert.adversary_cost(ServingOrder::MoveFirst));
     assert!(
         ratio < 10.0,
         "augmented MtC ratio {ratio:.2} too large in {N}-D"
@@ -129,9 +123,10 @@ fn higher_dimensions_are_no_easier_for_the_adversary() {
     let ratio_in = |cert_cost: f64, alg_cost: f64| alg_cost / cert_cost;
     let c1 = build_thm1::<1>(&p, 5);
     let c3 = build_thm1::<3>(&p, 5);
-    let mut alg = MoveToCenter::new();
-    let r1 = run(&c1.instance, &mut alg, 0.0, ServingOrder::MoveFirst).total_cost();
-    let r3 = run(&c3.instance, &mut alg, 0.0, ServingOrder::MoveFirst).total_cost();
+    let mut alg1 = MoveToCenter::new();
+    let mut alg3 = MoveToCenter::new();
+    let r1 = run(&c1.instance, &mut alg1, 0.0, ServingOrder::MoveFirst).total_cost();
+    let r3 = run(&c3.instance, &mut alg3, 0.0, ServingOrder::MoveFirst).total_cost();
     let q1 = ratio_in(c1.adversary_cost(ServingOrder::MoveFirst), r1);
     let q3 = ratio_in(c3.adversary_cost(ServingOrder::MoveFirst), r3);
     assert!(

@@ -14,7 +14,10 @@ fn every_experiment_runs_at_smoke_scale() {
         let md = report.to_markdown();
         assert!(md.contains(&id.to_uppercase()), "{id}: malformed markdown");
         let json = report.json.to_string();
-        assert!(json.starts_with('[') && json.ends_with(']'), "{id}: JSON not an array");
+        assert!(
+            json.starts_with('[') && json.ends_with(']'),
+            "{id}: JSON not an array"
+        );
         assert!(json.len() > 10, "{id}: JSON suspiciously small");
         // Minimal well-formedness: balanced braces/brackets outside strings.
         let mut depth = 0i64;

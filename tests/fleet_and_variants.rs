@@ -67,7 +67,10 @@ fn multi_agent_instance_dominates_single_agent_cost() {
     let double = MultiAgentInstance::new(2.0, 1.0, vec![a1, a2]);
     let opt1 = solve_line(&single.to_instance(), ServingOrder::MoveFirst).cost;
     let opt2 = solve_line(&double.to_instance(), ServingOrder::MoveFirst).cost;
-    assert!(opt2 >= opt1 - 1e-9, "adding an agent lowered OPT: {opt1} -> {opt2}");
+    assert!(
+        opt2 >= opt1 - 1e-9,
+        "adding an agent lowered OPT: {opt1} -> {opt2}"
+    );
 }
 
 #[test]

@@ -1,0 +1,154 @@
+//! Parity tests for the PR-1 fast paths: every optimization must return
+//! the same answers as the slow path it replaced.
+//!
+//! * warm-started [`MedianSolver`] vs the cold free function vs the seed's
+//!   classic solver,
+//! * `run_batch` vs repeated `run` calls,
+//! * radius-pruned `grid_optimum` vs the all-pairs scan (exact equality —
+//!   the pruned window provably enumerates the same transition set).
+
+use mobile_server::core::cost::ServingOrder;
+use mobile_server::core::simulator::{run, run_batch};
+use mobile_server::geometry::median::{
+    median_optimality_gap, weighted_center, weighted_center_classic, MedianOptions, MedianSolver,
+};
+use mobile_server::geometry::sample::SeededSampler;
+use mobile_server::offline::{grid_optimum, grid_optimum_unpruned};
+use mobile_server::prelude::*;
+
+/// Drifting random clusters: the workload shape the warm start targets.
+fn drifting_sets(seed: u64, n: usize, steps: usize) -> Vec<Vec<P2>> {
+    let mut s = SeededSampler::new(seed);
+    let offsets: Vec<P2> = (0..n).map(|_| s.point_in_cube(3.0)).collect();
+    (0..steps)
+        .map(|t| {
+            let c = P2::xy(0.04 * t as f64, -0.03 * t as f64);
+            offsets
+                .iter()
+                .map(|o| c + *o + s.point_in_cube(0.1))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn warm_median_matches_cold_and_classic_within_1e9() {
+    for seed in 0..4u64 {
+        let sets = drifting_sets(seed, 3 + seed as usize * 7, 120);
+        let reference = P2::xy(0.5, -0.5);
+        let mut solver = MedianSolver::<2>::new(MedianOptions::default());
+        for (t, pts) in sets.iter().enumerate() {
+            let warm = solver.center(pts, &reference);
+            let cold = weighted_center(pts, &reference, MedianOptions::default());
+            let classic = weighted_center_classic(
+                pts,
+                &vec![1.0; pts.len()],
+                &reference,
+                MedianOptions::default(),
+            );
+            assert!(
+                warm.distance(&cold) < 1e-9,
+                "seed {seed} step {t}: warm {warm:?} vs cold {cold:?}"
+            );
+            assert!(
+                warm.distance(&classic) < 1e-9,
+                "seed {seed} step {t}: warm {warm:?} vs classic {classic:?}"
+            );
+            assert!(
+                median_optimality_gap(pts, &warm) < 1e-6,
+                "seed {seed} step {t}: warm center not optimal"
+            );
+        }
+        // The warm start must actually engage on this workload.
+        assert!(solver.telemetry.warm_starts > 0);
+    }
+}
+
+/// A planar workload with varying request counts for the batch parity run.
+fn batch_instance(seed: u64, horizon: usize) -> Instance<2> {
+    let mut s = SeededSampler::new(seed);
+    let steps = (0..horizon)
+        .map(|t| {
+            let r = s.int_inclusive(0, 4);
+            let c = P2::xy((t as f64 * 0.1).sin() * 5.0, 0.05 * t as f64);
+            Step::new((0..r).map(|_| c + s.point_in_cube(1.5)).collect())
+        })
+        .collect();
+    Instance::new(3.0, 0.8, P2::origin(), steps)
+}
+
+#[test]
+fn run_batch_matches_repeated_runs_for_all_algorithms() {
+    let inst = batch_instance(9, 80);
+    let deltas = [0.0, 0.15, 0.6];
+    let orders = [ServingOrder::MoveFirst, ServingOrder::AnswerFirst];
+
+    // MtC (warm-started) and the coin-flip baseline (internally seeded RNG,
+    // reseeded at reset) both have state that run_batch must reset per lane.
+    let batch_mtc = run_batch(&inst, &MoveToCenter::new(), &deltas, &orders);
+    let batch_coin = run_batch(&inst, &RandomizedCoinFlip::<2>::new(7), &deltas, &orders);
+
+    let mut i = 0;
+    for &delta in &deltas {
+        for &order in &orders {
+            let mut mtc = MoveToCenter::new();
+            let single = run(&inst, &mut mtc, delta, order);
+            let b = &batch_mtc[i];
+            assert_eq!(b.algorithm, single.algorithm);
+            for (p, q) in b.positions.iter().zip(&single.positions) {
+                assert!(p.distance(q) < 1e-9, "mtc δ={delta} {order:?}");
+            }
+            assert!(
+                (b.total_cost() - single.total_cost()).abs() < 1e-9 * (1.0 + single.total_cost()),
+                "mtc δ={delta} {order:?}"
+            );
+
+            let mut coin = RandomizedCoinFlip::<2>::new(7);
+            let single = run(&inst, &mut coin, delta, order);
+            let b = &batch_coin[i];
+            // The coin-flip stream is reset-deterministic, so batch lanes
+            // must reproduce the sequential trajectories exactly.
+            assert_eq!(b.positions, single.positions, "coin δ={delta} {order:?}");
+            assert_eq!(b.total_cost(), single.total_cost());
+            i += 1;
+        }
+    }
+}
+
+#[test]
+fn pruned_grid_dp_equals_all_pairs_on_random_instances() {
+    for seed in 0..3u64 {
+        let mut s = SeededSampler::new(100 + seed);
+        let steps: Vec<Step<2>> = (0..5)
+            .map(|_| {
+                let r = s.int_inclusive(1, 3);
+                Step::new((0..r).map(|_| s.point_in_cube(1.2)).collect())
+            })
+            .collect();
+        let inst = Instance::new(1.0 + seed as f64, 0.5, P2::origin(), steps);
+        for order in [ServingOrder::MoveFirst, ServingOrder::AnswerFirst] {
+            for cells in [11, 19, 27] {
+                let pruned = grid_optimum(&inst, cells, order);
+                let full = grid_optimum_unpruned(&inst, cells, order);
+                assert_eq!(
+                    pruned, full,
+                    "seed {seed} {order:?} cells={cells}: {pruned} vs {full}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pruned_grid_dp_still_upper_bounds_the_exact_line_optimum() {
+    use mobile_server::offline::solve_line;
+    let mut s = SeededSampler::new(5);
+    let steps: Vec<Step<1>> = (0..8)
+        .map(|_| Step::single(P1::new([s.uniform(-2.0, 2.0)])))
+        .collect();
+    let inst = Instance::new(2.0, 0.7, P1::origin(), steps);
+    let exact = solve_line(&inst, ServingOrder::MoveFirst).cost;
+    let grid = grid_optimum(&inst, 201, ServingOrder::MoveFirst);
+    assert!(grid >= exact - 0.1, "grid {grid} undercuts exact {exact}");
+    assert!((grid - exact).abs() < 0.15, "grid {grid} vs exact {exact}");
+}

@@ -12,8 +12,8 @@ use proptest::prelude::*;
 /// Strategy: a small random planar instance.
 fn arb_instance() -> impl Strategy<Value = Instance<2>> {
     (
-        1.0f64..8.0,              // D
-        0.1f64..2.0,              // m
+        1.0f64..8.0, // D
+        0.1f64..2.0, // m
         prop::collection::vec(
             prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 0..5),
             1..40,

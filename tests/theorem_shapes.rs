@@ -4,8 +4,7 @@
 //! claims at test-suite cost.
 
 use mobile_server::adversary::{
-    build_thm1, build_thm2, build_thm3, build_thm8, Thm1Params, Thm2Params, Thm3Params,
-    Thm8Params,
+    build_thm1, build_thm2, build_thm3, build_thm8, Thm1Params, Thm2Params, Thm3Params, Thm8Params,
 };
 use mobile_server::core::ratio::ratio_lower_bound;
 use mobile_server::core::simulator::run;
