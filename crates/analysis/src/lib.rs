@@ -31,6 +31,6 @@ pub use bootstrap::bootstrap_mean_ci;
 pub use json::Json;
 pub use plot::{ascii_chart, Series};
 pub use regression::{fit_power_law, linear_fit, LinearFit, PowerLawFit};
-pub use stats::Summary;
+pub use stats::{StreamingSummary, Summary};
 pub use sweep::parallel_map;
 pub use table::Table;

@@ -77,6 +77,82 @@ impl Summary {
     }
 }
 
+/// One-pass streaming moment accumulator (Welford's algorithm): count,
+/// mean, variance, min, max in O(1) memory. This is the [`Summary`]
+/// counterpart for open-ended streams, where materializing the sample
+/// would defeat a bounded-memory run (no median — exact order statistics
+/// need the sample).
+#[derive(Clone, Copy, Debug)]
+pub struct StreamingSummary {
+    n: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for StreamingSummary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingSummary {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        StreamingSummary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one observation in.
+    ///
+    /// # Panics
+    /// Panics on non-finite values, mirroring [`Summary::of`].
+    pub fn push(&mut self, v: f64) {
+        assert!(v.is_finite(), "streaming summary of non-finite value {v}");
+        self.n += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (v - self.mean);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Observations folded in so far.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Running arithmetic mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Running sample standard deviation (n−1 denominator; 0 for n ≤ 1).
+    pub fn std_dev(&self) -> f64 {
+        if self.n > 1 {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        } else {
+            0.0
+        }
+    }
+
+    /// Smallest observation so far (+∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation so far (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
 /// Geometric mean (all values must be positive) — the right average for
 /// ratio data spread over orders of magnitude.
 pub fn geometric_mean(values: &[f64]) -> f64 {
@@ -92,6 +168,52 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn streaming_summary_matches_batch_summary() {
+        let values: Vec<f64> = (0..200)
+            .map(|i| ((i * 37) % 83) as f64 * 0.25 - 5.0)
+            .collect();
+        let batch = Summary::of(&values);
+        let mut s = StreamingSummary::new();
+        for &v in &values {
+            s.push(v);
+        }
+        assert_eq!(s.count(), batch.n);
+        assert!((s.mean() - batch.mean).abs() < 1e-12);
+        assert!((s.std_dev() - batch.std_dev).abs() < 1e-10);
+        assert_eq!(s.min(), batch.min);
+        assert_eq!(s.max(), batch.max);
+    }
+
+    #[test]
+    fn streaming_summary_empty_and_single() {
+        let mut s = StreamingSummary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        s.push(3.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), 3.0);
+        assert_eq!(s.max(), 3.0);
+    }
+
+    #[test]
+    fn streaming_summary_default_equals_new() {
+        // Default must share new()'s ±∞ min/max sentinels, or the first
+        // pushed value would lose to 0.0.
+        let mut s = StreamingSummary::default();
+        s.push(5.0);
+        assert_eq!(s.min(), 5.0);
+        let mut neg = StreamingSummary::default();
+        neg.push(-5.0);
+        assert_eq!(neg.max(), -5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn streaming_summary_rejects_nan() {
+        StreamingSummary::new().push(f64::NAN);
+    }
 
     #[test]
     fn summary_basic() {

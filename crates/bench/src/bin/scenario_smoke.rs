@@ -1,0 +1,98 @@
+//! Scenario smoke check for CI: for every registry scenario, record a
+//! short trace in each format, replay it, and diff it bit-exactly against
+//! the live stream; then run one bounded-memory streaming simulation.
+//!
+//! Exits non-zero on the first divergence, so a broken trace codec or a
+//! non-replayable scenario fails the build.
+//!
+//! Usage: `cargo run --release -p msp-bench --bin scenario_smoke`
+
+use msp_core::cost::ServingOrder;
+use msp_core::mtc::MoveToCenter;
+use msp_scenarios::{
+    diff_streams, record_to_vec, registry, run_stream, RequestStream, ScenarioKnobs, ScenarioSpec,
+    TraceFormat, TraceReader,
+};
+use std::io::Cursor;
+
+const SMOKE_SEED: u64 = 2017;
+const SMOKE_HORIZON: usize = 256;
+
+fn formats() -> [TraceFormat; 3] {
+    [
+        TraceFormat::TextV1,
+        TraceFormat::ChunkedV2 { chunk: 64 },
+        TraceFormat::Binary,
+    ]
+}
+
+/// Records `stream` in every format and diffs each replay against the
+/// live stream; returns the number of formats checked.
+fn check_record_replay<const N: usize>(
+    name: &str,
+    stream: &mut dyn RequestStream<N>,
+) -> Result<usize, String> {
+    for format in formats() {
+        let bytes = record_to_vec(stream, format)
+            .map_err(|e| format!("{name}: recording {format:?} failed: {e}"))?;
+        let mut replay = TraceReader::<N, _>::open(Cursor::new(bytes))
+            .map_err(|e| format!("{name}: opening {format:?} replay failed: {e}"))?;
+        if let Some(diff) = diff_streams(stream, &mut replay) {
+            return Err(format!("{name}: {format:?} replay diverged: {diff}"));
+        }
+    }
+    Ok(formats().len())
+}
+
+fn smoke_dim<const N: usize>(spec: &ScenarioSpec) -> Result<(), String> {
+    let knobs = ScenarioKnobs::horizon(SMOKE_HORIZON);
+    let mut stream = spec
+        .stream_with::<N>(SMOKE_SEED, &knobs)
+        .map_err(|e| format!("{}: {e}", spec.name))?;
+    check_record_replay(spec.name, stream.as_mut())?;
+    let res = run_stream(
+        stream.as_mut(),
+        MoveToCenter::new(),
+        spec.default_delta,
+        ServingOrder::MoveFirst,
+    );
+    println!(
+        "  {:<20} dim {N}  {} steps replayed in 3 formats, streamed cost {:.1}",
+        spec.name,
+        res.steps,
+        res.movement + res.service
+    );
+    Ok(())
+}
+
+fn smoke_one(spec: &ScenarioSpec) -> Result<(), String> {
+    match spec.dim {
+        1 => smoke_dim::<1>(spec),
+        2 => smoke_dim::<2>(spec),
+        other => Err(format!("{}: unexpected dimension {other}", spec.name)),
+    }
+}
+
+fn main() {
+    let specs = registry();
+    println!(
+        "scenario smoke: {} scenarios × record/replay/diff ({} steps each)",
+        specs.len(),
+        SMOKE_HORIZON
+    );
+    let mut failures = 0;
+    for spec in &specs {
+        if let Err(e) = smoke_one(spec) {
+            eprintln!("FAIL {e}");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} scenario(s) failed");
+        std::process::exit(1);
+    }
+    println!(
+        "all {} scenarios recorded, replayed, and diffed clean",
+        specs.len()
+    );
+}

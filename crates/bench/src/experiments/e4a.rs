@@ -8,7 +8,9 @@
 //! A second block verifies T-independence at fixed δ.
 
 use crate::report::ExperimentReport;
-use crate::runner::{batch_line_ratios, line_ratio, mean_over_seeds, stats_from_values, Scale};
+use crate::runner::{
+    batch_line_ratios, line_ratio, mean_over_seeds, prefix_line_ratios, stats_from_values, Scale,
+};
 use msp_adversary::{build_thm2, Thm2Params};
 use msp_analysis::table::fmt_sig;
 use msp_analysis::{fit_power_law, parallel_map, Json, Table};
@@ -64,10 +66,43 @@ fn walk_ratios(
         .collect()
 }
 
-fn walk_ratio(delta: f64, horizon: usize, walk_speed: f64, seeds: u64) -> crate::runner::SeedStats {
-    walk_ratios(&[delta], horizon, walk_speed, seeds)
-        .pop()
-        .expect("one δ in, one stat out")
+/// Walk ratios at every prefix horizon in `t_list`, per seed in **one**
+/// incremental pass: the walk generates once at the largest horizon and
+/// [`prefix_line_ratios`] reads the exact optimum off the rolling PWL DP
+/// at each mark — no per-T regeneration, no per-T OPT re-solves.
+fn walk_prefix_ratios(
+    delta: f64,
+    t_list: &[usize],
+    walk_speed: f64,
+    seeds: u64,
+) -> Vec<crate::runner::SeedStats> {
+    let max_t = *t_list.last().expect("at least one horizon");
+    let gen = RandomWalk::new(RandomWalkConfig::<1> {
+        horizon: max_t,
+        d: 2.0,
+        max_move: 1.0,
+        walk_speed,
+        turn_probability: 0.1,
+        spread: 0.0,
+        count: RequestCount::Fixed(1),
+    });
+    let seed_list: Vec<u64> = (0..seeds).collect();
+    let per_seed: Vec<Vec<f64>> = parallel_map(&seed_list, |&seed| {
+        let inst = gen.generate(seed);
+        prefix_line_ratios(
+            &inst,
+            MoveToCenter::new(),
+            delta,
+            ServingOrder::MoveFirst,
+            t_list,
+        )
+    });
+    (0..t_list.len())
+        .map(|ti| {
+            let values: Vec<f64> = per_seed.iter().map(|ratios| ratios[ti]).collect();
+            stats_from_values(&values)
+        })
+        .collect()
 }
 
 /// Runs E4a at the given scale.
@@ -141,12 +176,13 @@ pub fn run(scale: Scale) -> ExperimentReport {
         ));
     }
 
-    // T-independence block at δ = 0.2.
+    // T-independence block at δ = 0.2: one incremental pass per seed
+    // covers every horizon mark.
     let t_list: Vec<usize> = match scale {
         Scale::Smoke => vec![200, 800],
         _ => vec![500, 2000, 8000],
     };
-    let flat_res = parallel_map(&t_list, |&t| walk_ratio(0.2, t, 1.2, seeds));
+    let flat_res = walk_prefix_ratios(0.2, &t_list, 1.2, seeds);
     let mut flat = Vec::new();
     for (&t, stats) in t_list.iter().zip(&flat_res) {
         table.push_row(vec![

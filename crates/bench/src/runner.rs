@@ -13,9 +13,9 @@ use msp_core::algorithm::OnlineAlgorithm;
 use msp_core::cost::ServingOrder;
 use msp_core::model::Instance;
 use msp_core::ratio::competitive_ratio;
-use msp_core::simulator::{run, run_batch};
+use msp_core::simulator::{run, run_batch, StreamingSim};
 use msp_offline::convex::{ConvexSolver, ConvexSolverOptions};
-use msp_offline::line::solve_line;
+use msp_offline::line::{solve_line, IncrementalLineOpt};
 
 /// How big the experiment should be.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -143,6 +143,51 @@ pub fn batch_line_ratios<A: OnlineAlgorithm<1> + Clone>(
         .collect()
 }
 
+/// Competitive ratios of `algorithm` at every prefix horizon in `marks`
+/// (ascending, each ≤ the instance horizon) in **one** pass: the
+/// simulation streams forward while [`IncrementalLineOpt`] tracks the
+/// exact optimum-so-far, so the per-prefix from-scratch OPT re-solves of
+/// a horizon sweep disappear. Agrees exactly with [`line_ratio`] on
+/// separately materialized prefix instances (online decisions and the PWL
+/// DP are both causal) — pinned by tests.
+///
+/// # Panics
+/// Panics when `marks` is not strictly ascending or exceeds the horizon.
+pub fn prefix_line_ratios<A: OnlineAlgorithm<1>>(
+    instance: &Instance<1>,
+    algorithm: A,
+    delta: f64,
+    order: ServingOrder,
+    marks: &[usize],
+) -> Vec<f64> {
+    assert!(
+        marks.windows(2).all(|w| w[0] < w[1]),
+        "prefix marks must be strictly ascending"
+    );
+    assert!(
+        marks.last().is_none_or(|&t| t <= instance.horizon()),
+        "prefix mark beyond the horizon"
+    );
+    let mut sim = StreamingSim::new(&instance.params(), algorithm, delta, order);
+    let mut opt = IncrementalLineOpt::new(instance.d, instance.max_move, instance.start.x(), order);
+    let mut out = Vec::with_capacity(marks.len());
+    let mut next_mark = marks.iter().copied().peekable();
+    for step in &instance.steps {
+        if next_mark.peek().is_none() {
+            break;
+        }
+        sim.feed(step);
+        let reqs: Vec<f64> = step.requests.iter().map(|v| v.x()).collect();
+        opt.push_step(&reqs);
+        if next_mark.peek() == Some(&sim.steps()) {
+            next_mark.next();
+            out.push(competitive_ratio(sim.total_cost(), opt.current_opt()));
+        }
+    }
+    assert_eq!(out.len(), marks.len(), "marks beyond the processed prefix");
+    out
+}
+
 /// Mean with confidence interval.
 #[derive(Clone, Copy, Debug)]
 pub struct SeedStats {
@@ -214,6 +259,46 @@ mod tests {
                 "δ={delta}: {batch_ratio} vs {sequential}"
             );
         }
+    }
+
+    #[test]
+    fn prefix_line_ratios_match_from_scratch_solves() {
+        let steps: Vec<Step<1>> = (0..120)
+            .map(|t| Step::single(P1::new([(t as f64 * 0.4).sin() * 5.0])))
+            .collect();
+        let inst = Instance::new(2.0, 1.0, P1::origin(), steps);
+        let marks = [10usize, 40, 75, 120];
+        for order in [ServingOrder::MoveFirst, ServingOrder::AnswerFirst] {
+            let incremental = prefix_line_ratios(&inst, MoveToCenter::new(), 0.3, order, &marks);
+            for (&t, &inc) in marks.iter().zip(&incremental) {
+                // From scratch: materialize the prefix, re-run, re-solve.
+                let prefix = inst.prefix(t);
+                let mut alg = MoveToCenter::new();
+                let scratch = line_ratio(&prefix, &mut alg, 0.3, order);
+                assert!(
+                    (inc - scratch).abs() <= 1e-12 * scratch.max(1.0),
+                    "{order:?} T={t}: incremental {inc} vs from-scratch {scratch}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn prefix_line_ratios_reject_unsorted_marks() {
+        let inst = Instance::new(
+            1.0,
+            1.0,
+            P1::origin(),
+            vec![Step::single(P1::new([1.0])); 5],
+        );
+        let _ = prefix_line_ratios(
+            &inst,
+            MoveToCenter::new(),
+            0.0,
+            ServingOrder::MoveFirst,
+            &[3, 2],
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! the movement budget by clamping the proposal onto the segment towards
 //! it, so no algorithm can cheat the speed limit.
 
-use crate::model::Instance;
+use crate::model::{Instance, StreamParams};
 use msp_geometry::Point;
 
 /// Static context handed to an algorithm at reset and on every decision.
@@ -34,15 +34,24 @@ impl<const N: usize> AlgContext<N> {
     /// is possible); we allow any non-negative value so experiments can
     /// probe the unaugmented and over-augmented regimes too.
     pub fn new(instance: &Instance<N>, delta: f64) -> Self {
+        Self::from_params(&instance.params(), delta)
+    }
+
+    /// Builds the context from bare [`StreamParams`] — the constructor
+    /// streaming drivers use when no materialized [`Instance`] exists.
+    ///
+    /// # Panics
+    /// Panics when `delta` is negative or not finite (see [`Self::new`]).
+    pub fn from_params(params: &StreamParams<N>, delta: f64) -> Self {
         assert!(
             delta >= 0.0 && delta.is_finite(),
             "augmentation δ must be a finite non-negative number, got {delta}"
         );
         AlgContext {
-            d: instance.d,
-            max_move: instance.max_move,
+            d: params.d,
+            max_move: params.max_move,
             delta,
-            start: instance.start,
+            start: params.start,
         }
     }
 

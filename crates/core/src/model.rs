@@ -48,6 +48,42 @@ impl<const N: usize> Step<N> {
     }
 }
 
+/// The model parameters of an instance *without* its request sequence —
+/// what a streaming consumer needs up front when the steps arrive one at a
+/// time (from a generator, a trace file, or a network feed) and the
+/// horizon is unknown or unbounded.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StreamParams<const N: usize> {
+    /// Movement cost weight `D ≥ 1`.
+    pub d: f64,
+    /// Per-step movement limit `m > 0`.
+    pub max_move: f64,
+    /// Common start position `P_0`.
+    pub start: Point<N>,
+}
+
+impl<const N: usize> StreamParams<N> {
+    /// Builds stream parameters, validating the model constraints.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters, mirroring [`Instance::new`].
+    pub fn new(d: f64, max_move: f64, start: Point<N>) -> Self {
+        assert!(d >= 1.0 && d.is_finite(), "D must be ≥ 1, got {d}");
+        assert!(
+            max_move > 0.0 && max_move.is_finite(),
+            "m must be positive, got {max_move}"
+        );
+        assert!(start.is_finite(), "start position must be finite");
+        StreamParams { d, max_move, start }
+    }
+
+    /// Materializes an [`Instance`] from these parameters and a collected
+    /// step sequence.
+    pub fn into_instance(self, steps: Vec<Step<N>>) -> Instance<N> {
+        Instance::new(self.d, self.max_move, self.start, steps)
+    }
+}
+
 /// A complete instance of the Mobile Server Problem.
 #[derive(Clone, Debug)]
 pub struct Instance<const N: usize> {
@@ -93,6 +129,15 @@ impl<const N: usize> Instance<N> {
     /// Horizon `T` — the number of time steps.
     pub fn horizon(&self) -> usize {
         self.steps.len()
+    }
+
+    /// The instance's model parameters without the request sequence.
+    pub fn params(&self) -> StreamParams<N> {
+        StreamParams {
+            d: self.d,
+            max_move: self.max_move,
+            start: self.start,
+        }
     }
 
     /// Total number of requests across all steps.
@@ -229,6 +274,24 @@ mod tests {
             P2::origin(),
             vec![Step::single(P2::xy(f64::NAN, 0.0))],
         );
+    }
+
+    #[test]
+    fn params_round_trip_through_instance() {
+        let inst = tiny();
+        let p = inst.params();
+        assert_eq!(p, StreamParams::new(inst.d, inst.max_move, inst.start));
+        let again = p.into_instance(inst.steps.clone());
+        assert_eq!(again.d, inst.d);
+        assert_eq!(again.max_move, inst.max_move);
+        assert_eq!(again.start, inst.start);
+        assert_eq!(again.horizon(), inst.horizon());
+    }
+
+    #[test]
+    #[should_panic(expected = "D must be ≥ 1")]
+    fn stream_params_reject_small_d() {
+        let _ = StreamParams::<2>::new(0.5, 1.0, P2::origin());
     }
 
     #[test]

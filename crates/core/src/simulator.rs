@@ -2,7 +2,7 @@
 //! under a serving order and a resource-augmentation factor, with strict
 //! enforcement of the movement budget.
 //!
-//! Two entry points:
+//! Entry points:
 //!
 //! * [`run`] — one `(algorithm, δ, order)` combination, the classic path.
 //! * [`run_batch`] — the multi-configuration fast path: one pass over the
@@ -12,10 +12,15 @@
 //!   pure pricing choice), which lets a single decision sequence per δ be
 //!   priced under all orders simultaneously — halving the number of
 //!   expensive median solves for the common both-orders sweep.
+//! * [`run_streaming`] / [`run_streaming_batch`] — the open-ended paths:
+//!   steps arrive from any iterator (a workload generator, a trace file, a
+//!   network feed) and only running totals are kept, so memory is O(1) in
+//!   the horizon. [`StreamingSim`] is the underlying push-style engine
+//!   with checkpoint/resume support for multi-million-step runs.
 
 use crate::algorithm::{AlgContext, OnlineAlgorithm};
 use crate::cost::{service_cost, CostBreakdown, ServingOrder, StepCost};
-use crate::model::Instance;
+use crate::model::{Instance, Step, StreamParams};
 use msp_geometry::{step_towards, Point};
 
 /// Outcome of one simulated run.
@@ -219,6 +224,362 @@ pub fn run_batch<const N: usize, A: OnlineAlgorithm<N> + Clone>(
     out
 }
 
+/// Outcome of a streaming run: totals only, O(1) in the horizon. The full
+/// position trace is deliberately absent — streaming runs exist precisely
+/// so multi-million-step horizons do not accumulate per-step state.
+#[derive(Clone, Debug)]
+pub struct StreamRunResult<const N: usize> {
+    /// Algorithm name, for tables.
+    pub algorithm: String,
+    /// Serving order the run was priced under.
+    pub order: ServingOrder,
+    /// Augmentation factor δ granted to the algorithm.
+    pub delta: f64,
+    /// Number of steps consumed.
+    pub steps: usize,
+    /// Server position after the last step.
+    pub final_position: Point<N>,
+    /// Total weighted movement cost.
+    pub movement: f64,
+    /// Total service cost.
+    pub service: f64,
+    /// Largest single-step displacement actually used.
+    pub max_step_used: f64,
+}
+
+impl<const N: usize> StreamRunResult<N> {
+    /// Total cost `C_Alg`.
+    pub fn total_cost(&self) -> f64 {
+        self.movement + self.service
+    }
+}
+
+/// Resumable snapshot of a streaming run: the server position and the
+/// running cost totals. The algorithm's warm state (e.g. the median
+/// solver's seed) is the algorithm value itself — keep it alongside the
+/// checkpoint (see [`StreamingSim::into_parts`]) for exact-decision
+/// resumption, or pass a fresh algorithm and let it re-warm.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StreamCheckpoint<const N: usize> {
+    /// Steps consumed so far.
+    pub step: usize,
+    /// Server position after `step` steps.
+    pub position: Point<N>,
+    /// Weighted movement cost so far.
+    pub movement: f64,
+    /// Service cost so far.
+    pub service: f64,
+    /// Largest single-step displacement so far.
+    pub max_step_used: f64,
+}
+
+/// Push-style streaming simulation engine: feed steps one at a time,
+/// inspect running totals, snapshot checkpoints, and finish into a
+/// [`StreamRunResult`]. Decisions, clamping, and pricing use exactly the
+/// same arithmetic as [`run`], so a streamed pass over an instance's steps
+/// reproduces the batch result bit for bit (pinned by tests).
+#[derive(Clone, Debug)]
+pub struct StreamingSim<const N: usize, A> {
+    ctx: AlgContext<N>,
+    budget: f64,
+    order: ServingOrder,
+    algorithm: A,
+    current: Point<N>,
+    steps: usize,
+    movement: f64,
+    service: f64,
+    max_step_used: f64,
+}
+
+impl<const N: usize, A: OnlineAlgorithm<N>> StreamingSim<N, A> {
+    /// Starts a streaming run from `params.start` with a freshly reset
+    /// algorithm.
+    pub fn new(
+        params: &StreamParams<N>,
+        mut algorithm: A,
+        delta: f64,
+        order: ServingOrder,
+    ) -> Self {
+        let ctx = AlgContext::from_params(params, delta);
+        algorithm.reset(&ctx);
+        StreamingSim {
+            budget: ctx.online_budget(),
+            ctx,
+            order,
+            algorithm,
+            current: params.start,
+            steps: 0,
+            movement: 0.0,
+            service: 0.0,
+            max_step_used: 0.0,
+        }
+    }
+
+    /// Resumes a streaming run from `checkpoint`. The algorithm is taken
+    /// as-is (NOT reset): pass back the warm algorithm captured at the
+    /// checkpoint for exact continuation, or a self-warming algorithm such
+    /// as Move-to-Center, which rebuilds its solver state in one step.
+    pub fn resume(
+        params: &StreamParams<N>,
+        algorithm: A,
+        delta: f64,
+        order: ServingOrder,
+        checkpoint: &StreamCheckpoint<N>,
+    ) -> Self {
+        let ctx = AlgContext::from_params(params, delta);
+        StreamingSim {
+            budget: ctx.online_budget(),
+            ctx,
+            order,
+            algorithm,
+            current: checkpoint.position,
+            steps: checkpoint.step,
+            movement: checkpoint.movement,
+            service: checkpoint.service,
+            max_step_used: checkpoint.max_step_used,
+        }
+    }
+
+    /// Advances the simulation by one step, returning that step's cost.
+    pub fn feed(&mut self, step: &Step<N>) -> StepCost {
+        let proposal = self
+            .algorithm
+            .decide(&self.current, &step.requests, &self.ctx);
+        debug_assert!(
+            proposal.is_finite(),
+            "{} proposed a non-finite position",
+            self.algorithm.name()
+        );
+        let next = step_towards(&self.current, &proposal, self.budget);
+        let step_len = self.current.distance(&next);
+        let movement = self.ctx.d * step_len;
+        let serve_from = match self.order {
+            ServingOrder::MoveFirst => &next,
+            ServingOrder::AnswerFirst => &self.current,
+        };
+        let service = service_cost(serve_from, &step.requests);
+        self.movement += movement;
+        self.service += service;
+        self.max_step_used = self.max_step_used.max(step_len);
+        self.current = next;
+        self.steps += 1;
+        StepCost { movement, service }
+    }
+
+    /// Steps consumed so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Current server position.
+    pub fn position(&self) -> &Point<N> {
+        &self.current
+    }
+
+    /// Total cost so far.
+    pub fn total_cost(&self) -> f64 {
+        self.movement + self.service
+    }
+
+    /// Read access to the algorithm (e.g. for warm-state telemetry).
+    pub fn algorithm(&self) -> &A {
+        &self.algorithm
+    }
+
+    /// Snapshot of the resumable run state.
+    pub fn checkpoint(&self) -> StreamCheckpoint<N> {
+        StreamCheckpoint {
+            step: self.steps,
+            position: self.current,
+            movement: self.movement,
+            service: self.service,
+            max_step_used: self.max_step_used,
+        }
+    }
+
+    /// Splits the run into the (warm) algorithm and the checkpoint — what
+    /// a caller persists to resume later via [`StreamingSim::resume`].
+    pub fn into_parts(self) -> (A, StreamCheckpoint<N>) {
+        let cp = StreamCheckpoint {
+            step: self.steps,
+            position: self.current,
+            movement: self.movement,
+            service: self.service,
+            max_step_used: self.max_step_used,
+        };
+        (self.algorithm, cp)
+    }
+
+    /// Finalizes the run.
+    pub fn finish(self) -> StreamRunResult<N> {
+        StreamRunResult {
+            algorithm: self.algorithm.name(),
+            order: self.order,
+            delta: self.ctx.delta,
+            steps: self.steps,
+            final_position: self.current,
+            movement: self.movement,
+            service: self.service,
+            max_step_used: self.max_step_used,
+        }
+    }
+}
+
+/// Runs `algorithm` over an open-ended step stream with O(1) memory in the
+/// stream length. Costs agree with [`run`] on the same step sequence to
+/// floating-point identity (same decision/clamping/pricing arithmetic).
+pub fn run_streaming<const N: usize, A, I>(
+    params: &StreamParams<N>,
+    steps: I,
+    algorithm: A,
+    delta: f64,
+    order: ServingOrder,
+) -> StreamRunResult<N>
+where
+    A: OnlineAlgorithm<N>,
+    I: IntoIterator<Item = Step<N>>,
+{
+    let mut sim = StreamingSim::new(params, algorithm, delta, order);
+    for step in steps {
+        sim.feed(&step);
+    }
+    sim.finish()
+}
+
+/// [`run_streaming`] with a periodic checkpoint callback: every `every`
+/// steps the callback receives the resumable snapshot and a reference to
+/// the warm algorithm. Multi-million-step runs persist these to survive
+/// interruption.
+///
+/// # Panics
+/// Panics when `every` is zero.
+pub fn run_streaming_with_checkpoints<const N: usize, A, I, F>(
+    params: &StreamParams<N>,
+    steps: I,
+    algorithm: A,
+    delta: f64,
+    order: ServingOrder,
+    every: usize,
+    mut on_checkpoint: F,
+) -> StreamRunResult<N>
+where
+    A: OnlineAlgorithm<N>,
+    I: IntoIterator<Item = Step<N>>,
+    F: FnMut(&StreamCheckpoint<N>, &A),
+{
+    assert!(every > 0, "checkpoint interval must be positive");
+    let mut sim = StreamingSim::new(params, algorithm, delta, order);
+    for step in steps {
+        sim.feed(&step);
+        if sim.steps() % every == 0 {
+            on_checkpoint(&sim.checkpoint(), sim.algorithm());
+        }
+    }
+    sim.finish()
+}
+
+/// Streaming counterpart of [`run_batch`]: one pass over an open-ended
+/// step stream prices every `(δ, order)` combination, keeping only running
+/// totals (O(deltas·orders) memory, independent of the stream length).
+/// Results are δ-major, order-minor, and match [`run_batch`] on the same
+/// steps bit for bit.
+///
+/// # Panics
+/// Panics when `deltas` or `orders` is empty.
+pub fn run_streaming_batch<const N: usize, A, I>(
+    params: &StreamParams<N>,
+    steps: I,
+    algorithm: &A,
+    deltas: &[f64],
+    orders: &[ServingOrder],
+) -> Vec<StreamRunResult<N>>
+where
+    A: OnlineAlgorithm<N> + Clone,
+    I: IntoIterator<Item = Step<N>>,
+{
+    assert!(
+        !deltas.is_empty(),
+        "run_streaming_batch needs at least one δ"
+    );
+    assert!(
+        !orders.is_empty(),
+        "run_streaming_batch needs at least one order"
+    );
+
+    struct Lane<const N: usize, A> {
+        ctx: AlgContext<N>,
+        budget: f64,
+        algorithm: A,
+        current: Point<N>,
+        max_step_used: f64,
+        // (movement, service) per serving order.
+        totals: Vec<(f64, f64)>,
+    }
+
+    let mut lanes: Vec<Lane<N, A>> = deltas
+        .iter()
+        .map(|&delta| {
+            let ctx = AlgContext::from_params(params, delta);
+            let mut algorithm = algorithm.clone();
+            algorithm.reset(&ctx);
+            Lane {
+                budget: ctx.online_budget(),
+                ctx,
+                algorithm,
+                current: params.start,
+                max_step_used: 0.0,
+                totals: vec![(0.0, 0.0); orders.len()],
+            }
+        })
+        .collect();
+
+    let mut steps_seen = 0usize;
+    for step in steps {
+        steps_seen += 1;
+        for lane in &mut lanes {
+            let proposal = lane
+                .algorithm
+                .decide(&lane.current, &step.requests, &lane.ctx);
+            debug_assert!(
+                proposal.is_finite(),
+                "{} proposed a non-finite position",
+                lane.algorithm.name()
+            );
+            let next = step_towards(&lane.current, &proposal, lane.budget);
+            let step_len = lane.current.distance(&next);
+            let movement = lane.ctx.d * step_len;
+            lane.max_step_used = lane.max_step_used.max(step_len);
+            for (order, (mv, sv)) in orders.iter().zip(&mut lane.totals) {
+                let serve_from = match order {
+                    ServingOrder::MoveFirst => &next,
+                    ServingOrder::AnswerFirst => &lane.current,
+                };
+                *mv += movement;
+                *sv += service_cost(serve_from, &step.requests);
+            }
+            lane.current = next;
+        }
+    }
+
+    let mut out = Vec::with_capacity(deltas.len() * orders.len());
+    for (lane, &delta) in lanes.into_iter().zip(deltas) {
+        let name = lane.algorithm.name();
+        for (&order, (movement, service)) in orders.iter().zip(lane.totals) {
+            out.push(StreamRunResult {
+                algorithm: name.clone(),
+                order,
+                delta,
+                steps: steps_seen,
+                final_position: lane.current,
+                movement,
+                service,
+                max_step_used: lane.max_step_used,
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,6 +733,132 @@ mod tests {
     fn run_batch_rejects_empty_deltas() {
         let inst = chase_instance(2);
         let _ = run_batch(&inst, &MoveToCenter::new(), &[], &[ServingOrder::MoveFirst]);
+    }
+
+    #[test]
+    fn run_streaming_matches_run_exactly() {
+        let inst = chase_instance(40);
+        for order in [ServingOrder::MoveFirst, ServingOrder::AnswerFirst] {
+            let mut alg = MoveToCenter::new();
+            let batch = run(&inst, &mut alg, 0.3, order);
+            let streamed = run_streaming(
+                &inst.params(),
+                inst.steps.iter().cloned(),
+                MoveToCenter::new(),
+                0.3,
+                order,
+            );
+            assert_eq!(streamed.steps, inst.horizon());
+            assert_eq!(streamed.movement, batch.cost.movement);
+            assert_eq!(streamed.service, batch.cost.service);
+            assert_eq!(streamed.final_position, *batch.positions.last().unwrap());
+            assert_eq!(streamed.max_step_used, batch.max_step_used());
+        }
+    }
+
+    #[test]
+    fn run_streaming_batch_matches_run_batch_exactly() {
+        let inst = chase_instance(30);
+        let deltas = [0.0, 0.25, 1.0];
+        let orders = [ServingOrder::MoveFirst, ServingOrder::AnswerFirst];
+        let batch = run_batch(&inst, &MoveToCenter::new(), &deltas, &orders);
+        let streamed = run_streaming_batch(
+            &inst.params(),
+            inst.steps.iter().cloned(),
+            &MoveToCenter::new(),
+            &deltas,
+            &orders,
+        );
+        assert_eq!(streamed.len(), batch.len());
+        for (s, b) in streamed.iter().zip(&batch) {
+            assert_eq!(s.delta, b.delta);
+            assert_eq!(s.order, b.order);
+            assert_eq!(s.movement, b.cost.movement);
+            assert_eq!(s.service, b.cost.service);
+            assert_eq!(s.final_position, *b.positions.last().unwrap());
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_the_full_run() {
+        let inst = chase_instance(24);
+        let full = run_streaming(
+            &inst.params(),
+            inst.steps.iter().cloned(),
+            MoveToCenter::new(),
+            0.4,
+            ServingOrder::MoveFirst,
+        );
+
+        // First half, snapshot, resume with the warm algorithm, second half.
+        let mut sim = StreamingSim::new(
+            &inst.params(),
+            MoveToCenter::new(),
+            0.4,
+            ServingOrder::MoveFirst,
+        );
+        for step in &inst.steps[..12] {
+            sim.feed(step);
+        }
+        let (warm, cp) = sim.into_parts();
+        assert_eq!(cp.step, 12);
+        let mut resumed =
+            StreamingSim::resume(&inst.params(), warm, 0.4, ServingOrder::MoveFirst, &cp);
+        for step in &inst.steps[12..] {
+            resumed.feed(step);
+        }
+        let res = resumed.finish();
+        assert_eq!(res.steps, full.steps);
+        assert_eq!(res.movement, full.movement);
+        assert_eq!(res.service, full.service);
+        assert_eq!(res.final_position, full.final_position);
+    }
+
+    #[test]
+    fn periodic_checkpoints_fire_at_the_interval() {
+        let inst = chase_instance(20);
+        let mut seen = Vec::new();
+        let res = run_streaming_with_checkpoints(
+            &inst.params(),
+            inst.steps.iter().cloned(),
+            MoveToCenter::new(),
+            0.0,
+            ServingOrder::MoveFirst,
+            6,
+            |cp, _alg| seen.push(cp.step),
+        );
+        assert_eq!(seen, vec![6, 12, 18]);
+        assert_eq!(res.steps, 20);
+    }
+
+    #[test]
+    fn streaming_step_cost_totals_are_consistent() {
+        let inst = chase_instance(15);
+        let mut sim = StreamingSim::new(
+            &inst.params(),
+            FollowCenter::new(),
+            0.0,
+            ServingOrder::MoveFirst,
+        );
+        let mut acc = 0.0;
+        for step in &inst.steps {
+            acc += sim.feed(step).total();
+        }
+        assert!((acc - sim.total_cost()).abs() < 1e-12);
+        assert_eq!(sim.steps(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one δ")]
+    fn run_streaming_batch_rejects_empty_deltas() {
+        let inst = chase_instance(2);
+        let _ = run_streaming_batch(
+            &inst.params(),
+            inst.steps.iter().cloned(),
+            &MoveToCenter::new(),
+            &[],
+            &[ServingOrder::MoveFirst],
+        );
     }
 
     #[test]

@@ -14,6 +14,9 @@ use rand::{Rng, SeedableRng};
 ///
 /// Thin wrapper over `StdRng` adding uniform-in-cube, uniform-in-ball,
 /// uniform-on-sphere and Gaussian point sampling in any dimension.
+/// `Clone` snapshots the full RNG state, so streaming workloads that hold
+/// a sampler can be checkpointed and replayed mid-stream.
+#[derive(Clone, Debug)]
 pub struct SeededSampler {
     rng: StdRng,
 }

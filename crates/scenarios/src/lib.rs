@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Streaming scenario engine for the Mobile Server Problem workspace.
+//!
+//! The paper's motivating workloads — edge servers chasing drifting
+//! demand, autonomous-car fleets, disaster-response networks — are
+//! open-ended request *streams*. This crate makes streams first-class:
+//!
+//! * [`stream::RequestStream`] — a pull-based, seeded, replayable step
+//!   iterator, with adapters for every `msp-workloads` generator
+//!   ([`stream::GeneratedStream`]), materialized instances and adversary
+//!   certificates ([`stream::InstanceStream`]), and durable traces
+//!   ([`trace::TraceReader`]).
+//! * [`trace`] — versioned trace formats (text v1, chunked v2, framed
+//!   binary) with exact record/replay and bit-level cross-run diffing.
+//! * [`registry`] — the named scenario catalog: benches, examples, and
+//!   tests all pull their workloads from one place
+//!   (`lookup("edge-drift")`) instead of bespoke setup code.
+//! * [`engine`] — glue to `msp_core::simulator::run_streaming` (O(1)
+//!   memory in the horizon) plus parallel multi-seed materialization and
+//!   trace recording.
+
+pub mod engine;
+pub mod registry;
+pub mod stream;
+pub mod trace;
+
+pub use engine::{
+    materialize, materialize_seeds, record_seeds, run_stream, run_stream_batch,
+    run_stream_with_summary,
+};
+pub use registry::{lookup, lookup_or_err, registry, ScenarioError, ScenarioKnobs, ScenarioSpec};
+pub use stream::{collect_instance, GeneratedStream, InstanceStream, RequestStream, StreamSteps};
+pub use trace::{
+    diff_streams, read_trace, record_stream, record_to_vec, StreamDiff, TraceError, TraceFormat,
+    TraceReader, TraceWriter,
+};

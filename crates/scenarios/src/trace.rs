@@ -1,0 +1,981 @@
+//! Durable, versioned request traces: record once, replay everywhere.
+//!
+//! Three wire formats, all carrying the same data (model parameters plus
+//! the step sequence) and all replayable through [`TraceReader`]:
+//!
+//! * **Text v1** — the `msp_core::io` plain-text instance format, written
+//!   streamingly (header first, then one `step` line at a time). Fully
+//!   compatible with files produced by `msp_core::io::write_instance`.
+//! * **Chunked v2** — text v1 plus `chunk k` markers every `chunk` steps
+//!   and an `end T` trailer. Appendable while a run is in flight; the
+//!   trailer turns torn writes into loud errors instead of silently
+//!   truncated replays.
+//! * **Binary** — a compact framed encoding (`MSPB` magic): header, then
+//!   one length-prefixed frame per step, then a sentinel trailer with the
+//!   step count. Coordinates are stored as raw IEEE-754 bits, so decode ∘
+//!   encode is the identity on every finite `f64` (including `-0.0` and
+//!   subnormals).
+//!
+//! Text round-trips are exact too — Rust's float formatter emits the
+//! shortest decimal that parses back to the same bits — so cross-format
+//! re-encoding is lossless. Non-finite coordinates are rejected at both
+//! ends: they cannot enter a trace, and a corrupt trace cannot smuggle
+//! them into an [`Instance`].
+
+use crate::stream::RequestStream;
+use msp_core::model::{Instance, Step, StreamParams};
+use msp_geometry::Point;
+use std::io::{BufRead, Cursor, Seek, SeekFrom, Write};
+
+/// Magic prefix of the binary trace format.
+pub const BINARY_MAGIC: &[u8; 4] = b"MSPB";
+/// Version field written by the binary encoder.
+pub const BINARY_VERSION: u16 = 1;
+/// Banner line of the chunked text format.
+pub const CHUNKED_BANNER: &str = "# mobile-server trace v2";
+/// Frame sentinel that terminates the binary step section.
+const BINARY_END: u32 = u32::MAX;
+/// Upper bound on requests-per-step accepted by the binary decoder; counts
+/// beyond this are treated as corruption rather than allocated.
+const MAX_REQUESTS_PER_STEP: u32 = 1 << 24;
+
+/// Which wire format a [`TraceWriter`] produces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Plain-text v1, byte-compatible with `msp_core::io`.
+    TextV1,
+    /// Chunked text v2 with `chunk` markers every `chunk` steps and an
+    /// `end` trailer.
+    ChunkedV2 {
+        /// Steps per chunk (must be positive).
+        chunk: usize,
+    },
+    /// Framed binary with bit-exact coordinates.
+    Binary,
+}
+
+/// Errors from trace encoding/decoding.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed or truncated trace data.
+    Corrupt {
+        /// Where the problem was detected (line number or byte offset).
+        at: String,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Corrupt { at, message } => write!(f, "corrupt trace at {at}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+fn corrupt(at: impl std::fmt::Display, message: impl Into<String>) -> TraceError {
+    TraceError::Corrupt {
+        at: at.to_string(),
+        message: message.into(),
+    }
+}
+
+fn coords_line<const N: usize>(p: &Point<N>) -> String {
+    p.coords()
+        .iter()
+        .map(|c| format!("{c}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Streaming trace encoder over any [`Write`] sink.
+///
+/// Lifecycle: [`TraceWriter::new`] writes the header, [`write_step`]
+/// appends one step at a time (O(1) memory in the horizon), and
+/// [`finish`] writes the trailer and returns the sink. Dropping a writer
+/// without `finish` leaves a trailerless file, which the chunked and
+/// binary readers report as truncated — deliberate torn-write detection.
+///
+/// [`write_step`]: TraceWriter::write_step
+/// [`finish`]: TraceWriter::finish
+pub struct TraceWriter<const N: usize, W: Write> {
+    sink: W,
+    format: TraceFormat,
+    steps: usize,
+    chunks: usize,
+}
+
+impl<const N: usize, W: Write> TraceWriter<N, W> {
+    /// Opens a trace: validates `params`, writes the format header.
+    ///
+    /// # Panics
+    /// Panics on invalid model parameters (via [`StreamParams::new`]) or a
+    /// zero chunk size.
+    pub fn new(
+        mut sink: W,
+        format: TraceFormat,
+        params: &StreamParams<N>,
+    ) -> Result<Self, TraceError> {
+        let params = StreamParams::new(params.d, params.max_move, params.start); // validate
+        match format {
+            TraceFormat::TextV1 => {
+                writeln!(sink, "# mobile-server instance v1")?;
+                Self::write_text_header(&mut sink, &params)?;
+            }
+            TraceFormat::ChunkedV2 { chunk } => {
+                assert!(chunk > 0, "chunk size must be positive");
+                writeln!(sink, "{CHUNKED_BANNER}")?;
+                Self::write_text_header(&mut sink, &params)?;
+            }
+            TraceFormat::Binary => {
+                sink.write_all(BINARY_MAGIC)?;
+                sink.write_all(&BINARY_VERSION.to_le_bytes())?;
+                sink.write_all(&(N as u16).to_le_bytes())?;
+                sink.write_all(&params.d.to_bits().to_le_bytes())?;
+                sink.write_all(&params.max_move.to_bits().to_le_bytes())?;
+                for c in params.start.coords() {
+                    sink.write_all(&c.to_bits().to_le_bytes())?;
+                }
+            }
+        }
+        Ok(TraceWriter {
+            sink,
+            format,
+            steps: 0,
+            chunks: 0,
+        })
+    }
+
+    fn write_text_header(sink: &mut W, params: &StreamParams<N>) -> Result<(), TraceError> {
+        writeln!(sink, "dim {N}")?;
+        writeln!(sink, "d {}", params.d)?;
+        writeln!(sink, "m {}", params.max_move)?;
+        writeln!(sink, "start {}", coords_line(&params.start))?;
+        Ok(())
+    }
+
+    /// Appends one step.
+    ///
+    /// # Panics
+    /// Panics on non-finite request coordinates (they could never be
+    /// replayed into a valid [`Instance`]) and on steps with more than
+    /// `MAX_REQUESTS_PER_STEP` requests (the decoder treats larger frame
+    /// counts as corruption, so writing one would produce an unreadable
+    /// trace).
+    pub fn write_step(&mut self, step: &Step<N>) -> Result<(), TraceError> {
+        for v in &step.requests {
+            assert!(v.is_finite(), "trace step has a non-finite request {v:?}");
+        }
+        assert!(
+            step.requests.len() <= MAX_REQUESTS_PER_STEP as usize,
+            "trace step has {} requests, beyond the codec limit {MAX_REQUESTS_PER_STEP}",
+            step.requests.len()
+        );
+        match self.format {
+            TraceFormat::TextV1 => self.write_text_step(step)?,
+            TraceFormat::ChunkedV2 { chunk } => {
+                if self.steps.is_multiple_of(chunk) {
+                    writeln!(self.sink, "chunk {}", self.chunks)?;
+                    self.chunks += 1;
+                }
+                self.write_text_step(step)?;
+            }
+            TraceFormat::Binary => {
+                self.sink
+                    .write_all(&(step.requests.len() as u32).to_le_bytes())?;
+                for v in &step.requests {
+                    for c in v.coords() {
+                        self.sink.write_all(&c.to_bits().to_le_bytes())?;
+                    }
+                }
+            }
+        }
+        self.steps += 1;
+        Ok(())
+    }
+
+    fn write_text_step(&mut self, step: &Step<N>) -> Result<(), TraceError> {
+        if step.is_empty() {
+            writeln!(self.sink, "step")?;
+        } else {
+            let reqs = step
+                .requests
+                .iter()
+                .map(coords_line)
+                .collect::<Vec<_>>()
+                .join(" ; ");
+            writeln!(self.sink, "step {reqs}")?;
+        }
+        Ok(())
+    }
+
+    /// Steps written so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Writes the format trailer, flushes, and returns the sink.
+    pub fn finish(mut self) -> Result<W, TraceError> {
+        match self.format {
+            TraceFormat::TextV1 => {}
+            TraceFormat::ChunkedV2 { .. } => {
+                writeln!(self.sink, "end {}", self.steps)?;
+            }
+            TraceFormat::Binary => {
+                self.sink.write_all(&BINARY_END.to_le_bytes())?;
+                self.sink.write_all(&(self.steps as u64).to_le_bytes())?;
+            }
+        }
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ReadFormat {
+    TextV1,
+    ChunkedV2,
+    Binary,
+}
+
+/// Streaming trace decoder over any seekable reader (`File` in a
+/// `BufReader`, or an in-memory [`Cursor`]).
+///
+/// Implements [`RequestStream`], so a recorded trace plugs into the
+/// streaming simulator exactly like a live generator; [`rewind`] seeks
+/// back to the first frame for replay and diffing.
+///
+/// Corruption handling: [`TraceReader::try_next`] reports malformed or
+/// truncated data as [`TraceError`]; the [`RequestStream::next_step`]
+/// facade panics on it (replaying a corrupt trace is a data error, not a
+/// recoverable condition — pre-validate untrusted bytes with
+/// [`read_trace`]).
+///
+/// [`rewind`]: RequestStream::rewind
+#[derive(Debug)]
+pub struct TraceReader<const N: usize, R> {
+    reader: R,
+    format: ReadFormat,
+    params: StreamParams<N>,
+    data_start: u64,
+    line_no: usize,
+    data_start_line: usize,
+    steps_read: usize,
+    next_chunk: usize,
+    saw_end: bool,
+    done: bool,
+}
+
+impl<const N: usize, R: BufRead + Seek> TraceReader<N, R> {
+    /// Opens a trace, sniffing the format and decoding the header.
+    ///
+    /// Expects the header (dim/d/m/start for text) to precede the first
+    /// step, as every [`TraceWriter`] and `msp_core::io::write_instance`
+    /// emits.
+    pub fn open(mut reader: R) -> Result<Self, TraceError> {
+        let head = reader.fill_buf()?;
+        let is_binary = head.len() >= 4 && &head[..4] == BINARY_MAGIC;
+        if is_binary {
+            reader.consume(4);
+            let version = read_u16(&mut reader)?;
+            if version != BINARY_VERSION {
+                return Err(corrupt(
+                    "header",
+                    format!("unsupported binary trace version {version}"),
+                ));
+            }
+            let dim = read_u16(&mut reader)? as usize;
+            if dim != N {
+                return Err(corrupt(
+                    "header",
+                    format!("trace has dimension {dim}, caller expects {N}"),
+                ));
+            }
+            let d = read_f64(&mut reader)?;
+            let m = read_f64(&mut reader)?;
+            let mut start = Point::<N>::origin();
+            for i in 0..N {
+                start[i] = read_f64(&mut reader)?;
+            }
+            let params = validated_params(d, m, start, "header")?;
+            let data_start = reader.stream_position()?;
+            return Ok(TraceReader {
+                reader,
+                format: ReadFormat::Binary,
+                params,
+                data_start,
+                line_no: 0,
+                data_start_line: 0,
+                steps_read: 0,
+                next_chunk: 0,
+                saw_end: false,
+                done: false,
+            });
+        }
+
+        // Text: scan header lines until dim/d/m/start are all present.
+        let mut format = ReadFormat::TextV1;
+        let mut dim: Option<usize> = None;
+        let mut d: Option<f64> = None;
+        let mut m: Option<f64> = None;
+        let mut start: Option<Point<N>> = None;
+        let mut line_no = 0usize;
+        let mut first_line = true;
+        loop {
+            let mut raw = String::new();
+            let n = reader.read_line(&mut raw)?;
+            if n == 0 {
+                return Err(corrupt(
+                    format!("line {line_no}"),
+                    "trace ended before the header was complete",
+                ));
+            }
+            line_no += 1;
+            if first_line {
+                first_line = false;
+                if raw.trim_end() == CHUNKED_BANNER {
+                    format = ReadFormat::ChunkedV2;
+                    continue;
+                }
+            }
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, rest) = match line.split_once(char::is_whitespace) {
+                Some((k, r)) => (k, r.trim()),
+                None => (line, ""),
+            };
+            match key {
+                "dim" => {
+                    let v: usize = rest.parse().map_err(|_| {
+                        corrupt(format!("line {line_no}"), format!("bad dimension {rest:?}"))
+                    })?;
+                    if v != N {
+                        return Err(corrupt(
+                            format!("line {line_no}"),
+                            format!("trace has dimension {v}, caller expects {N}"),
+                        ));
+                    }
+                    dim = Some(v);
+                }
+                "d" => {
+                    d = Some(parse_f64(rest, line_no)?);
+                }
+                "m" => {
+                    m = Some(parse_f64(rest, line_no)?);
+                }
+                "start" => {
+                    let fields: Vec<&str> = rest.split_whitespace().collect();
+                    start = Some(parse_point::<N>(&fields, line_no)?);
+                }
+                other => {
+                    return Err(corrupt(
+                        format!("line {line_no}"),
+                        format!("expected header directive, found {other:?} before dim/d/m/start were complete"),
+                    ));
+                }
+            }
+            if dim.is_some() && d.is_some() && m.is_some() && start.is_some() {
+                break;
+            }
+        }
+        let params = validated_params(d.unwrap(), m.unwrap(), start.unwrap(), "header")?;
+        let data_start = reader.stream_position()?;
+        Ok(TraceReader {
+            reader,
+            format,
+            params,
+            data_start,
+            line_no,
+            data_start_line: line_no,
+            steps_read: 0,
+            next_chunk: 0,
+            saw_end: false,
+            done: false,
+        })
+    }
+
+    /// Pulls the next step, reporting corruption as an error. `Ok(None)`
+    /// marks a clean end of trace (trailer verified where the format has
+    /// one).
+    pub fn try_next(&mut self) -> Result<Option<Step<N>>, TraceError> {
+        if self.done {
+            return Ok(None);
+        }
+        match self.format {
+            ReadFormat::Binary => self.next_binary(),
+            ReadFormat::TextV1 | ReadFormat::ChunkedV2 => self.next_text(),
+        }
+    }
+
+    fn next_binary(&mut self) -> Result<Option<Step<N>>, TraceError> {
+        let at = |r: &mut R| {
+            let off = r.stream_position().unwrap_or(0);
+            format!("offset {off}")
+        };
+        let count = match try_read_u32(&mut self.reader)? {
+            Some(c) => c,
+            None => {
+                return Err(corrupt(
+                    at(&mut self.reader),
+                    "trace truncated: missing end sentinel",
+                ))
+            }
+        };
+        if count == BINARY_END {
+            let total = read_u64(&mut self.reader)?;
+            if total as usize != self.steps_read {
+                return Err(corrupt(
+                    at(&mut self.reader),
+                    format!(
+                        "trailer records {total} steps but {} were decoded",
+                        self.steps_read
+                    ),
+                ));
+            }
+            self.done = true;
+            return Ok(None);
+        }
+        if count > MAX_REQUESTS_PER_STEP {
+            return Err(corrupt(
+                at(&mut self.reader),
+                format!("implausible request count {count}"),
+            ));
+        }
+        let mut requests = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let mut p = Point::<N>::origin();
+            for i in 0..N {
+                p[i] = read_f64(&mut self.reader)?;
+            }
+            if !p.is_finite() {
+                return Err(corrupt(
+                    at(&mut self.reader),
+                    "non-finite request coordinate",
+                ));
+            }
+            requests.push(p);
+        }
+        self.steps_read += 1;
+        Ok(Some(Step::new(requests)))
+    }
+
+    fn next_text(&mut self) -> Result<Option<Step<N>>, TraceError> {
+        loop {
+            let mut raw = String::new();
+            let n = self.reader.read_line(&mut raw)?;
+            if n == 0 {
+                if self.format == ReadFormat::ChunkedV2 && !self.saw_end {
+                    return Err(corrupt(
+                        format!("line {}", self.line_no),
+                        "chunked trace truncated: missing `end` trailer",
+                    ));
+                }
+                self.done = true;
+                return Ok(None);
+            }
+            self.line_no += 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if self.saw_end {
+                return Err(corrupt(
+                    format!("line {}", self.line_no),
+                    "data after the `end` trailer",
+                ));
+            }
+            let (key, rest) = match line.split_once(char::is_whitespace) {
+                Some((k, r)) => (k, r.trim()),
+                None => (line, ""),
+            };
+            match (key, self.format) {
+                ("step", _) => {
+                    let mut requests = Vec::new();
+                    if !rest.is_empty() {
+                        for part in rest.split(';') {
+                            let fields: Vec<&str> = part.split_whitespace().collect();
+                            if fields.is_empty() {
+                                return Err(corrupt(
+                                    format!("line {}", self.line_no),
+                                    "empty request between ';'",
+                                ));
+                            }
+                            requests.push(parse_point::<N>(&fields, self.line_no)?);
+                        }
+                    }
+                    self.steps_read += 1;
+                    return Ok(Some(Step::new(requests)));
+                }
+                ("chunk", ReadFormat::ChunkedV2) => {
+                    let k: usize = rest.parse().map_err(|_| {
+                        corrupt(
+                            format!("line {}", self.line_no),
+                            format!("bad chunk index {rest:?}"),
+                        )
+                    })?;
+                    if k != self.next_chunk {
+                        return Err(corrupt(
+                            format!("line {}", self.line_no),
+                            format!("chunk {k} out of order, expected {}", self.next_chunk),
+                        ));
+                    }
+                    self.next_chunk += 1;
+                }
+                ("end", ReadFormat::ChunkedV2) => {
+                    let t: usize = rest.parse().map_err(|_| {
+                        corrupt(
+                            format!("line {}", self.line_no),
+                            format!("bad end count {rest:?}"),
+                        )
+                    })?;
+                    if t != self.steps_read {
+                        return Err(corrupt(
+                            format!("line {}", self.line_no),
+                            format!(
+                                "trailer records {t} steps but {} were decoded",
+                                self.steps_read
+                            ),
+                        ));
+                    }
+                    self.saw_end = true;
+                }
+                (other, _) => {
+                    return Err(corrupt(
+                        format!("line {}", self.line_no),
+                        format!("unknown directive {other:?}"),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Steps decoded since open/rewind.
+    pub fn steps_read(&self) -> usize {
+        self.steps_read
+    }
+}
+
+impl<const N: usize, R: BufRead + Seek> RequestStream<N> for TraceReader<N, R> {
+    fn params(&self) -> StreamParams<N> {
+        self.params
+    }
+    fn next_step(&mut self) -> Option<Step<N>> {
+        match self.try_next() {
+            Ok(step) => step,
+            Err(e) => panic!("replaying corrupt trace: {e}"),
+        }
+    }
+    fn len_hint(&self) -> Option<usize> {
+        None
+    }
+    fn rewind(&mut self) {
+        self.reader
+            .seek(SeekFrom::Start(self.data_start))
+            .expect("trace reader rewind failed");
+        self.line_no = self.data_start_line;
+        self.steps_read = 0;
+        self.next_chunk = 0;
+        self.saw_end = false;
+        self.done = false;
+    }
+}
+
+fn validated_params<const N: usize>(
+    d: f64,
+    m: f64,
+    start: Point<N>,
+    at: &str,
+) -> Result<StreamParams<N>, TraceError> {
+    if !(d >= 1.0 && d.is_finite()) {
+        return Err(corrupt(at, format!("D must be ≥ 1, got {d}")));
+    }
+    if !(m > 0.0 && m.is_finite()) {
+        return Err(corrupt(at, format!("m must be positive, got {m}")));
+    }
+    if !start.is_finite() {
+        return Err(corrupt(at, "non-finite start position"));
+    }
+    Ok(StreamParams::new(d, m, start))
+}
+
+fn parse_f64(s: &str, line: usize) -> Result<f64, TraceError> {
+    s.parse::<f64>()
+        .map_err(|_| corrupt(format!("line {line}"), format!("bad number {s:?}")))
+}
+
+fn parse_point<const N: usize>(fields: &[&str], line: usize) -> Result<Point<N>, TraceError> {
+    if fields.len() != N {
+        return Err(corrupt(
+            format!("line {line}"),
+            format!("expected {N} coordinates, found {}", fields.len()),
+        ));
+    }
+    let mut p = Point::<N>::origin();
+    for (i, f) in fields.iter().enumerate() {
+        p[i] = parse_f64(f, line)?;
+    }
+    if !p.is_finite() {
+        return Err(corrupt(format!("line {line}"), "non-finite coordinate"));
+    }
+    Ok(p)
+}
+
+fn read_exact_array<const K: usize>(r: &mut impl std::io::Read) -> Result<[u8; K], TraceError> {
+    let mut buf = [0u8; K];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn read_u16(r: &mut impl std::io::Read) -> Result<u16, TraceError> {
+    Ok(u16::from_le_bytes(read_exact_array::<2>(r)?))
+}
+
+fn read_u64(r: &mut impl std::io::Read) -> Result<u64, TraceError> {
+    Ok(u64::from_le_bytes(read_exact_array::<8>(r)?))
+}
+
+fn read_f64(r: &mut impl std::io::Read) -> Result<f64, TraceError> {
+    Ok(f64::from_bits(u64::from_le_bytes(read_exact_array::<8>(
+        r,
+    )?)))
+}
+
+/// Reads a `u32` frame header, distinguishing clean EOF (`Ok(None)`) from
+/// a partial read (error).
+fn try_read_u32(r: &mut impl BufRead) -> Result<Option<u32>, TraceError> {
+    let mut buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(corrupt("end of data", "partial frame header"));
+        }
+        filled += n;
+    }
+    Ok(Some(u32::from_le_bytes(buf)))
+}
+
+/// Records a stream (rewound to its start) into `sink`, returning the
+/// step count and the sink.
+pub fn record_stream<const N: usize, W: Write>(
+    stream: &mut dyn RequestStream<N>,
+    format: TraceFormat,
+    sink: W,
+) -> Result<(usize, W), TraceError> {
+    stream.rewind();
+    let mut writer = TraceWriter::new(sink, format, &stream.params())?;
+    while let Some(step) = stream.next_step() {
+        writer.write_step(&step)?;
+    }
+    let steps = writer.steps();
+    let sink = writer.finish()?;
+    Ok((steps, sink))
+}
+
+/// [`record_stream`] into an in-memory buffer.
+pub fn record_to_vec<const N: usize>(
+    stream: &mut dyn RequestStream<N>,
+    format: TraceFormat,
+) -> Result<Vec<u8>, TraceError> {
+    let (_, cursor) = record_stream(stream, format, Cursor::new(Vec::new()))?;
+    Ok(cursor.into_inner())
+}
+
+/// Strict full decode of a trace into an [`Instance`] — the validation
+/// entry point for untrusted bytes (every frame and the trailer are
+/// checked before anything is replayed).
+pub fn read_trace<const N: usize>(bytes: &[u8]) -> Result<Instance<N>, TraceError> {
+    let mut reader = TraceReader::<N, _>::open(Cursor::new(bytes))?;
+    let mut steps = Vec::new();
+    while let Some(step) = reader.try_next()? {
+        steps.push(step);
+    }
+    Ok(reader.params().into_instance(steps))
+}
+
+/// First divergence between two streams (both rewound first), or `None`
+/// when they are bit-identical.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StreamDiff {
+    /// Model parameters differ.
+    Params {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A step differs (or one stream ran out first at this index).
+    Step {
+        /// 0-based index of the first differing step.
+        index: usize,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for StreamDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamDiff::Params { detail } => write!(f, "params differ: {detail}"),
+            StreamDiff::Step { index, detail } => write!(f, "step {index} differs: {detail}"),
+        }
+    }
+}
+
+fn bits_of<const N: usize>(p: &Point<N>) -> [u64; N] {
+    let mut out = [0u64; N];
+    for (o, c) in out.iter_mut().zip(p.coords()) {
+        *o = c.to_bits();
+    }
+    out
+}
+
+/// Bit-exact comparison of two request streams — the cross-run diffing
+/// primitive: record two runs, replay both, and get the first step where
+/// they disagree. Rewinds both streams before comparing.
+pub fn diff_streams<const N: usize>(
+    a: &mut dyn RequestStream<N>,
+    b: &mut dyn RequestStream<N>,
+) -> Option<StreamDiff> {
+    a.rewind();
+    b.rewind();
+    let (pa, pb) = (a.params(), b.params());
+    if pa.d.to_bits() != pb.d.to_bits()
+        || pa.max_move.to_bits() != pb.max_move.to_bits()
+        || bits_of(&pa.start) != bits_of(&pb.start)
+    {
+        return Some(StreamDiff::Params {
+            detail: format!("{pa:?} vs {pb:?}"),
+        });
+    }
+    let mut index = 0usize;
+    loop {
+        match (a.next_step(), b.next_step()) {
+            (None, None) => return None,
+            (Some(_), None) => {
+                return Some(StreamDiff::Step {
+                    index,
+                    detail: "second stream ended early".into(),
+                })
+            }
+            (None, Some(_)) => {
+                return Some(StreamDiff::Step {
+                    index,
+                    detail: "first stream ended early".into(),
+                })
+            }
+            (Some(sa), Some(sb)) => {
+                if sa.requests.len() != sb.requests.len() {
+                    return Some(StreamDiff::Step {
+                        index,
+                        detail: format!("{} vs {} requests", sa.requests.len(), sb.requests.len()),
+                    });
+                }
+                for (i, (va, vb)) in sa.requests.iter().zip(&sb.requests).enumerate() {
+                    if bits_of(va) != bits_of(vb) {
+                        return Some(StreamDiff::Step {
+                            index,
+                            detail: format!("request {i}: {va:?} vs {vb:?}"),
+                        });
+                    }
+                }
+            }
+        }
+        index += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::InstanceStream;
+    use msp_geometry::P2;
+
+    fn sample_instance() -> Instance<2> {
+        Instance::new(
+            4.0,
+            1.5,
+            P2::xy(0.5, -0.25),
+            vec![
+                Step::new(vec![P2::xy(1.0, 2.0), P2::xy(-3.5, 4.25)]),
+                Step::new(vec![]),
+                Step::single(P2::xy(0.125, -7.0)),
+                Step::single(P2::xy(-0.0, f64::MIN_POSITIVE)),
+            ],
+        )
+    }
+
+    fn formats() -> [TraceFormat; 3] {
+        [
+            TraceFormat::TextV1,
+            TraceFormat::ChunkedV2 { chunk: 2 },
+            TraceFormat::Binary,
+        ]
+    }
+
+    #[test]
+    fn every_format_round_trips_bit_exactly() {
+        let inst = sample_instance();
+        for format in formats() {
+            let mut stream = InstanceStream::new(inst.clone());
+            let bytes = record_to_vec(&mut stream, format).unwrap();
+            let back: Instance<2> = read_trace(&bytes).unwrap();
+            assert_eq!(back.d.to_bits(), inst.d.to_bits(), "{format:?}");
+            assert_eq!(back.max_move.to_bits(), inst.max_move.to_bits());
+            assert_eq!(bits_of(&back.start), bits_of(&inst.start));
+            assert_eq!(back.horizon(), inst.horizon());
+            for (a, b) in back.steps.iter().zip(&inst.steps) {
+                assert_eq!(a.requests.len(), b.requests.len());
+                for (va, vb) in a.requests.iter().zip(&b.requests) {
+                    assert_eq!(bits_of(va), bits_of(vb), "{format:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn text_v1_matches_core_io_format() {
+        let inst = sample_instance();
+        let mut stream = InstanceStream::new(inst.clone());
+        let bytes = record_to_vec(&mut stream, TraceFormat::TextV1).unwrap();
+        let ours = String::from_utf8(bytes).unwrap();
+        assert_eq!(ours, msp_core::io::write_instance(&inst));
+        // And files written by msp_core::io replay through the reader.
+        let parsed: Instance<2> = read_trace(ours.as_bytes()).unwrap();
+        assert_eq!(parsed.horizon(), inst.horizon());
+    }
+
+    #[test]
+    fn reader_is_a_rewindable_request_stream() {
+        let inst = sample_instance();
+        let bytes =
+            record_to_vec(&mut InstanceStream::new(inst.clone()), TraceFormat::Binary).unwrap();
+        let mut reader = TraceReader::<2, _>::open(Cursor::new(bytes)).unwrap();
+        let first: Vec<Step<2>> = std::iter::from_fn(|| reader.next_step()).collect();
+        assert_eq!(first.len(), inst.horizon());
+        reader.rewind();
+        let second: Vec<Step<2>> = std::iter::from_fn(|| reader.next_step()).collect();
+        assert_eq!(first.len(), second.len());
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.requests, b.requests);
+        }
+    }
+
+    #[test]
+    fn diff_detects_identity_and_divergence() {
+        let inst = sample_instance();
+        let mut a = InstanceStream::new(inst.clone());
+        let mut b = InstanceStream::new(inst.clone());
+        assert_eq!(diff_streams(&mut a, &mut b), None);
+
+        let mut tweaked = inst.clone();
+        tweaked.steps[2].requests[0][0] += 1e-9;
+        let mut c = InstanceStream::new(tweaked);
+        match diff_streams(&mut a, &mut c) {
+            Some(StreamDiff::Step { index: 2, .. }) => {}
+            other => panic!("expected step-2 diff, got {other:?}"),
+        }
+
+        let mut shorter = InstanceStream::new(inst.prefix(2));
+        match diff_streams(&mut a, &mut shorter) {
+            Some(StreamDiff::Step { index: 2, detail }) => {
+                assert!(detail.contains("ended early"));
+            }
+            other => panic!("expected early-end diff, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_binary_trace_is_rejected() {
+        let inst = sample_instance();
+        let bytes =
+            record_to_vec(&mut InstanceStream::new(inst.clone()), TraceFormat::Binary).unwrap();
+        // Drop the trailer (4-byte sentinel + 8-byte count).
+        let truncated = &bytes[..bytes.len() - 12];
+        let err = read_trace::<2>(truncated).unwrap_err();
+        assert!(format!("{err}").contains("missing end sentinel"), "{err}");
+        // Drop mid-frame.
+        let torn = &bytes[..bytes.len() - 20];
+        assert!(read_trace::<2>(torn).is_err());
+    }
+
+    #[test]
+    fn truncated_chunked_trace_is_rejected() {
+        let inst = sample_instance();
+        let bytes = record_to_vec(
+            &mut InstanceStream::new(inst),
+            TraceFormat::ChunkedV2 { chunk: 2 },
+        )
+        .unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let without_end = text.rsplit_once("end").unwrap().0;
+        let err = read_trace::<2>(without_end.as_bytes()).unwrap_err();
+        assert!(format!("{err}").contains("missing `end` trailer"), "{err}");
+    }
+
+    #[test]
+    fn wrong_trailer_count_is_rejected() {
+        let inst = sample_instance();
+        let bytes = record_to_vec(
+            &mut InstanceStream::new(inst),
+            TraceFormat::ChunkedV2 { chunk: 8 },
+        )
+        .unwrap();
+        let text = String::from_utf8(bytes).unwrap().replace("end 4", "end 7");
+        let err = read_trace::<2>(text.as_bytes()).unwrap_err();
+        assert!(format!("{err}").contains("trailer records 7"), "{err}");
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let inst = sample_instance();
+        let bytes = record_to_vec(&mut InstanceStream::new(inst), TraceFormat::Binary).unwrap();
+        let err = TraceReader::<3, _>::open(Cursor::new(bytes)).unwrap_err();
+        assert!(format!("{err}").contains("dimension 2"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_coordinates_cannot_enter_a_trace() {
+        // Forge a binary trace with a NaN coordinate and check the reader
+        // refuses it (the writer can't produce one — Step construction and
+        // write_step both assert finiteness).
+        let inst = sample_instance();
+        let mut bytes = record_to_vec(&mut InstanceStream::new(inst), TraceFormat::Binary).unwrap();
+        // Header: 4 magic + 2 version + 2 dim + 8 d + 8 m + 16 start = 40.
+        // First frame: 4-byte count then coords; poison the first coord.
+        let nan = f64::NAN.to_bits().to_le_bytes();
+        bytes[44..52].copy_from_slice(&nan);
+        let err = read_trace::<2>(&bytes).unwrap_err();
+        assert!(format!("{err}").contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn chunk_markers_are_order_checked() {
+        let inst = sample_instance();
+        let bytes = record_to_vec(
+            &mut InstanceStream::new(inst),
+            TraceFormat::ChunkedV2 { chunk: 2 },
+        )
+        .unwrap();
+        let text = String::from_utf8(bytes)
+            .unwrap()
+            .replace("chunk 1", "chunk 5");
+        let err = read_trace::<2>(text.as_bytes()).unwrap_err();
+        assert!(format!("{err}").contains("out of order"), "{err}");
+    }
+}

@@ -6,6 +6,7 @@
 //! requests data. The same machinery yields single-agent walks for the
 //! Moving-Client variant of Section 5 (the disaster-response scenario).
 
+use crate::StepSource;
 use msp_core::model::{Instance, Step};
 use msp_core::moving_client::AgentWalk;
 use msp_geometry::sample::SeededSampler;
@@ -51,6 +52,7 @@ pub struct AgentFleet<const N: usize> {
     pub config: AgentFleetConfig<N>,
 }
 
+#[derive(Clone, Debug)]
 struct Mover<const N: usize> {
     position: Point<N>,
     waypoint: Point<N>,
@@ -70,36 +72,68 @@ impl<const N: usize> AgentFleet<N> {
 
     /// Generates the fleet instance from `seed`. Steps where no agent
     /// requests are silent (empty), so the per-step count varies in
-    /// `[0, agents]` — the general setting of Theorem 4's extension.
+    /// `[0, agents]` — the general setting of Theorem 4's extension. The
+    /// steps are the first `horizon` pulls of [`AgentFleetStream`].
     pub fn generate(&self, seed: u64) -> Instance<N> {
         let c = &self.config;
-        let mut s = SeededSampler::new(seed);
-        let arena = Aabb::cube(Point::origin(), c.arena_half_width);
+        let mut stream = AgentFleetStream::new(self.config, seed);
+        let steps = (0..c.horizon).map(|_| stream.next_step()).collect();
+        Instance::new(c.d, c.max_move, Point::origin(), steps)
+    }
 
-        let mut movers: Vec<Mover<N>> = (0..c.agents)
+    /// Opens the workload as an unbounded [`StepSource`].
+    pub fn stream(&self, seed: u64) -> AgentFleetStream<N> {
+        AgentFleetStream::new(self.config, seed)
+    }
+}
+
+/// Incremental state of the agent-fleet workload: memory is O(agents),
+/// independent of the number of steps pulled.
+#[derive(Clone, Debug)]
+pub struct AgentFleetStream<const N: usize> {
+    config: AgentFleetConfig<N>,
+    sampler: SeededSampler,
+    arena: Aabb<N>,
+    movers: Vec<Mover<N>>,
+}
+
+impl<const N: usize> AgentFleetStream<N> {
+    /// Opens the stream (same validation as [`AgentFleet::new`]).
+    pub fn new(config: AgentFleetConfig<N>, seed: u64) -> Self {
+        let _ = AgentFleet::new(config); // validate
+        let mut sampler = SeededSampler::new(seed);
+        let movers: Vec<Mover<N>> = (0..config.agents)
             .map(|_| Mover {
-                position: s.point_in_cube(c.arena_half_width),
-                waypoint: s.point_in_cube(c.arena_half_width),
+                position: sampler.point_in_cube(config.arena_half_width),
+                waypoint: sampler.point_in_cube(config.arena_half_width),
             })
             .collect();
-
-        let mut steps = Vec::with_capacity(c.horizon);
-        for _ in 0..c.horizon {
-            let mut requests = Vec::new();
-            for mv in &mut movers {
-                // Drive towards the waypoint; arrived → pick the next one.
-                mv.position = step_towards(&mv.position, &mv.waypoint, c.agent_speed);
-                if mv.position.distance(&mv.waypoint) < 1e-9 {
-                    mv.waypoint = s.point_in_cube(c.arena_half_width);
-                }
-                debug_assert!(arena.contains(&arena.clamp(&mv.position)));
-                if s.uniform(0.0, 1.0) < c.request_probability {
-                    requests.push(mv.position);
-                }
-            }
-            steps.push(Step::new(requests));
+        AgentFleetStream {
+            arena: Aabb::cube(Point::origin(), config.arena_half_width),
+            config,
+            sampler,
+            movers,
         }
-        Instance::new(c.d, c.max_move, Point::origin(), steps)
+    }
+}
+
+impl<const N: usize> StepSource<N> for AgentFleetStream<N> {
+    fn next_step(&mut self) -> Step<N> {
+        let c = &self.config;
+        let s = &mut self.sampler;
+        let mut requests = Vec::new();
+        for mv in &mut self.movers {
+            // Drive towards the waypoint; arrived → pick the next one.
+            mv.position = step_towards(&mv.position, &mv.waypoint, c.agent_speed);
+            if mv.position.distance(&mv.waypoint) < 1e-9 {
+                mv.waypoint = s.point_in_cube(c.arena_half_width);
+            }
+            debug_assert!(self.arena.contains(&self.arena.clamp(&mv.position)));
+            if s.uniform(0.0, 1.0) < c.request_probability {
+                requests.push(mv.position);
+            }
+        }
+        Step::new(requests)
     }
 }
 
@@ -136,6 +170,20 @@ pub fn runaway_walk<const N: usize>(horizon: usize, max_speed: f64, seed: u64) -
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stream_reproduces_generate_exactly() {
+        let g = AgentFleet::new(AgentFleetConfig::<2> {
+            horizon: 150,
+            agents: 6,
+            ..Default::default()
+        });
+        let inst = g.generate(41);
+        let mut stream = g.stream(41);
+        for (t, step) in inst.steps.iter().enumerate() {
+            assert_eq!(stream.next_step().requests, step.requests, "step {t}");
+        }
+    }
 
     #[test]
     fn fleet_is_deterministic_per_seed() {

@@ -12,6 +12,7 @@ use msp_geometry::sample::SeededSampler;
 use msp_geometry::Point;
 
 use crate::counts::RequestCount;
+use crate::StepSource;
 
 /// Configuration of the cluster-mixture generator.
 #[derive(Clone, Copy, Debug)]
@@ -68,32 +69,69 @@ impl<const N: usize> ClusterMixture<N> {
         ClusterMixture { config }
     }
 
-    /// Generates an instance from `seed`.
+    /// Generates an instance from `seed`; the steps are the first
+    /// `horizon` pulls of [`ClusterMixtureStream`].
     pub fn generate(&self, seed: u64) -> Instance<N> {
         let c = &self.config;
-        let mut s = SeededSampler::new(seed);
-        let sites: Vec<Point<N>> = (0..c.sites)
-            .map(|_| s.point_in_cube(c.arena_half_width))
-            .collect();
-
-        let mut active = s.int_inclusive(0, c.sites - 1);
-        let mut steps = Vec::with_capacity(c.horizon);
-        for t in 0..c.horizon {
-            if c.sites > 1 && s.uniform(0.0, 1.0) < c.switch_probability {
-                // Jump to a different site.
-                let mut next = s.int_inclusive(0, c.sites - 2);
-                if next >= active {
-                    next += 1;
-                }
-                active = next;
-            }
-            let r = c.count.draw(t, &mut s);
-            let requests = (0..r)
-                .map(|_| s.gaussian_point(&sites[active], c.spread))
-                .collect();
-            steps.push(Step::new(requests));
-        }
+        let mut stream = ClusterMixtureStream::new(self.config, seed);
+        let steps = (0..c.horizon).map(|_| stream.next_step()).collect();
         Instance::new(c.d, c.max_move, Point::origin(), steps)
+    }
+
+    /// Opens the workload as an unbounded [`StepSource`].
+    pub fn stream(&self, seed: u64) -> ClusterMixtureStream<N> {
+        ClusterMixtureStream::new(self.config, seed)
+    }
+}
+
+/// Incremental state of the cluster-mixture workload: memory is O(sites),
+/// independent of the number of steps pulled.
+#[derive(Clone, Debug)]
+pub struct ClusterMixtureStream<const N: usize> {
+    config: ClusterMixtureConfig<N>,
+    sampler: SeededSampler,
+    sites: Vec<Point<N>>,
+    active: usize,
+    t: usize,
+}
+
+impl<const N: usize> ClusterMixtureStream<N> {
+    /// Opens the stream (same validation as [`ClusterMixture::new`]).
+    pub fn new(config: ClusterMixtureConfig<N>, seed: u64) -> Self {
+        let _ = ClusterMixture::new(config); // validate
+        let mut sampler = SeededSampler::new(seed);
+        let sites: Vec<Point<N>> = (0..config.sites)
+            .map(|_| sampler.point_in_cube(config.arena_half_width))
+            .collect();
+        let active = sampler.int_inclusive(0, config.sites - 1);
+        ClusterMixtureStream {
+            config,
+            sampler,
+            sites,
+            active,
+            t: 0,
+        }
+    }
+}
+
+impl<const N: usize> StepSource<N> for ClusterMixtureStream<N> {
+    fn next_step(&mut self) -> Step<N> {
+        let c = &self.config;
+        let s = &mut self.sampler;
+        if c.sites > 1 && s.uniform(0.0, 1.0) < c.switch_probability {
+            // Jump to a different site.
+            let mut next = s.int_inclusive(0, c.sites - 2);
+            if next >= self.active {
+                next += 1;
+            }
+            self.active = next;
+        }
+        let r = c.count.draw(self.t, s);
+        self.t += 1;
+        let requests = (0..r)
+            .map(|_| s.gaussian_point(&self.sites[self.active], c.spread))
+            .collect();
+        Step::new(requests)
     }
 }
 
@@ -105,6 +143,20 @@ mod tests {
         ClusterMixtureConfig {
             horizon: 400,
             ..Default::default()
+        }
+    }
+
+    #[test]
+    fn stream_reproduces_generate_exactly() {
+        let g = ClusterMixture::new(ClusterMixtureConfig {
+            horizon: 150,
+            switch_probability: 0.05,
+            ..cfg()
+        });
+        let inst = g.generate(31);
+        let mut stream = g.stream(31);
+        for (t, step) in inst.steps.iter().enumerate() {
+            assert_eq!(stream.next_step().requests, step.requests, "step {t}");
         }
     }
 

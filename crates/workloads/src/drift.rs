@@ -12,6 +12,7 @@ use msp_geometry::sample::SeededSampler;
 use msp_geometry::{Aabb, Point};
 
 use crate::counts::RequestCount;
+use crate::StepSource;
 
 /// Configuration of the drifting-hotspot generator.
 #[derive(Clone, Copy, Debug)]
@@ -73,39 +74,76 @@ impl<const N: usize> DriftingHotspot<N> {
     }
 
     /// Generates an instance from `seed`. The same seed reproduces the
-    /// same instance exactly.
+    /// same instance exactly; the steps are the first `horizon` pulls of
+    /// [`DriftingHotspotStream`].
     pub fn generate(&self, seed: u64) -> Instance<N> {
         let c = &self.config;
-        let mut s = SeededSampler::new(seed);
-        let arena = Aabb::cube(Point::origin(), c.arena_half_width);
-
-        let mut center = Point::<N>::origin();
-        let mut velocity: Point<N> = s.unit_vector::<N>() * c.drift_speed;
-        let mut steps = Vec::with_capacity(c.horizon);
-        for t in 0..c.horizon {
-            // Momentum walk: blend the previous direction with a fresh one.
-            let fresh: Point<N> = s.unit_vector::<N>() * c.drift_speed;
-            velocity = velocity * c.momentum + fresh * (1.0 - c.momentum);
-            // Cap the drift speed (momentum blending can only shrink the
-            // norm, but keep the invariant explicit).
-            if velocity.norm() > c.drift_speed {
-                velocity = velocity * (c.drift_speed / velocity.norm());
-            }
-            center += velocity;
-            let clamped = arena.clamp(&center);
-            if clamped != center {
-                // Bounce: reflect the velocity away from the wall.
-                velocity = -velocity;
-                center = clamped;
-            }
-
-            let r = c.count.draw(t, &mut s);
-            let requests = (0..r)
-                .map(|_| s.gaussian_point(&center, c.spread))
-                .collect();
-            steps.push(Step::new(requests));
-        }
+        let mut stream = DriftingHotspotStream::new(self.config, seed);
+        let steps = (0..c.horizon).map(|_| stream.next_step()).collect();
         Instance::new(c.d, c.max_move, Point::origin(), steps)
+    }
+
+    /// Opens the workload as an unbounded [`StepSource`].
+    pub fn stream(&self, seed: u64) -> DriftingHotspotStream<N> {
+        DriftingHotspotStream::new(self.config, seed)
+    }
+}
+
+/// Incremental state of the drifting-hotspot workload: O(1) memory in the
+/// number of steps pulled.
+#[derive(Clone, Debug)]
+pub struct DriftingHotspotStream<const N: usize> {
+    config: DriftingHotspotConfig<N>,
+    sampler: SeededSampler,
+    arena: Aabb<N>,
+    center: Point<N>,
+    velocity: Point<N>,
+    t: usize,
+}
+
+impl<const N: usize> DriftingHotspotStream<N> {
+    /// Opens the stream (same validation as [`DriftingHotspot::new`]).
+    pub fn new(config: DriftingHotspotConfig<N>, seed: u64) -> Self {
+        let _ = DriftingHotspot::new(config); // validate
+        let mut sampler = SeededSampler::new(seed);
+        let velocity = sampler.unit_vector::<N>() * config.drift_speed;
+        DriftingHotspotStream {
+            arena: Aabb::cube(Point::origin(), config.arena_half_width),
+            config,
+            sampler,
+            center: Point::origin(),
+            velocity,
+            t: 0,
+        }
+    }
+}
+
+impl<const N: usize> StepSource<N> for DriftingHotspotStream<N> {
+    fn next_step(&mut self) -> Step<N> {
+        let c = &self.config;
+        let s = &mut self.sampler;
+        // Momentum walk: blend the previous direction with a fresh one.
+        let fresh: Point<N> = s.unit_vector::<N>() * c.drift_speed;
+        self.velocity = self.velocity * c.momentum + fresh * (1.0 - c.momentum);
+        // Cap the drift speed (momentum blending can only shrink the
+        // norm, but keep the invariant explicit).
+        if self.velocity.norm() > c.drift_speed {
+            self.velocity = self.velocity * (c.drift_speed / self.velocity.norm());
+        }
+        self.center += self.velocity;
+        let clamped = self.arena.clamp(&self.center);
+        if clamped != self.center {
+            // Bounce: reflect the velocity away from the wall.
+            self.velocity = -self.velocity;
+            self.center = clamped;
+        }
+
+        let r = c.count.draw(self.t, s);
+        self.t += 1;
+        let requests = (0..r)
+            .map(|_| s.gaussian_point(&self.center, c.spread))
+            .collect();
+        Step::new(requests)
     }
 }
 
@@ -118,6 +156,18 @@ mod tests {
             horizon: 200,
             ..Default::default()
         }
+    }
+
+    #[test]
+    fn stream_reproduces_generate_exactly() {
+        let g = DriftingHotspot::new(cfg());
+        let inst = g.generate(17);
+        let mut stream = g.stream(17);
+        for (t, step) in inst.steps.iter().enumerate() {
+            assert_eq!(stream.next_step().requests, step.requests, "step {t}");
+        }
+        // The stream keeps going past the configured horizon.
+        let _ = stream.next_step();
     }
 
     #[test]

@@ -33,8 +33,25 @@ pub mod counts;
 pub mod drift;
 pub mod walk;
 
-pub use agents::{AgentFleet, AgentFleetConfig};
-pub use clusters::{ClusterMixture, ClusterMixtureConfig};
+use msp_core::model::Step;
+
+/// A pull-based, unbounded source of request steps.
+///
+/// Every workload generator exposes a `*Stream` implementing this trait;
+/// `generate` is just "pull `horizon` steps and collect". Streaming
+/// consumers (the scenario engine's `RequestStream` adapters, the
+/// streaming simulator) pull steps one at a time instead, so horizons are
+/// bounded by patience, not RAM. Sources are infinite — truncation is the
+/// caller's job — and deterministic per seed: pulling `T` steps yields
+/// exactly the first `T` steps of `generate(seed)` for every longer
+/// horizon (the sampler draws are sequential per step).
+pub trait StepSource<const N: usize> {
+    /// Produces the next step of the workload.
+    fn next_step(&mut self) -> Step<N>;
+}
+
+pub use agents::{AgentFleet, AgentFleetConfig, AgentFleetStream};
+pub use clusters::{ClusterMixture, ClusterMixtureConfig, ClusterMixtureStream};
 pub use counts::RequestCount;
-pub use drift::{DriftingHotspot, DriftingHotspotConfig};
-pub use walk::{RandomWalk, RandomWalkConfig};
+pub use drift::{DriftingHotspot, DriftingHotspotConfig, DriftingHotspotStream};
+pub use walk::{RandomWalk, RandomWalkConfig, RandomWalkStream};

@@ -11,6 +11,7 @@ use msp_geometry::sample::SeededSampler;
 use msp_geometry::Point;
 
 use crate::counts::RequestCount;
+use crate::StepSource;
 
 /// Configuration of the random-walk generator.
 #[derive(Clone, Copy, Debug)]
@@ -65,32 +66,69 @@ impl<const N: usize> RandomWalk<N> {
         RandomWalk { config }
     }
 
-    /// Generates an instance from `seed`.
+    /// Generates an instance from `seed`; the steps are the first
+    /// `horizon` pulls of [`RandomWalkStream`].
     pub fn generate(&self, seed: u64) -> Instance<N> {
         let c = &self.config;
-        let mut s = SeededSampler::new(seed);
-        let mut pos = Point::<N>::origin();
-        let mut dir: Point<N> = s.unit_vector();
-
-        let mut steps = Vec::with_capacity(c.horizon);
-        for t in 0..c.horizon {
-            if s.uniform(0.0, 1.0) < c.turn_probability {
-                dir = s.unit_vector();
-            }
-            pos += dir * c.walk_speed;
-            let r = c.count.draw(t, &mut s);
-            let requests = (0..r)
-                .map(|_| {
-                    if c.spread == 0.0 {
-                        pos
-                    } else {
-                        s.gaussian_point(&pos, c.spread)
-                    }
-                })
-                .collect();
-            steps.push(Step::new(requests));
-        }
+        let mut stream = RandomWalkStream::new(self.config, seed);
+        let steps = (0..c.horizon).map(|_| stream.next_step()).collect();
         Instance::new(c.d, c.max_move, Point::origin(), steps)
+    }
+
+    /// Opens the workload as an unbounded [`StepSource`].
+    pub fn stream(&self, seed: u64) -> RandomWalkStream<N> {
+        RandomWalkStream::new(self.config, seed)
+    }
+}
+
+/// Incremental state of the random-walk workload: O(1) memory in the
+/// number of steps pulled.
+#[derive(Clone, Debug)]
+pub struct RandomWalkStream<const N: usize> {
+    config: RandomWalkConfig<N>,
+    sampler: SeededSampler,
+    pos: Point<N>,
+    dir: Point<N>,
+    t: usize,
+}
+
+impl<const N: usize> RandomWalkStream<N> {
+    /// Opens the stream (same validation as [`RandomWalk::new`]).
+    pub fn new(config: RandomWalkConfig<N>, seed: u64) -> Self {
+        let _ = RandomWalk::new(config); // validate
+        let mut sampler = SeededSampler::new(seed);
+        let dir = sampler.unit_vector();
+        RandomWalkStream {
+            config,
+            sampler,
+            pos: Point::origin(),
+            dir,
+            t: 0,
+        }
+    }
+}
+
+impl<const N: usize> StepSource<N> for RandomWalkStream<N> {
+    fn next_step(&mut self) -> Step<N> {
+        let c = &self.config;
+        let s = &mut self.sampler;
+        if s.uniform(0.0, 1.0) < c.turn_probability {
+            self.dir = s.unit_vector();
+        }
+        self.pos += self.dir * c.walk_speed;
+        let r = c.count.draw(self.t, s);
+        self.t += 1;
+        let pos = self.pos;
+        let requests = (0..r)
+            .map(|_| {
+                if c.spread == 0.0 {
+                    pos
+                } else {
+                    s.gaussian_point(&pos, c.spread)
+                }
+            })
+            .collect();
+        Step::new(requests)
     }
 }
 
@@ -98,6 +136,21 @@ impl<const N: usize> RandomWalk<N> {
 mod tests {
     use super::*;
     use msp_geometry::P1;
+
+    #[test]
+    fn stream_reproduces_generate_exactly() {
+        let g = RandomWalk::new(RandomWalkConfig::<2> {
+            horizon: 120,
+            spread: 0.4,
+            count: RequestCount::Uniform { lo: 1, hi: 3 },
+            ..Default::default()
+        });
+        let inst = g.generate(23);
+        let mut stream = g.stream(23);
+        for (t, step) in inst.steps.iter().enumerate() {
+            assert_eq!(stream.next_step().requests, step.requests, "step {t}");
+        }
+    }
 
     #[test]
     fn deterministic_per_seed() {

@@ -15,19 +15,15 @@ use mobile_server::geometry::median::centroid;
 use mobile_server::prelude::*;
 
 fn main() {
-    let fleet = AgentFleet::new(AgentFleetConfig::<2> {
-        horizon: 3_000,
-        d: 8.0, // a heavy page: movement is expensive
-        max_move: 1.0,
-        agents: 12,
-        agent_speed: 0.6,
-        arena_half_width: 25.0,
-        request_probability: 0.4,
-    });
-    let instance = fleet.generate(99);
+    // The `car-fleet` registry scenario: 12 cars on random waypoints and
+    // a heavy page (D = 8 — movement is expensive).
+    let spec = lookup("car-fleet").expect("car-fleet is in the registry");
+    let mut stream = spec.stream::<2>(99).expect("2-D scenario");
+    let instance = collect_instance(stream.as_mut());
     let (r_min, r_max) = instance.request_bounds();
     println!(
-        "Fleet workload: 12 cars, {} rounds, {} requests (per-step {}..{})\n",
+        "Fleet workload (scenario `{}`): 12 cars, {} rounds, {} requests (per-step {}..{})\n",
+        spec.name,
         instance.horizon(),
         instance.total_requests(),
         r_min,

@@ -3,8 +3,9 @@
 //!
 //! This is the library's headline capability for a systems user: given a
 //! workload and a movement budget, how much extra server speed buys how
-//! much worst-case performance? We sweep δ on the paper's adversarial
-//! family and price everything with the exact 1-D solver.
+//! much worst-case performance? We sweep the δ knob of the `adv-thm2`
+//! registry scenario (the paper's Theorem 2 adversary) and price
+//! everything with the exact 1-D solver.
 //!
 //! ```text
 //! cargo run --release --example competitive_tradeoff
@@ -16,7 +17,8 @@ use mobile_server::offline::solve_line;
 use mobile_server::prelude::*;
 
 fn main() {
-    println!("Competitive ratio vs augmentation δ (adversarial family, exact OPT)\n");
+    println!("Competitive ratio vs augmentation δ (scenario `adv-thm2`, exact OPT)\n");
+    let spec = lookup("adv-thm2").expect("adv-thm2 is in the registry");
 
     let mut table = Table::new(vec![
         "δ",
@@ -28,24 +30,18 @@ fn main() {
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for delta in [0.05, 0.1, 0.2, 0.4, 0.8] {
-        let params = Thm2Params {
-            delta,
-            r_min: 1,
-            r_max: 1,
-            d: 1.0,
-            m: 1.0,
-            x: None,
-            cycles: 3,
-        };
-        // Average over the adversary's coin flips.
+        // Average over the adversary's coin flips; the δ knob resizes the
+        // construction's chase phases.
+        let knobs = ScenarioKnobs::delta(delta);
         let mut cost_acc = 0.0;
         let mut opt_acc = 0.0;
         let runs = 8;
         for seed in 0..runs {
-            let cert = build_thm2::<1>(&params, seed);
+            let mut stream = spec.stream_with::<1>(seed, &knobs).expect("1-D scenario");
+            let instance = collect_instance(stream.as_mut());
             let mut alg = MoveToCenter::new();
-            cost_acc += run(&cert.instance, &mut alg, delta, ServingOrder::MoveFirst).total_cost();
-            opt_acc += solve_line(&cert.instance, ServingOrder::MoveFirst).cost;
+            cost_acc += run(&instance, &mut alg, delta, ServingOrder::MoveFirst).total_cost();
+            opt_acc += solve_line(&instance, ServingOrder::MoveFirst).cost;
         }
         let ratio = cost_acc / opt_acc;
         table.push_row(vec![

@@ -1,62 +1,64 @@
 //! Live diagnostics: competitive ratio *over time* against the exact
-//! incremental optimum, rendered in the terminal.
+//! incremental optimum, computed **while the stream plays** — no
+//! materialized run, no stored trajectory.
 //!
-//! The exact 1-D solver is naturally online (`IncrementalLineOpt`), so we
-//! can watch "how far behind the clairvoyant optimum is MtC right now" as
-//! the sequence unfolds — first through a regime change (demand jumps to a
-//! far site), then through a runaway phase the augmented budget barely
-//! covers.
+//! The exact 1-D solver is naturally online (`IncrementalLineOpt`) and so
+//! is the simulator (`StreamingSim`), so the `regime-shift-line` registry
+//! scenario is consumed step by step: MtC decides, the rolling PWL DP
+//! re-prices the clairvoyant optimum, and we watch "how far behind is MtC
+//! right now" — first through a regime change (demand jumps to a far
+//! site), then through a runaway phase the augmented budget barely covers.
 //!
 //! ```text
 //! cargo run --release --example diagnostics
 //! ```
 
 use mobile_server::analysis::{ascii_chart, Series};
-use mobile_server::core::io::write_instance;
+use mobile_server::core::simulator::StreamingSim;
 use mobile_server::offline::IncrementalLineOpt;
 use mobile_server::prelude::*;
+use mobile_server::scenarios::record_to_vec;
 
 fn main() {
-    // A three-act workload on the line:
-    //   act 1 (steps 0..150):   demand parked at x = 0
-    //   act 2 (steps 150..300): demand jumps to x = 40 (regime change)
-    //   act 3 (steps 300..500): demand runs right at speed 1.2
-    let mut steps = Vec::new();
-    for t in 0..500 {
-        let x = match t {
-            0..=149 => 0.0,
-            150..=299 => 40.0,
-            _ => 40.0 + 1.2 * (t as f64 - 299.0),
-        };
-        steps.push(Step::single(P1::new([x])));
-    }
-    let instance = Instance::new(2.0, 1.0, P1::origin(), steps);
-    let delta = 0.3;
+    // The three-act line workload from the registry:
+    //   act 1: demand parked at x = 0
+    //   act 2: demand jumps to x = 40 (regime change)
+    //   act 3: demand runs right at speed 1.2
+    let spec = lookup("regime-shift-line").expect("regime-shift-line is in the registry");
+    let mut stream = spec.stream::<1>(0).expect("1-D scenario");
+    let params = stream.params();
+    let delta = spec.default_delta;
 
-    // Run MtC and track the exact optimum incrementally, in lockstep.
-    let mut alg = MoveToCenter::new();
-    let run = run(&instance, &mut alg, delta, ServingOrder::MoveFirst);
-    let mut opt =
-        IncrementalLineOpt::new(instance.d, instance.max_move, 0.0, ServingOrder::MoveFirst);
+    // Feed MtC and the exact optimum tracker in lockstep, straight off
+    // the stream.
+    let mut sim = StreamingSim::new(&params, MoveToCenter::new(), delta, ServingOrder::MoveFirst);
+    let mut opt = IncrementalLineOpt::new(
+        params.d,
+        params.max_move,
+        params.start.x(),
+        ServingOrder::MoveFirst,
+    );
 
-    let mut cumulative_alg = 0.0;
     let mut ratio_series = Vec::new();
     let mut gap_series = Vec::new();
-    for (t, step) in instance.iter_steps() {
-        cumulative_alg += run.cost.per_step[t].total();
-        let reqs: Vec<f64> = step.iter().map(|v| v.x()).collect();
+    while let Some(step) = stream.next_step() {
+        sim.feed(&step);
+        let reqs: Vec<f64> = step.requests.iter().map(|v| v.x()).collect();
         opt.push_step(&reqs);
         let opt_so_far = opt.current_opt();
         ratio_series.push(if opt_so_far > 1e-9 {
-            cumulative_alg / opt_so_far
+            sim.total_cost() / opt_so_far
         } else {
             1.0
         });
         // Distance from the server to the current demand point.
-        gap_series.push(run.positions[t + 1].distance(&step[0]));
+        gap_series.push(sim.position().distance(&step.requests[0]));
     }
 
-    println!("Cumulative competitive ratio over time (δ = 0.3, D = 2):\n");
+    println!(
+        "Cumulative competitive ratio over time (scenario `{}`, δ = {delta}, D = {}):\n",
+        spec.name, params.d
+    );
     println!(
         "{}",
         ascii_chart(&[Series::new("ratio", ratio_series.clone())], 72, 12)
@@ -69,10 +71,14 @@ fn main() {
     println!("Act 2's jump spikes the ratio (the page is 40 away and crawls over);");
     println!("act 3's 1.2-speed runaway is just inside the 1.3 budget, so the gap re-closes.");
 
-    // The instance itself can be exported for replay elsewhere:
-    let text = write_instance(&instance);
+    // The scenario itself can be exported for replay elsewhere:
+    let bytes = record_to_vec(stream.as_mut(), TraceFormat::ChunkedV2 { chunk: 128 })
+        .expect("recording a registry scenario");
     println!(
-        "\nInstance exports to {} lines of plain text via core::io::write_instance.",
-        text.lines().count()
+        "\nScenario exports to {} bytes of chunked v2 trace (binary: {} bytes).",
+        bytes.len(),
+        record_to_vec(stream.as_mut(), TraceFormat::Binary)
+            .unwrap()
+            .len()
     );
 }

@@ -12,17 +12,20 @@
 
 use mobile_server::core::simulator::run;
 use mobile_server::prelude::*;
-use mobile_server::workloads::agents::{random_waypoint_walk, runaway_walk};
 
 fn main() {
     let horizon = 2_000;
+    let knobs = ScenarioKnobs::horizon(horizon);
     let d = 2.0;
 
     println!("Moving-Client variant: a signal station follows a search party\n");
 
-    // Regime 1 (Theorem 10): equal speeds, no augmentation needed.
-    let walk = random_waypoint_walk::<2>(horizon, 1.0, 30.0, 7);
-    let mc = MovingClientInstance::new(d, 1.0, walk);
+    // Regime 1 (Theorem 10): equal speeds, no augmentation needed — the
+    // `disaster-waypoint` registry scenario.
+    let mc = lookup("disaster-waypoint")
+        .expect("disaster-waypoint is in the registry")
+        .moving_client::<2>(7, &knobs)
+        .expect("moving-client scenario");
     let inst = mc.to_instance();
     let mut mtc = MoveToCenter::new();
     let res = run(&inst, &mut mtc, 0.0, ServingOrder::MoveFirst);
@@ -42,9 +45,12 @@ fn main() {
         d * 1.0
     );
 
-    // Regime 2 (Theorem 8): the party outruns the station.
-    let fast = runaway_walk::<2>(horizon, 1.5, 11); // 50% faster than the station
-    let mc_fast = MovingClientInstance::new(d, 1.0, fast);
+    // Regime 2 (Theorem 8): the party outruns the station (1.5× faster) —
+    // the `disaster-runaway` scenario.
+    let mc_fast = lookup("disaster-runaway")
+        .expect("disaster-runaway is in the registry")
+        .moving_client::<2>(11, &knobs)
+        .expect("moving-client scenario");
     let inst_fast = mc_fast.to_instance();
     let res_fast = run(&inst_fast, &mut mtc, 0.0, ServingOrder::MoveFirst);
     let final_gap = res_fast.positions[horizon].distance(&mc_fast.agent.positions()[horizon - 1]);

@@ -1,11 +1,11 @@
 //! Edge-computing scenario: a data page follows a drifting crowd.
 //!
 //! The paper's introduction motivates the model with edge computing —
-//! computation moving back towards mobile users. Here a demand hotspot (a
-//! crowd of devices) drifts through a city-sized arena; the mobile server
-//! holds the page they read. We compare every algorithm in the suite and
-//! sweep the resource-augmentation factor δ to show the price of a
-//! movement budget.
+//! computation moving back towards mobile users. The `edge-drift`
+//! scenario from the registry plays a demand hotspot (a crowd of devices)
+//! drifting through a city-sized arena; the mobile server holds the page
+//! they read. We compare every algorithm in the suite and sweep the
+//! resource-augmentation factor δ to show the price of a movement budget.
 //!
 //! ```text
 //! cargo run --release --example edge_datacenter
@@ -17,19 +17,12 @@ use mobile_server::core::baselines::MoveToMinN;
 use mobile_server::prelude::*;
 
 fn main() {
-    let gen = DriftingHotspot::new(DriftingHotspotConfig::<2> {
-        horizon: 2_000,
-        d: 4.0,
-        max_move: 1.0,
-        drift_speed: 0.7,
-        momentum: 0.85,
-        spread: 0.6,
-        arena_half_width: 60.0,
-        count: RequestCount::Uniform { lo: 1, hi: 4 },
-    });
-    let instance = gen.generate(2024);
+    let spec = lookup("edge-drift").expect("edge-drift is in the registry");
+    let mut stream = spec.stream::<2>(2024).expect("2-D scenario");
+    let instance = collect_instance(stream.as_mut());
     println!(
-        "Edge data-center workload: {} rounds, {} requests, hotspot speed 0.7 vs server speed 1.0\n",
+        "Edge data-center workload (scenario `{}`): {} rounds, {} requests, hotspot speed 0.7 vs server speed 1.0\n",
+        spec.name,
         instance.horizon(),
         instance.total_requests()
     );

@@ -42,4 +42,28 @@ fn main() {
         lazy_cost,
         lazy_cost / result.total_cost()
     );
+
+    // The same, but from the scenario registry: every named workload in
+    // the catalog opens as a replayable stream and runs with O(1) memory.
+    let spec = lookup("edge-drift").expect("edge-drift is in the registry");
+    let mut stream = spec
+        .stream_with::<2>(7, &ScenarioKnobs::horizon(500))
+        .expect("2-D scenario");
+    let streamed = run_stream(
+        stream.as_mut(),
+        MoveToCenter::new(),
+        spec.default_delta,
+        ServingOrder::MoveFirst,
+    );
+    println!(
+        "\nScenario registry ({} named scenarios):",
+        registry().len()
+    );
+    println!(
+        "  `{}` streamed for {} steps: total cost {:.2}, final position {}",
+        spec.name,
+        streamed.steps,
+        streamed.total_cost(),
+        streamed.final_position
+    );
 }

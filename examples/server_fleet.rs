@@ -11,31 +11,17 @@
 
 use mobile_server::analysis::Table;
 use mobile_server::core::fleet::{run_fleet, FleetAlgorithm, GreedyFleet, MtcFleet, SpreadFleet};
-use mobile_server::geometry::sample::SeededSampler;
 use mobile_server::prelude::*;
 
 fn main() {
-    // Four districts on a ring of radius 15; each fires most rounds.
-    let mut s = SeededSampler::new(2027);
-    let districts: Vec<P2> = (0..4)
-        .map(|i| {
-            let ang = std::f64::consts::TAU * i as f64 / 4.0;
-            P2::xy(15.0 * ang.cos(), 15.0 * ang.sin())
-        })
-        .collect();
-    let mut steps: Vec<Step<2>> = Vec::with_capacity(1500);
-    for _ in 0..1500 {
-        let mut reqs = Vec::new();
-        for c in &districts {
-            if s.uniform(0.0, 1.0) < 0.8 {
-                reqs.push(s.gaussian_point(c, 0.5));
-            }
-        }
-        steps.push(Step::new(reqs));
-    }
-    let instance = Instance::new(2.0, 1.0, P2::origin(), steps);
+    // The `ring-districts` registry scenario: four districts on a ring of
+    // radius 15, each firing most rounds.
+    let spec = lookup("ring-districts").expect("ring-districts is in the registry");
+    let mut stream = spec.stream::<2>(2027).expect("2-D scenario");
+    let instance = collect_instance(stream.as_mut());
     println!(
-        "City with 4 districts, {} rounds, {} requests; D = 2, m = 1\n",
+        "City with 4 districts (scenario `{}`), {} rounds, {} requests; D = 2, m = 1\n",
+        spec.name,
         instance.horizon(),
         instance.total_requests()
     );

@@ -9,12 +9,17 @@
 //! `BenchmarkId`, `Throughput`, `black_box`, `criterion_group!`,
 //! `criterion_main!` — so the bench files compile unchanged.
 //!
-//! Measurement model: each benchmark is warmed up, then timed over
+//! Measurement model: each benchmark runs a dedicated warm-up phase
+//! (~20 ms of repeated calls, so caches and branch predictors settle and
+//! the batch size is estimated from warmed timings), then is timed over
 //! `sample_size` samples of an adaptively chosen iteration batch
-//! (targeting a few milliseconds per sample); the median per-iteration
-//! time is reported on stdout as `<name>  time: <t>`. There are no HTML
-//! reports, statistical regressions, or outlier analyses — this harness
-//! exists so benches run and emit stable machine-greppable numbers.
+//! (targeting a few milliseconds per sample). The top and bottom 20% of
+//! samples are discarded and the **trimmed mean** per-iteration time is
+//! reported on stdout as `<name>  time: <t>` — scheduler blips and
+//! one-off stalls fall into the trimmed tails instead of the reported
+//! number, so CI-to-CI deltas are comparatively stable. There are no
+//! HTML reports or statistical regressions — this harness exists so
+//! benches run and emit stable machine-greppable numbers.
 
 use std::time::{Duration, Instant};
 
@@ -52,30 +57,57 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// How long the dedicated warm-up phase runs before any sample is timed.
+const WARMUP_TARGET: Duration = Duration::from_millis(20);
+
+/// Per-sample timing target for batch sizing.
+const SAMPLE_TARGET: Duration = Duration::from_millis(2);
+
+/// Mean of the middle 60% of sorted samples (top and bottom 20% trimmed).
+/// Falls back to the plain mean when there are too few samples to trim.
+fn trimmed_mean(sorted: &[Duration]) -> Duration {
+    debug_assert!(!sorted.is_empty());
+    let trim = sorted.len() / 5;
+    let kept = &sorted[trim..sorted.len() - trim];
+    let total: u128 = kept.iter().map(Duration::as_nanos).sum();
+    Duration::from_nanos((total / kept.len() as u128) as u64)
+}
+
 /// The timing loop handed to benchmark closures.
 pub struct Bencher {
     sample_size: usize,
-    /// Median per-iteration time of the last `iter` call.
-    last_median: Duration,
+    /// Trimmed-mean per-iteration time of the last `iter` call.
+    last_measure: Duration,
 }
 
 impl Bencher {
-    /// Times `routine`, reporting the median per-iteration wall-clock time.
+    /// Times `routine`, reporting the outlier-trimmed mean per-iteration
+    /// wall-clock time after a dedicated warm-up phase.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // Warm-up and batch sizing: target ~2 ms per sample so fast
-        // routines are batched enough for the clock to resolve them.
+        // Warm-up: run repeatedly for ~20 ms (at least once) so caches
+        // and branch predictors settle; the fastest warmed iteration
+        // drives the batch sizing below.
         let warmup_start = Instant::now();
-        black_box(routine());
-        let first = warmup_start.elapsed();
-        let target = Duration::from_millis(2);
-        let batch = if first >= target {
+        let mut fastest = Duration::MAX;
+        loop {
+            let s = Instant::now();
+            black_box(routine());
+            fastest = fastest.min(s.elapsed());
+            if warmup_start.elapsed() >= WARMUP_TARGET {
+                break;
+            }
+        }
+
+        // Batch sizing: target ~2 ms per sample so fast routines are
+        // batched enough for the clock to resolve them.
+        let batch = if fastest >= SAMPLE_TARGET {
             1
         } else {
-            let per_iter = first.max(Duration::from_nanos(5));
-            (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as usize
+            let per_iter = fastest.max(Duration::from_nanos(5));
+            (SAMPLE_TARGET.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as usize
         };
 
-        let samples = self.sample_size.max(3);
+        let samples = self.sample_size.max(5);
         let mut per_iter: Vec<Duration> = Vec::with_capacity(samples);
         for _ in 0..samples {
             let start = Instant::now();
@@ -85,7 +117,7 @@ impl Bencher {
             per_iter.push(start.elapsed() / batch as u32);
         }
         per_iter.sort();
-        self.last_median = per_iter[per_iter.len() / 2];
+        self.last_measure = trimmed_mean(&per_iter);
     }
 }
 
@@ -110,15 +142,15 @@ fn run_one<F: FnMut(&mut Bencher)>(
 ) {
     let mut b = Bencher {
         sample_size,
-        last_median: Duration::ZERO,
+        last_measure: Duration::ZERO,
     };
     f(&mut b);
     let mut line = format!(
         "{full_name:<60} time: {:>12}",
-        format_duration(b.last_median)
+        format_duration(b.last_measure)
     );
     if let Some(tp) = throughput {
-        let secs = b.last_median.as_secs_f64().max(1e-12);
+        let secs = b.last_measure.as_secs_f64().max(1e-12);
         match tp {
             Throughput::Elements(n) => {
                 line.push_str(&format!("   thrpt: {:.0} elem/s", n as f64 / secs));
@@ -310,6 +342,23 @@ mod tests {
     fn id_rendering() {
         assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
         assert_eq!(BenchmarkId::from_parameter("mtc").label, "mtc");
+    }
+
+    #[test]
+    fn trimmed_mean_discards_outlier_tails() {
+        // 10 samples → trim 2 from each end; the 1 ns and 1 s outliers
+        // must not move the reported time.
+        let mut samples: Vec<Duration> = vec![Duration::from_micros(10); 6];
+        samples.extend([Duration::from_nanos(1), Duration::from_nanos(2)]);
+        samples.extend([Duration::from_secs(1), Duration::from_secs(2)]);
+        samples.sort();
+        assert_eq!(trimmed_mean(&samples), Duration::from_micros(10));
+    }
+
+    #[test]
+    fn trimmed_mean_of_tiny_samples_is_plain_mean() {
+        let samples = vec![Duration::from_nanos(100), Duration::from_nanos(300)];
+        assert_eq!(trimmed_mean(&samples), Duration::from_nanos(200));
     }
 
     #[test]

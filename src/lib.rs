@@ -20,6 +20,9 @@
 //! * [`adversary`] (`msp-adversary`) — the lower-bound constructions of
 //!   Theorems 1, 2, 3 and 8 with offline-cost certificates.
 //! * [`workloads`] (`msp-workloads`) — seeded synthetic workloads.
+//! * [`scenarios`] (`msp-scenarios`) — the streaming scenario engine:
+//!   named scenario registry, replayable request streams, durable trace
+//!   record/replay, bounded-memory runs.
 //! * [`analysis`] (`msp-analysis`) — statistics, fits, tables, parallel
 //!   sweeps.
 //!
@@ -45,6 +48,7 @@ pub use msp_analysis as analysis;
 pub use msp_core as core;
 pub use msp_geometry as geometry;
 pub use msp_offline as offline;
+pub use msp_scenarios as scenarios;
 pub use msp_workloads as workloads;
 
 /// One-stop imports for applications.
@@ -58,6 +62,10 @@ pub mod prelude {
     pub use msp_core::prelude::*;
     pub use msp_geometry::{Point, P1, P2, P3};
     pub use msp_offline::{solve_line, ConvexSolver};
+    pub use msp_scenarios::{
+        collect_instance, lookup, registry, run_stream, RequestStream, ScenarioKnobs, ScenarioSpec,
+        TraceFormat,
+    };
     pub use msp_workloads::{
         AgentFleet, AgentFleetConfig, ClusterMixture, ClusterMixtureConfig, DriftingHotspot,
         DriftingHotspotConfig, RandomWalk, RandomWalkConfig, RequestCount,
