@@ -32,5 +32,5 @@ pub use json::Json;
 pub use plot::{ascii_chart, Series};
 pub use regression::{fit_power_law, linear_fit, LinearFit, PowerLawFit};
 pub use stats::{StreamingSummary, Summary};
-pub use sweep::parallel_map;
+pub use sweep::{parallel_for_each_mut, parallel_map};
 pub use table::Table;

@@ -18,6 +18,26 @@ thread_local! {
     static IN_SWEEP: Cell<bool> = const { Cell::new(false) };
 }
 
+/// The number of worker threads a sweep with the given request would
+/// actually use before clamping to the item count: 1 inside an existing
+/// sweep worker (nested fans run sequentially), the available CPU count
+/// for `0`, otherwise the request itself.
+///
+/// Exposed so engines that partition work *before* fanning out (e.g. the
+/// simulator's δ-lane chunking) can size their partitions consistently
+/// with what [`parallel_map_indexed`] / [`parallel_for_each_mut`] will do.
+pub fn effective_threads(requested: usize) -> usize {
+    if IN_SWEEP.with(Cell::get) {
+        1
+    } else if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+    } else {
+        requested
+    }
+}
+
 /// Applies `f` to every item on up to `threads` worker threads (0 = number
 /// of available CPUs), returning outputs in input order.
 ///
@@ -35,16 +55,7 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let threads = if IN_SWEEP.with(Cell::get) {
-        1
-    } else if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4)
-    } else {
-        threads
-    }
-    .min(n);
+    let threads = effective_threads(threads).min(n);
 
     if threads <= 1 {
         return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
@@ -77,6 +88,52 @@ where
                 .expect("missing sweep result")
         })
         .collect()
+}
+
+/// Runs `f` on every item **in place** over up to `threads` workers
+/// (0 = all CPUs) with the same dynamic work stealing and nested-sweep
+/// sequential fallback as [`parallel_map_indexed`]. This is the executor
+/// for stateful shards — e.g. independent δ-lane groups of a batched
+/// simulation, each owning its algorithm clones and cost accumulators —
+/// where results are written into the items rather than collected.
+pub fn parallel_for_each_mut<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    let threads = effective_threads(threads).min(n);
+    if threads <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<&mut T>>> = items.iter_mut().map(|r| Mutex::new(Some(r))).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                IN_SWEEP.with(|flag| flag.set(true));
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .expect("sweep slot poisoned")
+                        .take()
+                        .expect("sweep item claimed twice");
+                    f(i, item);
+                }
+            });
+        }
+    });
 }
 
 /// [`parallel_map_indexed`] without the index, using all CPUs.
@@ -146,6 +203,48 @@ mod tests {
         for (cell, inner) in out.iter().enumerate() {
             assert_eq!(*inner, (0..5).map(|s| cell * 10 + s).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item_once() {
+        let mut items: Vec<usize> = (0..200).collect();
+        parallel_for_each_mut(&mut items, 0, |i, item| {
+            assert_eq!(*item, i);
+            *item += 1000;
+        });
+        assert_eq!(items, (1000..1200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_mut_sequential_and_empty_paths() {
+        let mut empty: Vec<u8> = vec![];
+        parallel_for_each_mut(&mut empty, 0, |_, _| unreachable!());
+        let mut one = vec![5usize];
+        parallel_for_each_mut(&mut one, 1, |i, item| *item += i);
+        assert_eq!(one, vec![5]);
+    }
+
+    #[test]
+    fn for_each_mut_nested_inside_sweep_runs_sequentially() {
+        let outer: Vec<usize> = (0..4).collect();
+        let out = parallel_map(&outer, |&cell| {
+            let mut inner: Vec<usize> = (0..6).collect();
+            parallel_for_each_mut(&mut inner, 0, |_, v| *v += cell);
+            inner
+        });
+        for (cell, inner) in out.iter().enumerate() {
+            assert_eq!(*inner, (0..6).map(|v| v + cell).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn effective_threads_resolves_requests() {
+        assert_eq!(effective_threads(3), 3);
+        assert!(effective_threads(0) >= 1);
+        // Inside a sweep worker, everything collapses to one thread.
+        let items = [0usize; 2];
+        let nested = parallel_map(&items, |_| effective_threads(0));
+        assert!(nested.iter().all(|&t| t == 1));
     }
 
     #[test]

@@ -1,20 +1,24 @@
-//! Benchmarks of the PR-1 fast paths against their baselines:
+//! Benchmarks of the fast paths against their baselines:
 //!
+//! * chunked distance kernels (service cost, SoA service scan) vs their
+//!   scalar oracles,
 //! * warm-started drifting-cluster median solves vs cold starts,
-//! * multi-δ batched simulation vs repeated single runs,
+//! * multi-δ batched simulation (cross-lane seeded and strict) vs
+//!   repeated single runs,
 //! * radius-pruned grid DP vs the all-pairs transition scan.
 //!
 //! The `perf_report` binary measures the same pairs and records the
-//! speedups in `BENCH_1.json`; these Criterion wrappers keep the numbers
+//! speedups in `BENCH_3.json`; these Criterion wrappers keep the numbers
 //! under `cargo bench` alongside the rest of the suite.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use msp_core::cost::ServingOrder;
+use msp_core::cost::{service_cost, service_cost_naive, ServingOrder};
 use msp_core::model::{Instance, Step};
 use msp_core::mtc::MoveToCenter;
-use msp_core::simulator::{run, run_batch};
+use msp_core::simulator::{run, run_batch, run_batch_with, BatchOptions};
 use msp_geometry::median::{weighted_center, weighted_center_classic, MedianOptions, MedianSolver};
 use msp_geometry::sample::SeededSampler;
+use msp_geometry::soa::SoaPoints;
 use msp_geometry::P2;
 use msp_offline::grid::{grid_optimum, grid_optimum_unpruned};
 use msp_workloads::{DriftingHotspot, DriftingHotspotConfig, RequestCount};
@@ -119,6 +123,59 @@ fn bench_multi_delta_batch(c: &mut Criterion) {
                 .sum::<f64>()
         })
     });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("batched_strict"),
+        &inst,
+        |b, inst| {
+            b.iter(|| {
+                run_batch_with(
+                    black_box(inst),
+                    &MoveToCenter::new(),
+                    &deltas,
+                    &orders,
+                    BatchOptions::strict(),
+                )
+                .iter()
+                .map(|r| r.total_cost())
+                .sum::<f64>()
+            })
+        },
+    );
+    group.finish();
+}
+
+fn bench_distance_kernels(c: &mut Criterion) {
+    let mut s = SeededSampler::new(5);
+    let mut group = c.benchmark_group("distance_kernels");
+    for &n in &[64usize, 256] {
+        let pts: Vec<P2> = (0..n).map(|_| s.point_in_cube(3.0)).collect();
+        let p = P2::xy(0.4, -0.3);
+        group.bench_with_input(BenchmarkId::new("service_naive", n), &pts, |b, pts| {
+            b.iter(|| service_cost_naive(black_box(&p), black_box(pts)))
+        });
+        group.bench_with_input(BenchmarkId::new("service_chunked", n), &pts, |b, pts| {
+            b.iter(|| service_cost(black_box(&p), black_box(pts)))
+        });
+    }
+    // The grid DP's service-scan shape: many nodes, few requests.
+    let nodes: Vec<P2> = (0..4096).map(|_| s.point_in_cube(3.0)).collect();
+    let nodes_soa = SoaPoints::from_points(&nodes);
+    let requests = [P2::xy(1.0, 1.3), P2::xy(0.2, 2.0), P2::xy(2.1, 0.4)];
+    let mut serve = vec![0.0f64; nodes.len()];
+    group.bench_function("dp_serve_scan_naive", |b| {
+        b.iter(|| {
+            for (k, pk) in nodes.iter().enumerate() {
+                serve[k] = service_cost_naive(pk, black_box(&requests));
+            }
+            serve[0]
+        })
+    });
+    group.bench_function("dp_serve_scan_soa", |b| {
+        b.iter(|| {
+            nodes_soa.service_costs_into(black_box(&requests), &mut serve);
+            serve[0]
+        })
+    });
     group.finish();
 }
 
@@ -146,6 +203,6 @@ fn bench_grid_dp(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_median_warm_start, bench_multi_delta_batch, bench_grid_dp
+    targets = bench_distance_kernels, bench_median_warm_start, bench_multi_delta_batch, bench_grid_dp
 );
 criterion_main!(benches);

@@ -1,29 +1,51 @@
-//! Emits the machine-readable perf trajectory record (`BENCH_1.json`):
-//! wall-clock comparisons of the PR-1 fast paths against their baselines,
+//! Emits the machine-readable perf trajectory record (`BENCH_3.json`):
+//! wall-clock comparisons of the PR-3 fast paths against their baselines,
 //! so future optimization PRs have measured numbers to beat.
 //!
 //! Pairs measured (same shapes as `benches/bench_fastpath.rs`):
 //!
-//! * `median_drift_*` — warm-started [`MedianSolver`] vs cold
-//!   `weighted_center` over a drifting request cluster,
-//! * `multi_delta_sweep` — `run_batch` over a (δ × order) grid vs repeated
-//!   `run` calls,
-//! * `grid_dp_*` — radius-pruned `grid_optimum` vs the all-pairs scan.
+//! * `kernel_service_cost_*` — chunked `service_cost` vs the scalar
+//!   `service_cost_naive` oracle,
+//! * `kernel_dp_serve_scan` — the grid DP's SoA per-node service scan vs
+//!   the per-node scalar loop,
+//! * `kernel_weiszfeld_accum` — the chunked Weiszfeld accumulator vs its
+//!   scalar oracle,
+//! * `median_drift_*` — warm-started [`MedianSolver`] vs the seed's cold
+//!   classic solver over a drifting request cluster,
+//! * `multi_delta_sweep` — `run_batch` (cross-lane warm seeding) over a
+//!   (δ × order) grid vs repeated `run` calls, plus the unseeded strict
+//!   variant to attribute the win,
+//! * `streaming_batch_sweep` — `run_streaming_batch` vs repeated
+//!   `run_streaming` passes,
+//! * `grid_dp_*` — radius-pruned `GridDp::solve` vs the all-pairs scan
+//!   (both sides now share the hoisted SoA service scan, so the baseline
+//!   is *stricter* than `BENCH_1.json`'s).
 //!
-//! Usage: `cargo run --release -p msp-bench --bin perf_report [out.json]`
-//! (release mode — debug timings are meaningless).
+//! Usage:
+//!   `cargo run --release -p msp-bench --bin perf_report [-- FLAGS] [out.json]`
+//!
+//! Flags:
+//! * `--quick` — reduced grid for CI smoke runs (smaller horizons/grids,
+//!   fewer repetitions; default output `bench-ci.json`),
+//! * `--check <recorded.json>` — after measuring, compare each bench
+//!   against the speedup recorded under the same name in the given file
+//!   and exit non-zero if any falls below 0.8× of its recorded value
+//!   (the CI `perf_smoke` regression gate).
+//!
+//! Release mode only — debug timings are meaningless.
 
 use std::time::Instant;
 
 use msp_analysis::Json;
-use msp_core::cost::ServingOrder;
+use msp_core::cost::{service_cost, service_cost_naive, ServingOrder};
 use msp_core::model::{Instance, Step};
 use msp_core::mtc::MoveToCenter;
-use msp_core::simulator::{run, run_batch};
+use msp_core::simulator::{run, run_batch_with, run_streaming, BatchOptions};
 use msp_geometry::median::{weighted_center, weighted_center_classic, MedianOptions, MedianSolver};
 use msp_geometry::sample::SeededSampler;
+use msp_geometry::soa::{self, SoaPoints};
 use msp_geometry::P2;
-use msp_offline::grid::{grid_optimum, grid_optimum_unpruned};
+use msp_offline::grid::GridDp;
 use msp_workloads::{DriftingHotspot, DriftingHotspotConfig, RequestCount};
 
 /// Median of `reps` wall-clock timings of `f` (after one warm-up call).
@@ -41,7 +63,7 @@ fn time_ns<O>(reps: usize, mut f: impl FnMut() -> O) -> u128 {
 }
 
 struct Comparison {
-    name: &'static str,
+    name: String,
     baseline_ns: u128,
     fast_ns: u128,
     detail: String,
@@ -54,12 +76,50 @@ impl Comparison {
 
     fn to_json(&self) -> Json {
         Json::obj([
-            ("name", Json::Str(self.name.into())),
+            ("name", Json::Str(self.name.clone())),
             ("baseline_ns", Json::Num(self.baseline_ns as f64)),
             ("fast_ns", Json::Num(self.fast_ns as f64)),
             ("speedup", Json::Num(self.speedup())),
             ("detail", Json::Str(self.detail.clone())),
         ])
+    }
+}
+
+/// Benchmark shape knobs: full record vs the CI `--quick` smoke grid.
+struct Shapes {
+    drift_steps: usize,
+    sweep_horizon: usize,
+    grid_cells: [usize; 2],
+    kernel_evals: usize,
+    reps: usize,
+}
+
+impl Shapes {
+    fn full() -> Self {
+        Shapes {
+            drift_steps: 256,
+            sweep_horizon: 1_000,
+            grid_cells: [41, 61],
+            kernel_evals: 256,
+            reps: 9,
+        }
+    }
+
+    /// Reduced grid for the CI smoke gate. Shapes are smaller (so the
+    /// run stays in CI budget) but repetitions are *higher* than the full
+    /// record — each rep is cheap and the 0.8× regression floor needs
+    /// stable medians more than it needs big instances. Check quick runs
+    /// against a quick-shape record (`BENCH_3_quick.json`), never against
+    /// the full record: pruning windows and warm-start gains scale with
+    /// the instance, so cross-shape speedups are not comparable.
+    fn quick() -> Self {
+        Shapes {
+            drift_steps: 96,
+            sweep_horizon: 300,
+            grid_cells: [21, 31],
+            kernel_evals: 128,
+            reps: 13,
+        }
     }
 }
 
@@ -77,20 +137,120 @@ fn drifting_clusters(n_points: usize, steps: usize) -> Vec<Vec<P2>> {
         .collect()
 }
 
-fn median_comparison(n: usize, name: &'static str) -> Comparison {
-    let sets = drifting_clusters(n, 256);
+fn service_kernel_comparison(n: usize, name: &'static str, sh: &Shapes) -> Comparison {
+    let sets = drifting_clusters(n, sh.kernel_evals);
+    let p = P2::xy(0.4, -0.3);
+    let baseline_ns = time_ns(sh.reps, || {
+        let mut acc = 0.0;
+        for pts in &sets {
+            acc += service_cost_naive(&p, pts);
+        }
+        acc
+    });
+    let fast_ns = time_ns(sh.reps, || {
+        let mut acc = 0.0;
+        for pts in &sets {
+            acc += service_cost(&p, pts);
+        }
+        acc
+    });
+    // Parity sanity on the last set.
+    let last = sets.last().unwrap();
+    let (a, b) = (service_cost(&p, last), service_cost_naive(&p, last));
+    assert!((a - b).abs() <= 1e-10 * (1.0 + b), "kernel parity broken");
+    Comparison {
+        name: name.into(),
+        baseline_ns,
+        fast_ns,
+        detail: format!(
+            "{} request sets of {n} points; scalar sum-of-distances loop vs chunked kernel",
+            sets.len()
+        ),
+    }
+}
+
+fn dp_serve_scan_comparison(sh: &Shapes) -> Comparison {
+    // The grid DP's per-step shape: many nodes, few requests.
+    let side = if sh.grid_cells[1] > 41 { 96 } else { 48 };
+    let mut nodes = Vec::with_capacity(side * side);
+    for y in 0..side {
+        for x in 0..side {
+            nodes.push(P2::xy(x as f64 * 0.05, y as f64 * 0.05));
+        }
+    }
+    let nodes_soa = SoaPoints::from_points(&nodes);
+    let requests = [P2::xy(1.0, 1.3), P2::xy(0.2, 2.0), P2::xy(2.1, 0.4)];
+    let mut serve = vec![0.0f64; nodes.len()];
+    let baseline_ns = time_ns(sh.reps, || {
+        for (k, pk) in nodes.iter().enumerate() {
+            serve[k] = service_cost_naive(pk, &requests);
+        }
+        serve[0]
+    });
+    let mut serve_fast = vec![0.0f64; nodes.len()];
+    let fast_ns = time_ns(sh.reps, || {
+        nodes_soa.service_costs_into(&requests, &mut serve_fast);
+        serve_fast[0]
+    });
+    for (a, b) in serve_fast.iter().zip(&serve) {
+        assert_eq!(a.to_bits(), b.to_bits(), "serve scan parity broken");
+    }
+    Comparison {
+        name: "kernel_dp_serve_scan".into(),
+        baseline_ns,
+        fast_ns,
+        detail: format!(
+            "{}×{side} nodes × 3 requests; per-node scalar loop vs per-request SoA column scan",
+            side
+        ),
+    }
+}
+
+fn weiszfeld_kernel_comparison(sh: &Shapes) -> Comparison {
+    let sets = drifting_clusters(64, sh.kernel_evals);
+    let weights = vec![1.0f64; 64];
+    let y = P2::xy(0.9, 0.7);
+    let baseline_ns = time_ns(sh.reps, || {
+        let mut acc = 0.0;
+        for pts in &sets {
+            acc += soa::weiszfeld_accumulate_scalar(pts, &weights, &y, 1e-14).denom;
+        }
+        acc
+    });
+    let fast_ns = time_ns(sh.reps, || {
+        let mut acc = 0.0;
+        for pts in &sets {
+            acc += soa::weiszfeld_accumulate(pts, &weights, &y, 1e-14).denom;
+        }
+        acc
+    });
+    Comparison {
+        name: "kernel_weiszfeld_accum".into(),
+        baseline_ns,
+        fast_ns,
+        detail: format!(
+            "{} accumulator passes over 64 points; scalar loop vs chunked blocks (in-order, \
+             bit-identical). The in-order accumulation chains bound this kernel, so the blocked \
+             sqrt/div buys little — tracked honestly; the bit-stability contract is the point",
+            sets.len()
+        ),
+    }
+}
+
+fn median_comparison(n: usize, name: &'static str, sh: &Shapes) -> Comparison {
+    let sets = drifting_clusters(n, sh.drift_steps);
     let reference = P2::origin();
     let ones = vec![1.0; n];
     // Baseline: the seed's cold-start solver (full-length Weiszfeld from
-    // the centroid plus exhaustive anchor snap) — the "before" of this PR.
-    let baseline_ns = time_ns(9, || {
+    // the centroid plus exhaustive anchor snap).
+    let baseline_ns = time_ns(sh.reps, || {
         let mut acc = P2::origin();
         for pts in &sets {
             acc = weighted_center_classic(pts, &ones, &reference, MedianOptions::default());
         }
         acc
     });
-    let fast_ns = time_ns(9, || {
+    let fast_ns = time_ns(sh.reps, || {
         let mut solver = MedianSolver::<2>::new(MedianOptions::default());
         let mut acc = P2::origin();
         for pts in &sets {
@@ -114,20 +274,21 @@ fn median_comparison(n: usize, name: &'static str) -> Comparison {
     );
     assert!(warm.distance(&classic) < 1e-9, "warm/classic parity broken");
     Comparison {
-        name,
+        name: name.into(),
         baseline_ns,
         fast_ns,
         detail: format!(
-            "{n}-point cluster drifting over 256 steps; seed cold-start solver vs warm \
+            "{n}-point cluster drifting over {} steps; seed cold-start solver vs warm \
              MedianSolver (mean {:.1} Weiszfeld iters/solve warm)",
+            sh.drift_steps,
             solver.telemetry.mean_iterations()
         ),
     }
 }
 
-fn batch_comparison() -> Comparison {
+fn sweep_instance(sh: &Shapes) -> Instance<2> {
     let gen = DriftingHotspot::new(DriftingHotspotConfig::<2> {
-        horizon: 1_000,
+        horizon: sh.sweep_horizon,
         d: 4.0,
         max_move: 1.0,
         drift_speed: 0.5,
@@ -136,36 +297,108 @@ fn batch_comparison() -> Comparison {
         arena_half_width: 100.0,
         count: RequestCount::Fixed(4),
     });
-    let inst = gen.generate(3);
-    let deltas = [0.0, 0.1, 0.2, 0.4, 0.8];
-    let orders = [ServingOrder::MoveFirst, ServingOrder::AnswerFirst];
-    let baseline_ns = time_ns(7, || {
+    gen.generate(3)
+}
+
+const SWEEP_DELTAS: [f64; 5] = [0.0, 0.1, 0.2, 0.4, 0.8];
+const SWEEP_ORDERS: [ServingOrder; 2] = [ServingOrder::MoveFirst, ServingOrder::AnswerFirst];
+
+/// The seeded sweep configuration the record tracks: one fully seeded
+/// lane group, **pinned** rather than the machine-dependent default
+/// (whose group shape follows the core count — speedups measured under
+/// it would not be comparable across recording and checking machines).
+fn pinned_seeded_options() -> BatchOptions {
+    BatchOptions {
+        threads: 0,
+        lane_chunk: SWEEP_DELTAS.len(),
+        cross_lane_seed: true,
+    }
+}
+
+fn batch_comparison(
+    sh: &Shapes,
+    opts: BatchOptions,
+    name: &'static str,
+    variant: &str,
+) -> Comparison {
+    let inst = sweep_instance(sh);
+    let baseline_ns = time_ns(7.min(sh.reps), || {
         let mut total = 0.0;
-        for &delta in &deltas {
-            for &order in &orders {
+        for &delta in &SWEEP_DELTAS {
+            for &order in &SWEEP_ORDERS {
                 let mut alg = MoveToCenter::new();
                 total += run(&inst, &mut alg, delta, order).total_cost();
             }
         }
         total
     });
-    let fast_ns = time_ns(7, || {
-        run_batch(&inst, &MoveToCenter::new(), &deltas, &orders)
-            .iter()
-            .map(|r| r.total_cost())
-            .sum::<f64>()
+    let fast_ns = time_ns(7.min(sh.reps), || {
+        run_batch_with(
+            &inst,
+            &MoveToCenter::new(),
+            &SWEEP_DELTAS,
+            &SWEEP_ORDERS,
+            opts,
+        )
+        .iter()
+        .map(|r| r.total_cost())
+        .sum::<f64>()
     });
     Comparison {
-        name: "multi_delta_sweep",
+        name: name.into(),
         baseline_ns,
         fast_ns,
-        detail:
-            "5 δ × 2 orders on a T=1000 drifting hotspot; repeated run() vs one run_batch() pass"
-                .into(),
+        detail: format!(
+            "5 δ × 2 orders on a T={} drifting hotspot; repeated run() vs one run_batch() pass ({variant})",
+            sh.sweep_horizon
+        ),
     }
 }
 
-fn grid_comparison(cells: usize, name: &'static str) -> Comparison {
+fn streaming_batch_comparison(sh: &Shapes) -> Comparison {
+    let inst = sweep_instance(sh);
+    let params = inst.params();
+    let baseline_ns = time_ns(7.min(sh.reps), || {
+        let mut total = 0.0;
+        for &delta in &SWEEP_DELTAS {
+            for &order in &SWEEP_ORDERS {
+                total += run_streaming(
+                    &params,
+                    inst.steps.iter().cloned(),
+                    MoveToCenter::new(),
+                    delta,
+                    order,
+                )
+                .total_cost();
+            }
+        }
+        total
+    });
+    let fast_ns = time_ns(7.min(sh.reps), || {
+        msp_core::simulator::run_streaming_batch_with(
+            &params,
+            inst.steps.iter().cloned(),
+            &MoveToCenter::new(),
+            &SWEEP_DELTAS,
+            &SWEEP_ORDERS,
+            pinned_seeded_options(),
+        )
+        .iter()
+        .map(|r| r.total_cost())
+        .sum::<f64>()
+    });
+    Comparison {
+        name: "streaming_batch_sweep".into(),
+        baseline_ns,
+        fast_ns,
+        detail: format!(
+            "5 δ × 2 orders streamed over T={}; repeated run_streaming() vs one blocked run_streaming_batch() pass (pinned seeded lane group)",
+            sh.sweep_horizon
+        ),
+    }
+}
+
+fn grid_comparison(cells: usize, sh: &Shapes) -> Comparison {
     let steps: Vec<Step<2>> = (0..6)
         .map(|t| {
             let a = t as f64 * 0.9;
@@ -173,39 +406,106 @@ fn grid_comparison(cells: usize, name: &'static str) -> Comparison {
         })
         .collect();
     let inst = Instance::new(2.0, 0.4, P2::origin(), steps);
-    let baseline_ns = time_ns(5, || {
-        grid_optimum_unpruned(&inst, cells, ServingOrder::MoveFirst)
+    let mut dp = GridDp::new(&inst, cells);
+    let baseline_ns = time_ns(5.min(sh.reps), || {
+        dp.solve_unpruned(&inst, ServingOrder::MoveFirst)
     });
-    let fast_ns = time_ns(5, || grid_optimum(&inst, cells, ServingOrder::MoveFirst));
-    let pruned = grid_optimum(&inst, cells, ServingOrder::MoveFirst);
-    let full = grid_optimum_unpruned(&inst, cells, ServingOrder::MoveFirst);
+    let fast_ns = time_ns(5.min(sh.reps), || dp.solve(&inst, ServingOrder::MoveFirst));
+    let pruned = dp.solve(&inst, ServingOrder::MoveFirst);
+    let full = dp.solve_unpruned(&inst, ServingOrder::MoveFirst);
     assert_eq!(pruned, full, "pruned/all-pairs parity broken");
     Comparison {
-        name,
+        // Derived from the actual cell count so quick-shape records are
+        // labeled (and gate-matched) by what actually ran.
+        name: format!("grid_dp_{cells}"),
         baseline_ns,
         fast_ns,
         detail: format!(
-            "{cells}×{cells} planar grid, T=6, m=0.4: all-pairs transition scan vs radius-pruned window"
+            "{cells}×{cells} planar grid, T=6, m=0.4, reused GridDp scratch: all-pairs transition \
+             scan vs radius-pruned window (both on the hoisted SoA service scan)"
         ),
     }
 }
 
+/// Extracts `(name, speedup)` pairs from a previously recorded report.
+/// The format is our own compact emitter's (`"name":"…"` precedes
+/// `"speedup":…` inside each bench object, keys alphabetical), so a
+/// lightweight scan (the workspace has no JSON parser dependency) is
+/// sufficient and stable.
+fn recorded_speedups(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for chunk in text.split("\"name\":\"").skip(1) {
+        let Some(name_end) = chunk.find('"') else {
+            continue;
+        };
+        let name = chunk[..name_end].to_string();
+        let Some(pos) = chunk.find("\"speedup\":") else {
+            continue;
+        };
+        let rest = &chunk[pos + "\"speedup\":".len()..];
+        let num: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((name, v));
+        }
+    }
+    out
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_1.json".into());
+    let mut quick = false;
+    let mut check: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--check" => check = Some(args.next().expect("--check needs a file path")),
+            other => out_path = Some(other.to_string()),
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| {
+        if quick {
+            "bench-ci.json".into()
+        } else {
+            "BENCH_3.json".into()
+        }
+    });
+    let sh = if quick {
+        Shapes::quick()
+    } else {
+        Shapes::full()
+    };
 
     let comparisons = vec![
-        median_comparison(16, "median_drift_n16"),
-        median_comparison(64, "median_drift_n64"),
-        batch_comparison(),
-        grid_comparison(41, "grid_dp_41"),
-        grid_comparison(61, "grid_dp_61"),
+        service_kernel_comparison(64, "kernel_service_cost_n64", &sh),
+        service_kernel_comparison(256, "kernel_service_cost_n256", &sh),
+        dp_serve_scan_comparison(&sh),
+        weiszfeld_kernel_comparison(&sh),
+        median_comparison(16, "median_drift_n16", &sh),
+        median_comparison(64, "median_drift_n64", &sh),
+        batch_comparison(
+            &sh,
+            pinned_seeded_options(),
+            "multi_delta_sweep",
+            "cross-lane seeded, one pinned lane group — machine-independent shape",
+        ),
+        batch_comparison(
+            &sh,
+            BatchOptions::strict(),
+            "multi_delta_sweep_strict",
+            "unseeded strict lanes",
+        ),
+        streaming_batch_comparison(&sh),
+        grid_comparison(sh.grid_cells[0], &sh),
+        grid_comparison(sh.grid_cells[1], &sh),
     ];
 
     for c in &comparisons {
         println!(
-            "{:<22} baseline {:>12} ns   fast {:>12} ns   speedup {:>6.2}×",
+            "{:<26} baseline {:>12} ns   fast {:>12} ns   speedup {:>6.2}×",
             c.name,
             c.baseline_ns,
             c.fast_ns,
@@ -214,7 +514,8 @@ fn main() {
     }
 
     let json = Json::obj([
-        ("pr", Json::Num(1.0)),
+        ("pr", Json::Num(3.0)),
+        ("quick", Json::from(quick)),
         (
             "tier1",
             Json::Str("cargo build --release && cargo test -q".into()),
@@ -226,4 +527,48 @@ fn main() {
     ]);
     std::fs::write(&out_path, json.to_string() + "\n").expect("write perf report");
     println!("wrote {out_path}");
+
+    if let Some(recorded_path) = check {
+        let recorded = std::fs::read_to_string(&recorded_path)
+            .unwrap_or_else(|e| panic!("read {recorded_path}: {e}"));
+        let recorded = recorded_speedups(&recorded);
+        let mut failed = false;
+        for c in &comparisons {
+            let Some((_, want)) = recorded.iter().find(|(n, _)| *n == c.name) else {
+                println!("check: {:<26} (not in {recorded_path}, skipped)", c.name);
+                continue;
+            };
+            if *want < 1.0 {
+                // Benches recorded below 1× are informational (e.g. the
+                // in-order Weiszfeld kernel, bound by its accumulation
+                // chains by design): their ratio hovers around parity and
+                // is the most microarch-sensitive number in the record —
+                // gating it would flake on heterogeneous CI runners.
+                println!(
+                    "check: {:<26} informational ({:.2}× vs recorded {want:.2}×, not gated)",
+                    c.name,
+                    c.speedup()
+                );
+                continue;
+            }
+            let floor = 0.8 * want;
+            let got = c.speedup();
+            if got < floor {
+                println!(
+                    "check: {:<26} REGRESSED — {got:.2}× < 0.8 × recorded {want:.2}×",
+                    c.name
+                );
+                failed = true;
+            } else {
+                println!(
+                    "check: {:<26} ok — {got:.2}× vs recorded {want:.2}× (floor {floor:.2}×)",
+                    c.name
+                );
+            }
+        }
+        if failed {
+            eprintln!("perf_smoke: tracked speedups regressed below 0.8× of {recorded_path}");
+            std::process::exit(1);
+        }
+    }
 }

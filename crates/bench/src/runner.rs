@@ -13,7 +13,7 @@ use msp_core::algorithm::OnlineAlgorithm;
 use msp_core::cost::ServingOrder;
 use msp_core::model::Instance;
 use msp_core::ratio::competitive_ratio;
-use msp_core::simulator::{run, run_batch, StreamingSim};
+use msp_core::simulator::{run, run_batch_with, BatchOptions, StreamingSim};
 use msp_offline::convex::{ConvexSolver, ConvexSolverOptions};
 use msp_offline::line::{solve_line, IncrementalLineOpt};
 
@@ -130,17 +130,29 @@ pub fn stats_from_values(values: &[f64]) -> SeedStats {
 /// simulated in one batched pass. Equivalent to calling [`line_ratio`] per
 /// δ, at roughly `1/deltas.len()` of the OPT cost plus the batched
 /// simulation savings.
-pub fn batch_line_ratios<A: OnlineAlgorithm<1> + Clone>(
+///
+/// Runs under [`BatchOptions::strict`]: published experiment tables must
+/// be bit-reproducible across machines, so the core-count-dependent lane
+/// grouping and cross-lane seeding of the default engine are disabled
+/// (on the line the median is solved exactly without iteration, so
+/// seeding would buy nothing here anyway).
+pub fn batch_line_ratios<A: OnlineAlgorithm<1> + Clone + Send>(
     instance: &Instance<1>,
     algorithm: &A,
     deltas: &[f64],
     order: ServingOrder,
 ) -> Vec<f64> {
     let opt = solve_line(instance, order).cost;
-    run_batch(instance, algorithm, deltas, &[order])
-        .into_iter()
-        .map(|res| competitive_ratio(res.total_cost(), opt))
-        .collect()
+    run_batch_with(
+        instance,
+        algorithm,
+        deltas,
+        &[order],
+        BatchOptions::strict(),
+    )
+    .into_iter()
+    .map(|res| competitive_ratio(res.total_cost(), opt))
+    .collect()
 }
 
 /// Competitive ratios of `algorithm` at every prefix horizon in `marks`

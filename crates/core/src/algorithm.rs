@@ -83,6 +83,21 @@ pub trait OnlineAlgorithm<const N: usize> {
         requests: &[Point<N>],
         ctx: &AlgContext<N>,
     ) -> Point<N>;
+
+    /// Offers the internal state of a *neighboring configuration* of the
+    /// same algorithm (e.g. the adjacent δ-lane of a batched sweep, which
+    /// just decided on the **same step**) as a numerical warm-start hint.
+    ///
+    /// Implementations may only use the hint to accelerate convergence —
+    /// never to change which point they would decide on beyond solver
+    /// tolerance — so batched engines stay interchangeable with
+    /// sequential runs. The default is a no-op; [`crate::mtc::MoveToCenter`]
+    /// seeds its median solver from the neighbor's last center.
+    fn warm_hint(&mut self, _neighbor: &Self)
+    where
+        Self: Sized,
+    {
+    }
 }
 
 /// Object-safe alias for heterogeneous algorithm collections (experiment

@@ -118,6 +118,77 @@ pub fn run_move_first<const N: usize, A: OnlineAlgorithm<N>>(
     run(instance, algorithm, delta, ServingOrder::MoveFirst)
 }
 
+/// Execution knobs of the batched engines ([`run_batch_with`],
+/// [`run_streaming_batch_with`]).
+///
+/// δ-lanes are partitioned into **groups**; groups execute concurrently
+/// over [`msp_analysis::sweep::parallel_for_each_mut`] workers, while the
+/// lanes *inside* a group are stepped together, which enables cross-lane
+/// warm seeding: before lane `i` of a group decides on a step, it receives
+/// an [`OnlineAlgorithm::warm_hint`] from lane `i − 1`, which just solved
+/// the **same step** — for Move-to-Center that hands over an essentially
+/// converged median iterate, collapsing the solve to a verification pass.
+///
+/// Hints are numerics, not policy: every lane's trajectory agrees with its
+/// sequential [`run`] to well within solver tolerance (pinned by tests),
+/// but bit-exact reproducibility across machines additionally requires a
+/// fixed group shape — that is what [`BatchOptions::strict`] provides.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchOptions {
+    /// Worker threads for lane groups (0 = all available CPUs; nested
+    /// inside another sweep everything runs on the current worker).
+    pub threads: usize,
+    /// Lanes per group (0 = auto: `⌈lanes / threads⌉`, so one group per
+    /// worker — maximal seeding without idle cores).
+    pub lane_chunk: usize,
+    /// Whether neighboring lanes of a group exchange warm hints.
+    pub cross_lane_seed: bool,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            threads: 0,
+            lane_chunk: 0,
+            cross_lane_seed: true,
+        }
+    }
+}
+
+impl BatchOptions {
+    /// Bit-stable configuration: one lane per group, no cross-lane
+    /// seeding. Every lane performs exactly the arithmetic of its
+    /// sequential [`run`] (bit-equal output, pinned by tests), and the
+    /// result is independent of the machine's core count.
+    pub fn strict() -> Self {
+        BatchOptions {
+            threads: 0,
+            lane_chunk: 1,
+            cross_lane_seed: false,
+        }
+    }
+
+    /// Fully sequential strict configuration — the reference the parallel
+    /// paths are pinned against.
+    pub fn sequential() -> Self {
+        BatchOptions {
+            threads: 1,
+            lane_chunk: 1,
+            cross_lane_seed: false,
+        }
+    }
+
+    /// Resolved lanes-per-group for `n` lanes.
+    fn group_size(&self, n: usize) -> usize {
+        if self.lane_chunk > 0 {
+            self.lane_chunk
+        } else {
+            n.div_ceil(msp_analysis::sweep::effective_threads(self.threads).max(1))
+        }
+        .max(1)
+    }
+}
+
 /// One δ-lane of a batched run: its own algorithm clone (decisions depend
 /// on the augmented budget) pricing the shared trajectory under every
 /// requested order.
@@ -130,30 +201,169 @@ struct BatchLane<const N: usize, A> {
     costs: Vec<CostBreakdown>, // one per serving order
 }
 
+/// Common surface of a batched δ-lane. Both engines — in-memory
+/// [`run_batch_with`] and streaming [`run_streaming_batch_with`] — drive
+/// their lanes exclusively through [`advance_lane_group`], so the
+/// step-major/lane-minor ordering and the cross-lane hint pattern (the
+/// bit-equality contract between the two engines) live in exactly one
+/// place.
+trait SeedableLane<const N: usize> {
+    /// The algorithm driving this lane.
+    type Alg: OnlineAlgorithm<N>;
+    fn algorithm(&self) -> &Self::Alg;
+    fn algorithm_mut(&mut self) -> &mut Self::Alg;
+    /// Advances the lane by one step, pricing the shared move under every
+    /// requested order (the orders differ only in the serving endpoint,
+    /// so the service sums are the only per-order work).
+    fn feed(&mut self, step: &Step<N>, orders: &[ServingOrder]);
+}
+
+/// The decide/clamp/price core shared by every batched lane: proposes,
+/// clamps to the budget, and invokes `price(order_index, movement,
+/// service)` once per requested order. Both lane kinds (in-memory and
+/// streaming) route through this single copy, so the pricing arithmetic —
+/// part of the engines' bit-equality contract — cannot diverge. Returns
+/// the clamped next position and the step length actually moved; the
+/// caller updates its own record.
+fn price_lane_step<const N: usize, A: OnlineAlgorithm<N>>(
+    algorithm: &mut A,
+    ctx: &AlgContext<N>,
+    budget: f64,
+    current: &Point<N>,
+    step: &Step<N>,
+    orders: &[ServingOrder],
+    mut price: impl FnMut(usize, f64, f64),
+) -> (Point<N>, f64) {
+    let proposal = algorithm.decide(current, &step.requests, ctx);
+    debug_assert!(
+        proposal.is_finite(),
+        "{} proposed a non-finite position",
+        algorithm.name()
+    );
+    let next = step_towards(current, &proposal, budget);
+    let step_len = current.distance(&next);
+    let movement = ctx.d * step_len;
+    for (oi, order) in orders.iter().enumerate() {
+        let serve_from = match order {
+            ServingOrder::MoveFirst => &next,
+            ServingOrder::AnswerFirst => current,
+        };
+        price(oi, movement, service_cost(serve_from, &step.requests));
+    }
+    (next, step_len)
+}
+
+impl<const N: usize, A: OnlineAlgorithm<N>> SeedableLane<N> for BatchLane<N, A> {
+    type Alg = A;
+
+    fn algorithm(&self) -> &A {
+        &self.algorithm
+    }
+
+    fn algorithm_mut(&mut self) -> &mut A {
+        &mut self.algorithm
+    }
+
+    fn feed(&mut self, step: &Step<N>, orders: &[ServingOrder]) {
+        let costs = &mut self.costs;
+        let (next, _) = price_lane_step(
+            &mut self.algorithm,
+            &self.ctx,
+            self.budget,
+            &self.current,
+            step,
+            orders,
+            |oi, movement, service| {
+                let cost = &mut costs[oi];
+                cost.movement += movement;
+                cost.service += service;
+                cost.per_step.push(StepCost { movement, service });
+            },
+        );
+        self.current = next;
+        self.positions.push(next);
+    }
+}
+
+/// Steps every lane of one group through `steps`, exchanging warm hints
+/// between neighboring lanes when enabled: before lane `i` decides on a
+/// step, it is hinted from lane `i − 1`, which just solved the same step.
+fn advance_lane_group<const N: usize, L: SeedableLane<N>>(
+    lanes: &mut [L],
+    steps: &[Step<N>],
+    orders: &[ServingOrder],
+    cross_lane_seed: bool,
+) {
+    for step in steps {
+        for i in 0..lanes.len() {
+            let (done, rest) = lanes.split_at_mut(i);
+            let lane = &mut rest[0];
+            if cross_lane_seed {
+                if let Some(prev) = done.last() {
+                    lane.algorithm_mut().warm_hint(prev.algorithm());
+                }
+            }
+            lane.feed(step, orders);
+        }
+    }
+}
+
+/// Splits lanes into contiguous seeding groups of `group_size` (the last
+/// group may be short), preserving δ order.
+fn partition_groups<T>(lanes: Vec<T>, group_size: usize) -> Vec<Vec<T>> {
+    let mut groups = Vec::with_capacity(lanes.len().div_ceil(group_size.max(1)));
+    let mut lanes = lanes.into_iter();
+    loop {
+        let group: Vec<T> = lanes.by_ref().take(group_size).collect();
+        if group.is_empty() {
+            break;
+        }
+        groups.push(group);
+    }
+    groups
+}
+
 /// Runs `algorithm` over `instance` for every `(δ, order)` combination in
 /// a single pass over the steps, returning results in δ-major, order-minor
 /// sequence (`deltas.len() · orders.len()` entries).
 ///
-/// Per δ the decision sequence is computed **once** and priced under every
-/// serving order; results agree with [`run`] for the matching `(δ, order)`
-/// to within floating-point identity — the decision, clamping, and pricing
-/// arithmetic is the same code — and the parity is pinned by tests. For
-/// warm-started algorithms such as [`crate::mtc::MoveToCenter`], batching
-/// additionally keeps each δ-lane's solver warm across the whole pass,
-/// exactly as the sequential path would.
+/// This is [`run_batch_with`] under [`BatchOptions::default`]: δ-lane
+/// groups fan out over all cores and neighboring lanes exchange warm
+/// hints. Per δ the decision sequence is computed **once** and priced
+/// under every serving order; results agree with [`run`] for the matching
+/// `(δ, order)` to well within solver tolerance (bit-equal under
+/// [`BatchOptions::strict`]) — pinned by tests. For warm-started
+/// algorithms such as [`crate::mtc::MoveToCenter`], batching additionally
+/// keeps each δ-lane's solver warm across the whole pass, exactly as the
+/// sequential path would.
 ///
 /// # Panics
 /// Panics when `deltas` or `orders` is empty.
-pub fn run_batch<const N: usize, A: OnlineAlgorithm<N> + Clone>(
+pub fn run_batch<const N: usize, A: OnlineAlgorithm<N> + Clone + Send>(
     instance: &Instance<N>,
     algorithm: &A,
     deltas: &[f64],
     orders: &[ServingOrder],
 ) -> Vec<RunResult<N>> {
+    run_batch_with(instance, algorithm, deltas, orders, BatchOptions::default())
+}
+
+/// [`run_batch`] with explicit [`BatchOptions`] (lane parallelism and
+/// cross-lane warm seeding).
+///
+/// # Panics
+/// Panics when `deltas` or `orders` is empty.
+pub fn run_batch_with<const N: usize, A: OnlineAlgorithm<N> + Clone + Send>(
+    instance: &Instance<N>,
+    algorithm: &A,
+    deltas: &[f64],
+    orders: &[ServingOrder],
+    opts: BatchOptions,
+) -> Vec<RunResult<N>> {
     assert!(!deltas.is_empty(), "run_batch needs at least one δ");
     assert!(!orders.is_empty(), "run_batch needs at least one order");
 
-    let mut lanes: Vec<BatchLane<N, A>> = deltas
+    let lanes: Vec<BatchLane<N, A>> = deltas
         .iter()
         .map(|&delta| {
             let ctx = AlgContext::new(instance, delta);
@@ -178,38 +388,15 @@ pub fn run_batch<const N: usize, A: OnlineAlgorithm<N> + Clone>(
         })
         .collect();
 
-    for step in &instance.steps {
-        for lane in &mut lanes {
-            let proposal = lane
-                .algorithm
-                .decide(&lane.current, &step.requests, &lane.ctx);
-            debug_assert!(
-                proposal.is_finite(),
-                "{} proposed a non-finite position",
-                lane.algorithm.name()
-            );
-            let next = step_towards(&lane.current, &proposal, lane.budget);
-            let movement = instance.d * lane.current.distance(&next);
-            // Price the shared move under every requested order. The two
-            // orders differ only in the serving endpoint, so the service
-            // sums are the only per-order work.
-            for (order, cost) in orders.iter().zip(&mut lane.costs) {
-                let serve_from = match order {
-                    ServingOrder::MoveFirst => &next,
-                    ServingOrder::AnswerFirst => &lane.current,
-                };
-                let service = service_cost(serve_from, &step.requests);
-                cost.movement += movement;
-                cost.service += service;
-                cost.per_step.push(StepCost { movement, service });
-            }
-            lane.current = next;
-            lane.positions.push(next);
-        }
-    }
+    let group_size = opts.group_size(lanes.len());
+    let mut groups = partition_groups(lanes, group_size);
+
+    msp_analysis::sweep::parallel_for_each_mut(&mut groups, opts.threads, |_, group| {
+        advance_lane_group(group, &instance.steps, orders, opts.cross_lane_seed);
+    });
 
     let mut out = Vec::with_capacity(deltas.len() * orders.len());
-    for (lane, &delta) in lanes.into_iter().zip(deltas) {
+    for (lane, &delta) in groups.into_iter().flatten().zip(deltas) {
         let name = lane.algorithm.name();
         for (&order, cost) in orders.iter().zip(lane.costs) {
             out.push(RunResult {
@@ -478,11 +665,18 @@ where
     sim.finish()
 }
 
+/// Number of steps buffered per block by the streaming batch engine:
+/// large enough to amortize the per-block lane fan-out, small enough that
+/// memory stays bounded (`O(block · r)`) on open-ended streams.
+const STREAM_BATCH_BLOCK: usize = 256;
+
 /// Streaming counterpart of [`run_batch`]: one pass over an open-ended
 /// step stream prices every `(δ, order)` combination, keeping only running
-/// totals (O(deltas·orders) memory, independent of the stream length).
-/// Results are δ-major, order-minor, and match [`run_batch`] on the same
-/// steps bit for bit.
+/// totals plus a bounded step buffer ([`STREAM_BATCH_BLOCK`] steps — the
+/// blocks let δ-lane groups fan out over cores without materializing the
+/// stream). Results are δ-major, order-minor, and match [`run_batch`] on
+/// the same steps bit for bit: the lane grouping, warm seeding, and
+/// pricing arithmetic are identical, only the step delivery is blocked.
 ///
 /// # Panics
 /// Panics when `deltas` or `orders` is empty.
@@ -494,7 +688,35 @@ pub fn run_streaming_batch<const N: usize, A, I>(
     orders: &[ServingOrder],
 ) -> Vec<StreamRunResult<N>>
 where
-    A: OnlineAlgorithm<N> + Clone,
+    A: OnlineAlgorithm<N> + Clone + Send,
+    I: IntoIterator<Item = Step<N>>,
+{
+    run_streaming_batch_with(
+        params,
+        steps,
+        algorithm,
+        deltas,
+        orders,
+        BatchOptions::default(),
+    )
+}
+
+/// [`run_streaming_batch`] with explicit [`BatchOptions`]. The options
+/// must match the [`run_batch_with`] call being mirrored for bit-exact
+/// agreement (the default mirrors the default).
+///
+/// # Panics
+/// Panics when `deltas` or `orders` is empty.
+pub fn run_streaming_batch_with<const N: usize, A, I>(
+    params: &StreamParams<N>,
+    steps: I,
+    algorithm: &A,
+    deltas: &[f64],
+    orders: &[ServingOrder],
+    opts: BatchOptions,
+) -> Vec<StreamRunResult<N>>
+where
+    A: OnlineAlgorithm<N> + Clone + Send,
     I: IntoIterator<Item = Step<N>>,
 {
     assert!(
@@ -516,7 +738,38 @@ where
         totals: Vec<(f64, f64)>,
     }
 
-    let mut lanes: Vec<Lane<N, A>> = deltas
+    impl<const N: usize, A: OnlineAlgorithm<N>> SeedableLane<N> for Lane<N, A> {
+        type Alg = A;
+
+        fn algorithm(&self) -> &A {
+            &self.algorithm
+        }
+
+        fn algorithm_mut(&mut self) -> &mut A {
+            &mut self.algorithm
+        }
+
+        fn feed(&mut self, step: &Step<N>, orders: &[ServingOrder]) {
+            let totals = &mut self.totals;
+            let (next, step_len) = price_lane_step(
+                &mut self.algorithm,
+                &self.ctx,
+                self.budget,
+                &self.current,
+                step,
+                orders,
+                |oi, movement, service| {
+                    let (mv, sv) = &mut totals[oi];
+                    *mv += movement;
+                    *sv += service;
+                },
+            );
+            self.max_step_used = self.max_step_used.max(step_len);
+            self.current = next;
+        }
+    }
+
+    let lanes: Vec<Lane<N, A>> = deltas
         .iter()
         .map(|&delta| {
             let ctx = AlgContext::from_params(params, delta);
@@ -533,36 +786,30 @@ where
         })
         .collect();
 
+    // Same group shape and the same `advance_lane_group` stepping as
+    // `run_batch_with`, so the cross-lane seeding pattern (and hence
+    // every decision) is identical.
+    let group_size = opts.group_size(lanes.len());
+    let mut groups = partition_groups(lanes, group_size);
+
     let mut steps_seen = 0usize;
-    for step in steps {
-        steps_seen += 1;
-        for lane in &mut lanes {
-            let proposal = lane
-                .algorithm
-                .decide(&lane.current, &step.requests, &lane.ctx);
-            debug_assert!(
-                proposal.is_finite(),
-                "{} proposed a non-finite position",
-                lane.algorithm.name()
-            );
-            let next = step_towards(&lane.current, &proposal, lane.budget);
-            let step_len = lane.current.distance(&next);
-            let movement = lane.ctx.d * step_len;
-            lane.max_step_used = lane.max_step_used.max(step_len);
-            for (order, (mv, sv)) in orders.iter().zip(&mut lane.totals) {
-                let serve_from = match order {
-                    ServingOrder::MoveFirst => &next,
-                    ServingOrder::AnswerFirst => &lane.current,
-                };
-                *mv += movement;
-                *sv += service_cost(serve_from, &step.requests);
-            }
-            lane.current = next;
+    let mut steps = steps.into_iter();
+    let mut block: Vec<Step<N>> = Vec::with_capacity(STREAM_BATCH_BLOCK);
+    loop {
+        block.clear();
+        block.extend(steps.by_ref().take(STREAM_BATCH_BLOCK));
+        if block.is_empty() {
+            break;
         }
+        steps_seen += block.len();
+        let block_ref = &block;
+        msp_analysis::sweep::parallel_for_each_mut(&mut groups, opts.threads, |_, group| {
+            advance_lane_group(group, block_ref, orders, opts.cross_lane_seed);
+        });
     }
 
     let mut out = Vec::with_capacity(deltas.len() * orders.len());
-    for (lane, &delta) in lanes.into_iter().zip(deltas) {
+    for (lane, &delta) in groups.into_iter().flatten().zip(deltas) {
         let name = lane.algorithm.name();
         for (&order, (movement, service)) in orders.iter().zip(lane.totals) {
             out.push(StreamRunResult {
@@ -705,10 +952,14 @@ mod tests {
                 assert_eq!(b.delta, delta);
                 assert_eq!(b.order, order);
                 assert_eq!(b.positions.len(), single.positions.len());
+                // Default options may seed across lanes (the group shape
+                // follows the core count), so the guarantee is solver
+                // tolerance, not bit-equality — strict mode is pinned
+                // exactly in tests/perf_parity.rs.
                 for (p, q) in b.positions.iter().zip(&single.positions) {
-                    assert!(p.distance(q) < 1e-9, "δ={delta} {order:?}");
+                    assert!(p.distance(q) < 1e-8, "δ={delta} {order:?}");
                 }
-                assert!((b.total_cost() - single.total_cost()).abs() < 1e-9);
+                assert!((b.total_cost() - single.total_cost()).abs() < 1e-8);
                 i += 1;
             }
         }

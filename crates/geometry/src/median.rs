@@ -25,6 +25,7 @@
 //! stateless cold-start entry points.
 
 use crate::point::Point;
+use crate::soa;
 
 /// Convergence knobs for the geometric-median iteration.
 #[derive(Clone, Copy, Debug)]
@@ -58,21 +59,21 @@ const COARSE_CAP: usize = 8;
 
 /// Sum of Euclidean distances from `c` to every point — the objective the
 /// geometric median minimizes, and the per-step service cost of the model.
+/// Chunked ([`soa::sum_distances_points`]); `soa::sum_distances_points_scalar`
+/// is the parity oracle.
 pub fn sum_of_distances<const N: usize>(points: &[Point<N>], c: &Point<N>) -> f64 {
-    points.iter().map(|p| p.distance(c)).sum()
+    soa::sum_distances_points(points, c)
 }
 
-/// Weighted variant of [`sum_of_distances`].
+/// Weighted variant of [`sum_of_distances`]. Chunked with **in-order**
+/// accumulation, so objective comparisons inside the solver (line
+/// searches, anchor snaps) are bit-identical to the scalar loop.
 pub fn weighted_sum_of_distances<const N: usize>(
     points: &[Point<N>],
     weights: &[f64],
     c: &Point<N>,
 ) -> f64 {
-    points
-        .iter()
-        .zip(weights)
-        .map(|(p, w)| w * p.distance(c))
-        .sum()
+    soa::weighted_sum_distances_points(points, weights, c)
 }
 
 /// Arithmetic mean of the points. Minimizes the sum of *squared* distances;
@@ -214,21 +215,15 @@ fn weiszfeld_step<const N: usize>(
     y: &Point<N>,
 ) -> Option<Point<N>> {
     // Split the points into those coinciding with the iterate and the
-    // rest; accumulate the Weiszfeld weights over the rest.
-    let mut num = Point::<N>::origin();
-    let mut denom = 0.0;
-    let mut coincident_weight = 0.0;
-    let mut r_vec = Point::<N>::origin(); // Σ w_i (x_i − y)/d_i over non-coincident
-    for (p, w) in points.iter().zip(weights) {
-        let d = p.distance(y);
-        if d <= 1e-14 {
-            coincident_weight += *w;
-        } else {
-            num += *p * (*w / d);
-            denom += *w / d;
-            r_vec += (*p - *y) * (*w / d);
-        }
-    }
+    // rest; accumulate the Weiszfeld weights over the rest. The O(n)
+    // accumulation runs through the chunked kernel (vectorized distance
+    // blocks, in-order accumulation — bit-identical to the scalar loop).
+    let soa::WeiszfeldAccum {
+        num,
+        denom,
+        coincident_weight,
+        r_vec,
+    } = soa::weiszfeld_accumulate(points, weights, y, 1e-14);
     if denom == 0.0 {
         // Every point coincides with the iterate.
         return None;
@@ -331,15 +326,13 @@ fn snap_to_near_anchor<const N: usize>(
     y: Point<N>,
     spread: f64,
 ) -> Point<N> {
-    let Some(nearest) = points
-        .iter()
-        .min_by(|a, b| a.distance(&y).total_cmp(&b.distance(&y)))
-    else {
+    let Some((idx, dist)) = soa::nearest_index_points(points, &y) else {
         return y;
     };
-    if nearest.distance(&y) > 1e-6 * (1.0 + spread) {
+    if dist > 1e-6 * (1.0 + spread) {
         return y;
     }
+    let nearest = &points[idx];
     if weighted_sum_of_distances(points, weights, nearest)
         < weighted_sum_of_distances(points, weights, &y)
     {

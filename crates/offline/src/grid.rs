@@ -12,21 +12,35 @@
 //!
 //! **Transitions are radius-pruned**: the per-step movement budget bounds
 //! each axis offset by `⌈reach/h_i⌉` cells, so [`grid_optimum`] scans only
-//! the neighbor window of each live cell — `O(cells · window · T)` with
-//! per-cell service costs hoisted out of the transition loop — instead of
-//! the all-pairs `O(cells² · r · T)` scan. The unpruned scan survives as
-//! [`grid_optimum_unpruned`], kept as the parity oracle for the pruned
-//! path and as the benchmark baseline; both compute the *same* minima over
-//! the same transition sets, so their results agree exactly.
+//! the neighbor window of each live cell — `O(cells · window · T)` —
+//! instead of the all-pairs `O(cells² · T)` scan. The unpruned scan
+//! survives as [`grid_optimum_unpruned`], kept as the parity oracle for
+//! the pruned path and as the benchmark baseline; both compute the *same*
+//! minima over the same transition sets, so their results agree exactly.
+//!
+//! **Scratch is hoisted.** [`GridDp`] owns the arena (node positions in
+//! both array-of-structs and structure-of-arrays layout) and every DP
+//! buffer (`cost`, `next`, per-node service costs), so repeated solves —
+//! both serving orders, δ-sweeps against one instance — are
+//! allocation-free after construction, like the median solver. The
+//! per-step service costs are filled by one **SoA scan per request**
+//! ([`msp_geometry::soa::SoaPoints::add_distances`], vectorized over the
+//! node columns) shared by both DP variants, which accumulates in request
+//! order — bit-identical per node to the scalar per-node loop it
+//! replaced, so the pruned/unpruned exact-equality contract is preserved
+//! for every request count.
 
-use msp_core::cost::{service_cost, ServingOrder};
+use msp_core::cost::ServingOrder;
 use msp_core::model::Instance;
-use msp_geometry::{Aabb, Point};
+use msp_geometry::{Aabb, Point, SoaPoints};
 
 /// Grid geometry shared by the DP variants: node positions plus the
 /// start-snap and movement slack described in [`grid_optimum`].
 struct GridArena<const N: usize> {
     nodes: Vec<Point<N>>,
+    /// The same nodes in structure-of-arrays layout, for the per-step
+    /// service scan and the start-snap distance scan.
+    nodes_soa: SoaPoints<N>,
     /// Per-axis node spacing.
     spacing: [f64; N],
     /// Movement tolerance: `max_move` plus half a grid diagonal.
@@ -94,41 +108,257 @@ fn build_arena<const N: usize>(instance: &Instance<N>, cells_per_axis: usize) ->
     let slack = diag2.sqrt() * 0.51;
     let reach = instance.max_move + slack;
 
+    let nodes_soa = SoaPoints::from_points(&nodes);
     GridArena {
         nodes,
+        nodes_soa,
         spacing,
         reach,
         slack,
     }
 }
 
-/// Initial DP costs: the server must begin at `start`, which may be
-/// off-grid — allow a free snap of at most `slack`.
-fn initial_costs<const N: usize>(arena: &GridArena<N>, start: &Point<N>) -> Vec<f64> {
-    let inf = f64::INFINITY;
-    let mut cost = vec![inf; arena.nodes.len()];
-    for (j, p) in arena.nodes.iter().enumerate() {
-        if p.distance(start) <= arena.slack {
-            cost[j] = 0.0;
+/// A reusable grid-DP solver: arena geometry and every DP buffer are
+/// built once, so repeated solves against the same instance (both serving
+/// orders, pruned and unpruned variants, resolution studies over δ) are
+/// allocation-free — the `MedianSolver` discipline applied to the offline
+/// oracle.
+pub struct GridDp<const N: usize> {
+    arena: GridArena<N>,
+    cells_per_axis: usize,
+    /// Signature of the construction instance (start, `max_move`, `d`,
+    /// horizon), used to catch mismatched solve calls in debug builds.
+    built_for: (Point<N>, f64, f64, usize),
+    /// DP cost of the current frontier, per node.
+    cost: Vec<f64>,
+    /// DP cost of the next frontier, per node.
+    next: Vec<f64>,
+    /// Per-node service cost of the current step.
+    serve: Vec<f64>,
+    /// Squared-distance scratch for the start snap.
+    dist_sq: Vec<f64>,
+}
+
+impl<const N: usize> GridDp<N> {
+    /// Builds the solver for `instance` on a `cells_per_axis`-per-axis
+    /// grid. The solver is tied to this instance's arena — pass the same
+    /// instance to [`GridDp::solve`].
+    ///
+    /// # Panics
+    /// Panics when the grid would be degenerate (`cells_per_axis < 2`) or
+    /// infeasibly large (> 200k cells) — this is a test oracle, not a
+    /// solver.
+    pub fn new(instance: &Instance<N>, cells_per_axis: usize) -> Self {
+        let arena = build_arena(instance, cells_per_axis);
+        let n = arena.nodes.len();
+        GridDp {
+            arena,
+            cells_per_axis,
+            built_for: (
+                instance.start,
+                instance.max_move,
+                instance.d,
+                instance.horizon(),
+            ),
+            cost: vec![0.0; n],
+            next: vec![0.0; n],
+            serve: vec![0.0; n],
+            dist_sq: vec![0.0; n],
         }
     }
-    if cost.iter().all(|c| c.is_infinite()) {
-        // Extremely coarse grid: snap to the nearest node unconditionally.
-        let (j, _) = arena
-            .nodes
-            .iter()
-            .enumerate()
-            .map(|(j, p)| (j, p.distance(start)))
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .unwrap();
-        cost[j] = 0.0;
+
+    /// Debug-build guard against solving a different instance than the
+    /// one the arena was derived from (a silent wrong answer otherwise).
+    fn check_instance(&self, instance: &Instance<N>) {
+        debug_assert!(
+            self.built_for.0 == instance.start
+                && self.built_for.1 == instance.max_move
+                && self.built_for.2 == instance.d
+                && self.built_for.3 == instance.horizon(),
+            "GridDp solved against a different instance than it was built for"
+        );
     }
-    cost
+
+    /// Initial DP costs: the server must begin at `start`, which may be
+    /// off-grid — allow a free snap of at most `slack`.
+    fn reset_initial_costs(&mut self, start: &Point<N>) {
+        self.arena
+            .nodes_soa
+            .distances_sq_into(start, &mut self.dist_sq);
+        let mut any = false;
+        for (c, &d2) in self.cost.iter_mut().zip(&self.dist_sq) {
+            if d2.sqrt() <= self.arena.slack {
+                *c = 0.0;
+                any = true;
+            } else {
+                *c = f64::INFINITY;
+            }
+        }
+        if !any {
+            // Extremely coarse grid: snap to the nearest node
+            // unconditionally.
+            let (j, _) = self
+                .dist_sq
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap();
+            self.cost[j] = 0.0;
+        }
+    }
+
+    /// Per-node service cost of one step: one blocked SoA scan over the
+    /// node columns, accumulating requests in order (bit-identical per
+    /// node to the scalar `Σ_r d(node, v_r)` loop). Shared by both DP
+    /// variants so their transition minima see the same values.
+    fn fill_service_costs(&mut self, requests: &[Point<N>]) {
+        self.arena
+            .nodes_soa
+            .service_costs_into(requests, &mut self.serve);
+    }
+
+    /// Radius-pruned neighbor-window DP over the instance's steps.
+    ///
+    /// `instance` must be the one the solver was built for: the arena
+    /// (node grid, movement reach, start-snap slack) was derived from its
+    /// bounding box and `max_move` at construction. Debug builds assert a
+    /// signature match (start, `max_move`, `D`, horizon); release builds
+    /// do not re-validate — a mismatched instance is priced on the wrong
+    /// arena. The one-shot wrappers enforce the pairing.
+    pub fn solve(&mut self, instance: &Instance<N>, order: ServingOrder) -> f64 {
+        self.check_instance(instance);
+        let inf = f64::INFINITY;
+        self.reset_initial_costs(&instance.start);
+
+        // Per-axis neighbor window: a move of length ≤ reach changes axis
+        // `i` by at most ⌈reach/h_i⌉ cells. The window over-approximates
+        // the Euclidean ball; the exact distance check inside the loop
+        // keeps the transition set identical to the all-pairs scan.
+        let cells_per_axis = self.cells_per_axis;
+        let mut window = [0usize; N];
+        for (w, &h) in window.iter_mut().zip(&self.arena.spacing) {
+            *w = if h > 0.0 {
+                ((self.arena.reach / h).ceil() as usize).min(cells_per_axis - 1)
+            } else {
+                cells_per_axis - 1
+            };
+        }
+        let mut stride = [1usize; N];
+        for i in 1..N {
+            stride[i] = stride[i - 1] * cells_per_axis;
+        }
+
+        for step in &instance.steps {
+            self.fill_service_costs(&step.requests);
+            let (cost, next, serve) = (&mut self.cost, &mut self.next, &self.serve);
+            let nodes = &self.arena.nodes;
+            for c in next.iter_mut() {
+                *c = inf;
+            }
+            for (j, pj) in nodes.iter().enumerate() {
+                if cost[j].is_infinite() {
+                    continue;
+                }
+                // Decode j's cell coordinates and clamp the window per
+                // axis.
+                let mut lo = [0usize; N];
+                let mut hi = [0usize; N];
+                let mut cur = [0usize; N];
+                for i in 0..N {
+                    let c = (j / stride[i]) % cells_per_axis;
+                    lo[i] = c.saturating_sub(window[i]);
+                    hi[i] = (c + window[i]).min(cells_per_axis - 1);
+                    cur[i] = lo[i];
+                }
+                // Odometer over the neighbor box.
+                loop {
+                    let mut k = 0usize;
+                    for i in 0..N {
+                        k += cur[i] * stride[i];
+                    }
+                    let pk = &nodes[k];
+                    let move_dist = pj.distance(pk);
+                    if move_dist <= self.arena.reach {
+                        let c = match order {
+                            ServingOrder::MoveFirst => cost[j] + instance.d * move_dist + serve[k],
+                            ServingOrder::AnswerFirst => {
+                                cost[j] + serve[j] + instance.d * move_dist
+                            }
+                        };
+                        if c < next[k] {
+                            next[k] = c;
+                        }
+                    }
+                    // Advance the odometer.
+                    let mut i = 0;
+                    loop {
+                        cur[i] += 1;
+                        if cur[i] <= hi[i] {
+                            break;
+                        }
+                        cur[i] = lo[i];
+                        i += 1;
+                        if i == N {
+                            break;
+                        }
+                    }
+                    if i == N {
+                        break;
+                    }
+                }
+            }
+            std::mem::swap(&mut self.cost, &mut self.next);
+        }
+
+        self.cost.iter().copied().fold(inf, f64::min)
+    }
+
+    /// The original all-pairs transition scan (`O(cells² · T)` once the
+    /// shared service scan is hoisted), retained as the independent
+    /// baseline the pruned [`GridDp::solve`] is certified against — and
+    /// as the "before" side of the DP benchmarks.
+    pub fn solve_unpruned(&mut self, instance: &Instance<N>, order: ServingOrder) -> f64 {
+        self.check_instance(instance);
+        let inf = f64::INFINITY;
+        self.reset_initial_costs(&instance.start);
+
+        for step in &instance.steps {
+            self.fill_service_costs(&step.requests);
+            let (cost, next, serve) = (&mut self.cost, &mut self.next, &self.serve);
+            let nodes = &self.arena.nodes;
+            for c in next.iter_mut() {
+                *c = inf;
+            }
+            for (j, pj) in nodes.iter().enumerate() {
+                if cost[j].is_infinite() {
+                    continue;
+                }
+                for (k, pk) in nodes.iter().enumerate() {
+                    let move_dist = pj.distance(pk);
+                    if move_dist > self.arena.reach {
+                        continue;
+                    }
+                    let c = match order {
+                        ServingOrder::MoveFirst => cost[j] + instance.d * move_dist + serve[k],
+                        ServingOrder::AnswerFirst => cost[j] + serve[j] + instance.d * move_dist,
+                    };
+                    if c < next[k] {
+                        next[k] = c;
+                    }
+                }
+            }
+            std::mem::swap(&mut self.cost, &mut self.next);
+        }
+
+        self.cost.iter().copied().fold(inf, f64::min)
+    }
 }
 
 /// Exhaustive DP optimum over a `cells_per_axis`-per-dimension grid
 /// covering the instance's bounding box (start + all requests), using the
-/// radius-pruned neighbor-window transition scan.
+/// radius-pruned neighbor-window transition scan. One-shot wrapper over
+/// [`GridDp`]; sweeps solving repeatedly should hold a `GridDp` and reuse
+/// its buffers.
 ///
 /// # Panics
 /// Panics when the grid would be degenerate (`cells_per_axis < 2`) or
@@ -138,97 +368,11 @@ pub fn grid_optimum<const N: usize>(
     cells_per_axis: usize,
     order: ServingOrder,
 ) -> f64 {
-    let arena = build_arena(instance, cells_per_axis);
-    let nodes = &arena.nodes;
-    let inf = f64::INFINITY;
-    let mut cost = initial_costs(&arena, &instance.start);
-    let mut next = vec![inf; nodes.len()];
-
-    // Per-axis neighbor window: a move of length ≤ reach changes axis `i`
-    // by at most ⌈reach/h_i⌉ cells. The window over-approximates the
-    // Euclidean ball; the exact distance check inside the loop keeps the
-    // transition set identical to the all-pairs scan.
-    let mut window = [0usize; N];
-    for (w, &h) in window.iter_mut().zip(&arena.spacing) {
-        *w = if h > 0.0 {
-            ((arena.reach / h).ceil() as usize).min(cells_per_axis - 1)
-        } else {
-            cells_per_axis - 1
-        };
-    }
-    let mut stride = [1usize; N];
-    for i in 1..N {
-        stride[i] = stride[i - 1] * cells_per_axis;
-    }
-
-    let mut serve = vec![0.0f64; nodes.len()];
-    for step in &instance.steps {
-        // Hoist the service cost out of the transition loop: one O(r) sum
-        // per cell instead of one per (source, destination) pair.
-        for (k, pk) in nodes.iter().enumerate() {
-            serve[k] = service_cost(pk, &step.requests);
-        }
-        for c in next.iter_mut() {
-            *c = inf;
-        }
-        for (j, pj) in nodes.iter().enumerate() {
-            if cost[j].is_infinite() {
-                continue;
-            }
-            // Decode j's cell coordinates and clamp the window per axis.
-            let mut lo = [0usize; N];
-            let mut hi = [0usize; N];
-            let mut cur = [0usize; N];
-            for i in 0..N {
-                let c = (j / stride[i]) % cells_per_axis;
-                lo[i] = c.saturating_sub(window[i]);
-                hi[i] = (c + window[i]).min(cells_per_axis - 1);
-                cur[i] = lo[i];
-            }
-            // Odometer over the neighbor box.
-            loop {
-                let mut k = 0usize;
-                for i in 0..N {
-                    k += cur[i] * stride[i];
-                }
-                let pk = &nodes[k];
-                let move_dist = pj.distance(pk);
-                if move_dist <= arena.reach {
-                    let c = match order {
-                        ServingOrder::MoveFirst => cost[j] + instance.d * move_dist + serve[k],
-                        ServingOrder::AnswerFirst => cost[j] + serve[j] + instance.d * move_dist,
-                    };
-                    if c < next[k] {
-                        next[k] = c;
-                    }
-                }
-                // Advance the odometer.
-                let mut i = 0;
-                loop {
-                    cur[i] += 1;
-                    if cur[i] <= hi[i] {
-                        break;
-                    }
-                    cur[i] = lo[i];
-                    i += 1;
-                    if i == N {
-                        break;
-                    }
-                }
-                if i == N {
-                    break;
-                }
-            }
-        }
-        std::mem::swap(&mut cost, &mut next);
-    }
-
-    cost.into_iter().fold(inf, f64::min)
+    GridDp::new(instance, cells_per_axis).solve(instance, order)
 }
 
-/// The original all-pairs transition scan (`O(cells² · r · T)`), retained
-/// as the independent baseline the pruned [`grid_optimum`] is certified
-/// against — and as the "before" side of the DP benchmarks.
+/// One-shot wrapper over [`GridDp::solve_unpruned`], the all-pairs
+/// parity oracle of [`grid_optimum`].
 ///
 /// # Panics
 /// Same contract as [`grid_optimum`].
@@ -237,41 +381,7 @@ pub fn grid_optimum_unpruned<const N: usize>(
     cells_per_axis: usize,
     order: ServingOrder,
 ) -> f64 {
-    let arena = build_arena(instance, cells_per_axis);
-    let nodes = &arena.nodes;
-    let inf = f64::INFINITY;
-    let mut cost = initial_costs(&arena, &instance.start);
-    let mut next = vec![inf; nodes.len()];
-
-    for step in &instance.steps {
-        for c in next.iter_mut() {
-            *c = inf;
-        }
-        for (j, pj) in nodes.iter().enumerate() {
-            if cost[j].is_infinite() {
-                continue;
-            }
-            let serve_old = service_cost(pj, &step.requests);
-            for (k, pk) in nodes.iter().enumerate() {
-                let move_dist = pj.distance(pk);
-                if move_dist > arena.reach {
-                    continue;
-                }
-                let c = match order {
-                    ServingOrder::MoveFirst => {
-                        cost[j] + instance.d * move_dist + service_cost(pk, &step.requests)
-                    }
-                    ServingOrder::AnswerFirst => cost[j] + serve_old + instance.d * move_dist,
-                };
-                if c < next[k] {
-                    next[k] = c;
-                }
-            }
-        }
-        std::mem::swap(&mut cost, &mut next);
-    }
-
-    cost.into_iter().fold(inf, f64::min)
+    GridDp::new(instance, cells_per_axis).solve_unpruned(instance, order)
 }
 
 #[cfg(test)]
@@ -369,6 +479,55 @@ mod tests {
                     "{order:?} cells={cells}: pruned {pruned} vs all-pairs {full}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn reused_solver_matches_one_shot_wrappers() {
+        // One GridDp, solved repeatedly across both orders and both
+        // variants: every reuse must reproduce the fresh-solver result
+        // exactly (buffer hoisting is a pure allocation optimization).
+        let steps = vec![
+            Step::new(vec![P2::xy(0.8, 0.2), P2::xy(-0.3, 1.0)]),
+            Step::new(vec![P2::xy(1.1, -0.6)]),
+            Step::new(vec![]),
+            Step::new(vec![P2::xy(0.1, 0.4), P2::xy(0.9, 0.9), P2::xy(-0.5, 0.0)]),
+        ];
+        let inst = Instance::new(1.5, 0.5, P2::origin(), steps);
+        let mut dp = GridDp::new(&inst, 17);
+        for _round in 0..2 {
+            for order in [ServingOrder::MoveFirst, ServingOrder::AnswerFirst] {
+                let reused = dp.solve(&inst, order);
+                let fresh = grid_optimum(&inst, 17, order);
+                assert_eq!(reused, fresh, "{order:?} pruned");
+                let reused_full = dp.solve_unpruned(&inst, order);
+                let fresh_full = grid_optimum_unpruned(&inst, 17, order);
+                assert_eq!(reused_full, fresh_full, "{order:?} all-pairs");
+                assert_eq!(reused, reused_full, "{order:?} pruned vs all-pairs");
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_equals_unpruned_with_large_request_sets() {
+        // More requests than the kernel block width: the shared SoA
+        // service scan keeps both variants on identical per-node service
+        // values, so equality is exact even past the chunk boundary.
+        let mut steps = Vec::new();
+        for t in 0..3 {
+            let reqs: Vec<P2> = (0..11)
+                .map(|i| {
+                    let a = 0.45 * (t * 11 + i) as f64;
+                    P2::xy(a.cos() * 1.1, (a * 1.7).sin())
+                })
+                .collect();
+            steps.push(Step::new(reqs));
+        }
+        let inst = Instance::new(2.0, 0.6, P2::origin(), steps);
+        for order in [ServingOrder::MoveFirst, ServingOrder::AnswerFirst] {
+            let pruned = grid_optimum(&inst, 19, order);
+            let full = grid_optimum_unpruned(&inst, 19, order);
+            assert_eq!(pruned, full, "{order:?}");
         }
     }
 

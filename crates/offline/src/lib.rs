@@ -35,6 +35,6 @@ pub mod line;
 pub mod pwl;
 
 pub use convex::{ConvexSolver, ConvexSolverOptions};
-pub use grid::{grid_optimum, grid_optimum_unpruned};
+pub use grid::{grid_optimum, grid_optimum_unpruned, GridDp};
 pub use line::{solve_line, solve_line_with_trajectory, IncrementalLineOpt, LineSolution};
 pub use pwl::ConvexPwl;

@@ -25,7 +25,7 @@ pub fn run_stream<const N: usize, A: OnlineAlgorithm<N>>(
 
 /// One pass over a stream (rewound first) pricing every `(δ, order)`
 /// combination, mirroring [`msp_core::simulator::run_batch`].
-pub fn run_stream_batch<const N: usize, A: OnlineAlgorithm<N> + Clone>(
+pub fn run_stream_batch<const N: usize, A: OnlineAlgorithm<N> + Clone + Send>(
     stream: &mut dyn RequestStream<N>,
     algorithm: &A,
     deltas: &[f64],

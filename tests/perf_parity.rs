@@ -1,20 +1,34 @@
-//! Parity tests for the PR-1 fast paths: every optimization must return
-//! the same answers as the slow path it replaced.
+//! Parity tests for the fast paths: every optimization must return the
+//! same answers as the slow path it replaced.
 //!
 //! * warm-started [`MedianSolver`] vs the cold free function vs the seed's
 //!   classic solver,
 //! * `run_batch` vs repeated `run` calls,
 //! * radius-pruned `grid_optimum` vs the all-pairs scan (exact equality —
-//!   the pruned window provably enumerates the same transition set).
+//!   the pruned window provably enumerates the same transition set),
+//! * (PR 3) the chunked SoA distance kernels vs their scalar oracles —
+//!   proptests with explicit f64 tolerance bounds, bit-equality where the
+//!   kernel promises it,
+//! * (PR 3) the lane-parallel / cross-lane-seeded batch engines vs the
+//!   sequential path: bit-equal under `BatchOptions::strict`, within
+//!   solver tolerance under the seeded default, and streaming-vs-batch
+//!   bit-equal across the stream-block boundary.
 
-use mobile_server::core::cost::ServingOrder;
-use mobile_server::core::simulator::{run, run_batch};
+use mobile_server::core::cost::{service_cost, service_cost_naive, ServingOrder};
+use mobile_server::core::simulator::{
+    run, run_batch, run_batch_with, run_streaming_batch_with, BatchOptions,
+};
 use mobile_server::geometry::median::{
     median_optimality_gap, weighted_center, weighted_center_classic, MedianOptions, MedianSolver,
 };
 use mobile_server::geometry::sample::SeededSampler;
-use mobile_server::offline::{grid_optimum, grid_optimum_unpruned};
+use mobile_server::geometry::soa::{
+    self, nearest_index_points, sum_distances_points, sum_distances_points_scalar,
+    weighted_sum_distances_points, weighted_sum_distances_points_scalar, SoaPoints,
+};
+use mobile_server::offline::{grid_optimum, grid_optimum_unpruned, GridDp};
 use mobile_server::prelude::*;
+use proptest::prelude::*;
 
 /// Drifting random clusters: the workload shape the warm start targets.
 fn drifting_sets(seed: u64, n: usize, steps: usize) -> Vec<Vec<P2>> {
@@ -136,6 +150,255 @@ fn pruned_grid_dp_equals_all_pairs_on_random_instances() {
                 );
             }
         }
+    }
+}
+
+fn arb_cloud(max: usize) -> impl Strategy<Value = Vec<P2>> {
+    prop::collection::vec((-40.0f64..40.0, -40.0f64..40.0), 1..max)
+        .prop_map(|v| v.into_iter().map(|(x, y)| P2::xy(x, y)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn chunked_sum_of_distances_matches_scalar_oracle(
+        pts in arb_cloud(200), cx in -20.0f64..20.0, cy in -20.0f64..20.0
+    ) {
+        let c = P2::xy(cx, cy);
+        let fast = sum_distances_points(&pts, &c);
+        let slow = sum_distances_points_scalar(&pts, &c);
+        // Multi-accumulator kernel: equal up to f64 reassociation error.
+        prop_assert!((fast - slow).abs() <= 1e-11 * (1.0 + slow), "{fast} vs {slow}");
+        // The naive/chunked service-cost pair is the same contract.
+        prop_assert_eq!(service_cost(&c, &pts).to_bits(), fast.to_bits());
+        prop_assert!((service_cost_naive(&c, &pts) - slow).abs() == 0.0);
+        // The SoA twin promises bit-equality with the AoS kernel.
+        let soa_buf = SoaPoints::from_points(&pts);
+        prop_assert_eq!(soa_buf.sum_distances(&c).to_bits(), fast.to_bits());
+    }
+
+    #[test]
+    fn chunked_weighted_sum_is_bit_equal_to_scalar_oracle(
+        pts in arb_cloud(120), wseed in any::<u64>()
+    ) {
+        let mut s = SeededSampler::new(wseed);
+        let w: Vec<f64> = (0..pts.len()).map(|_| s.uniform(0.1, 5.0)).collect();
+        let c = P2::xy(0.5, -0.25);
+        // In-order kernel: bit-identical, not merely close.
+        prop_assert_eq!(
+            weighted_sum_distances_points(&pts, &w, &c).to_bits(),
+            weighted_sum_distances_points_scalar(&pts, &w, &c).to_bits()
+        );
+    }
+
+    #[test]
+    fn chunked_weiszfeld_accumulator_is_bit_equal_to_scalar_oracle(
+        cloud in arb_cloud(120), pick in any::<u64>()
+    ) {
+        let mut pts = cloud;
+        // Sometimes place the iterate exactly on an input point so the
+        // coincident (Vardi–Zhang) branch is exercised.
+        let y = if pick % 2 == 0 {
+            pts[pick as usize % pts.len()]
+        } else {
+            P2::xy(0.1, 0.9)
+        };
+        pts.push(P2::xy(-3.0, 2.0));
+        let w: Vec<f64> = (0..pts.len()).map(|i| 1.0 + (i % 3) as f64).collect();
+        let fast = soa::weiszfeld_accumulate(&pts, &w, &y, 1e-14);
+        let slow = soa::weiszfeld_accumulate_scalar(&pts, &w, &y, 1e-14);
+        prop_assert_eq!(fast.denom.to_bits(), slow.denom.to_bits());
+        prop_assert_eq!(fast.coincident_weight.to_bits(), slow.coincident_weight.to_bits());
+        for i in 0..2 {
+            prop_assert_eq!(fast.num.0[i].to_bits(), slow.num.0[i].to_bits());
+            prop_assert_eq!(fast.r_vec.0[i].to_bits(), slow.r_vec.0[i].to_bits());
+        }
+    }
+
+    #[test]
+    fn nearest_scan_matches_scalar_argmin(pts in arb_cloud(150)) {
+        let c = P2::xy(1.0, 1.0);
+        let (idx, dist) = nearest_index_points(&pts, &c).unwrap();
+        let best = pts.iter().map(|p| p.distance(&c)).fold(f64::INFINITY, f64::min);
+        prop_assert!((dist - best).abs() < 1e-12);
+        prop_assert!((pts[idx].distance(&c) - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soa_service_scan_is_bit_equal_to_per_node_loop(
+        nodes in arb_cloud(80), reqs in prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 0..12)
+    ) {
+        let reqs: Vec<P2> = reqs.into_iter().map(|(x, y)| P2::xy(x, y)).collect();
+        let soa_nodes = SoaPoints::from_points(&nodes);
+        let mut out = vec![f64::NAN; nodes.len()];
+        soa_nodes.service_costs_into(&reqs, &mut out);
+        for (k, node) in nodes.iter().enumerate() {
+            let mut expect = 0.0f64;
+            for r in &reqs {
+                expect += r.distance(node);
+            }
+            prop_assert_eq!(out[k].to_bits(), expect.to_bits(), "node {}", k);
+        }
+    }
+
+    #[test]
+    fn hybrid_median_matches_classic_oracle(pts in arb_cloud(24), wseed in any::<u64>()) {
+        let mut s = SeededSampler::new(wseed);
+        let w: Vec<f64> = (0..pts.len()).map(|_| s.uniform(0.2, 4.0)).collect();
+        let reference = P2::xy(0.3, 0.7);
+        let fast = mobile_server::geometry::median::weighted_center_weighted(
+            &pts, &w, &reference, MedianOptions::default(),
+        );
+        let classic = weighted_center_classic(&pts, &w, &reference, MedianOptions::default());
+        prop_assert!(fast.distance(&classic) < 1e-7, "{:?} vs {:?}", fast, classic);
+    }
+}
+
+/// The strict (unseeded, one-lane-per-group) batch engine must reproduce
+/// sequential `run` **bit for bit**: every lane performs exactly the same
+/// arithmetic, parallel fan-out only reorders wall-clock execution.
+#[test]
+fn strict_parallel_run_batch_is_bit_equal_to_sequential_runs() {
+    let inst = batch_instance(21, 70);
+    let deltas = [0.0, 0.2, 0.5, 0.9];
+    let orders = [ServingOrder::MoveFirst, ServingOrder::AnswerFirst];
+    for opts in [BatchOptions::strict(), BatchOptions::sequential()] {
+        let batch = run_batch_with(&inst, &MoveToCenter::new(), &deltas, &orders, opts);
+        let mut i = 0;
+        for &delta in &deltas {
+            for &order in &orders {
+                let mut alg = MoveToCenter::new();
+                let single = run(&inst, &mut alg, delta, order);
+                let b = &batch[i];
+                assert_eq!(b.positions, single.positions, "δ={delta} {order:?}");
+                assert_eq!(
+                    b.total_cost().to_bits(),
+                    single.total_cost().to_bits(),
+                    "δ={delta} {order:?}"
+                );
+                i += 1;
+            }
+        }
+    }
+}
+
+/// The default engine adds cross-lane warm seeding: decisions may differ
+/// from sequential runs only within solver tolerance (the hint is a
+/// starting iterate, never policy).
+#[test]
+fn seeded_run_batch_stays_within_solver_tolerance_of_runs() {
+    let inst = batch_instance(33, 90);
+    let deltas = [0.0, 0.1, 0.3, 0.6, 1.0];
+    let orders = [ServingOrder::MoveFirst, ServingOrder::AnswerFirst];
+    let batch = run_batch(&inst, &MoveToCenter::new(), &deltas, &orders);
+    let mut i = 0;
+    for &delta in &deltas {
+        for &order in &orders {
+            let mut alg = MoveToCenter::new();
+            let single = run(&inst, &mut alg, delta, order);
+            let b = &batch[i];
+            for (t, (p, q)) in b.positions.iter().zip(&single.positions).enumerate() {
+                assert!(
+                    p.distance(q) < 1e-8,
+                    "δ={delta} {order:?} step {t}: {p:?} vs {q:?}"
+                );
+            }
+            assert!(
+                (b.total_cost() - single.total_cost()).abs() < 1e-8 * (1.0 + single.total_cost()),
+                "δ={delta} {order:?}"
+            );
+            i += 1;
+        }
+    }
+}
+
+/// Streaming batch must mirror in-memory batch bit for bit under the same
+/// options, including when the horizon crosses the internal stream-block
+/// boundary (256 steps) and seeding is active.
+#[test]
+fn streaming_batch_bit_equals_batch_across_block_boundary() {
+    let inst = batch_instance(5, 600);
+    let deltas = [0.0, 0.25, 0.75];
+    let orders = [ServingOrder::MoveFirst, ServingOrder::AnswerFirst];
+    for opts in [
+        BatchOptions::default(),
+        BatchOptions::strict(),
+        BatchOptions {
+            threads: 1,
+            lane_chunk: 2,
+            cross_lane_seed: true,
+        },
+    ] {
+        let batch = run_batch_with(&inst, &MoveToCenter::new(), &deltas, &orders, opts);
+        let streamed = run_streaming_batch_with(
+            &inst.params(),
+            inst.steps.iter().cloned(),
+            &MoveToCenter::new(),
+            &deltas,
+            &orders,
+            opts,
+        );
+        assert_eq!(streamed.len(), batch.len());
+        for (s, b) in streamed.iter().zip(&batch) {
+            assert_eq!(s.delta, b.delta);
+            assert_eq!(s.order, b.order);
+            assert_eq!(s.movement.to_bits(), b.cost.movement.to_bits());
+            assert_eq!(s.service.to_bits(), b.cost.service.to_bits());
+            assert_eq!(s.final_position, *b.positions.last().unwrap());
+        }
+    }
+}
+
+/// A fully grouped, seeded batch must agree with isolated strict lanes —
+/// the hint pattern (every lane seeded from its left neighbor at the same
+/// step) is pure numerics.
+#[test]
+fn fully_grouped_seeded_batch_matches_strict_lanes() {
+    let inst = batch_instance(2, 120);
+    let deltas = [0.0, 0.1, 0.2, 0.4, 0.8];
+    let orders = [ServingOrder::MoveFirst];
+    let seeded = run_batch_with(
+        &inst,
+        &MoveToCenter::new(),
+        &deltas,
+        &orders,
+        BatchOptions {
+            threads: 1,
+            lane_chunk: deltas.len(),
+            cross_lane_seed: true,
+        },
+    );
+    let strict = run_batch_with(
+        &inst,
+        &MoveToCenter::new(),
+        &deltas,
+        &orders,
+        BatchOptions::sequential(),
+    );
+    // Same answers (within tolerance)…
+    for (s, b) in seeded.iter().zip(&strict) {
+        assert!((s.total_cost() - b.total_cost()).abs() < 1e-8 * (1.0 + b.total_cost()));
+    }
+}
+
+#[test]
+fn grid_dp_reuse_matches_one_shot_solves() {
+    let mut s = SeededSampler::new(77);
+    let steps: Vec<Step<2>> = (0..4)
+        .map(|_| {
+            let r = s.int_inclusive(1, 10);
+            Step::new((0..r).map(|_| s.point_in_cube(1.0)).collect())
+        })
+        .collect();
+    let inst = Instance::new(1.5, 0.6, P2::origin(), steps);
+    let mut dp = GridDp::new(&inst, 15);
+    for order in [ServingOrder::MoveFirst, ServingOrder::AnswerFirst] {
+        let pruned = dp.solve(&inst, order);
+        let full = dp.solve_unpruned(&inst, order);
+        assert_eq!(pruned, full, "{order:?}");
+        assert_eq!(pruned, grid_optimum(&inst, 15, order), "{order:?}");
+        assert_eq!(full, grid_optimum_unpruned(&inst, 15, order), "{order:?}");
     }
 }
 
