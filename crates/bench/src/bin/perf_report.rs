@@ -1,6 +1,8 @@
-//! Emits the machine-readable perf trajectory record (`BENCH_3.json`):
-//! wall-clock comparisons of the PR-3 fast paths against their baselines,
-//! so future optimization PRs have measured numbers to beat.
+//! Emits the machine-readable perf trajectory record (`BENCH_4.json`):
+//! wall-clock comparisons of the tracked fast paths against their
+//! baselines, so future optimization PRs have measured numbers to beat.
+//! `docs/BENCHMARKS.md` documents the record format, the regeneration
+//! workflow, and what the CI gate enforces.
 //!
 //! Pairs measured (same shapes as `benches/bench_fastpath.rs`):
 //!
@@ -17,9 +19,12 @@
 //!   variant to attribute the win,
 //! * `streaming_batch_sweep` — `run_streaming_batch` vs repeated
 //!   `run_streaming` passes,
-//! * `grid_dp_*` — radius-pruned `GridDp::solve` vs the all-pairs scan
-//!   (both sides now share the hoisted SoA service scan, so the baseline
-//!   is *stricter* than `BENCH_1.json`'s).
+//! * `grid_dp_*` — the radius-pruned windowed transition kernel vs the
+//!   all-pairs scan (both sides share the hoisted SoA service scan, so
+//!   the baseline is *stricter* than `BENCH_1.json`'s),
+//! * `grid_dp_dt_*` (PR 4) — the lower-envelope distance-transform
+//!   kernel vs the PR-3 windowed kernel: the window factor the envelope
+//!   sweep removes, measured on the same reused `GridDp`.
 //!
 //! Usage:
 //!   `cargo run --release -p msp-bench --bin perf_report [-- FLAGS] [out.json]`
@@ -30,7 +35,8 @@
 //! * `--check <recorded.json>` — after measuring, compare each bench
 //!   against the speedup recorded under the same name in the given file
 //!   and exit non-zero if any falls below 0.8× of its recorded value
-//!   (the CI `perf_smoke` regression gate).
+//!   (the CI `perf_smoke` regression gate),
+//! * `--help` — usage summary plus a pointer to `docs/BENCHMARKS.md`.
 //!
 //! Release mode only — debug timings are meaningless.
 
@@ -45,7 +51,7 @@ use msp_geometry::median::{weighted_center, weighted_center_classic, MedianOptio
 use msp_geometry::sample::SeededSampler;
 use msp_geometry::soa::{self, SoaPoints};
 use msp_geometry::P2;
-use msp_offline::grid::GridDp;
+use msp_offline::grid::{GridDp, TransitionKernel};
 use msp_workloads::{DriftingHotspot, DriftingHotspotConfig, RequestCount};
 
 /// Median of `reps` wall-clock timings of `f` (after one warm-up call).
@@ -109,14 +115,18 @@ impl Shapes {
     /// run stays in CI budget) but repetitions are *higher* than the full
     /// record — each rep is cheap and the 0.8× regression floor needs
     /// stable medians more than it needs big instances. Check quick runs
-    /// against a quick-shape record (`BENCH_3_quick.json`), never against
+    /// against a quick-shape record (`BENCH_4_quick.json`), never against
     /// the full record: pruning windows and warm-start gains scale with
     /// the instance, so cross-shape speedups are not comparable.
     fn quick() -> Self {
         Shapes {
             drift_steps: 96,
             sweep_horizon: 300,
-            grid_cells: [21, 31],
+            // Large enough that the distance-transform ratio is signal
+            // rather than noise (at ≤ 21 cells the DT and windowed
+            // kernels cost about the same and the ratio hovers at 1×,
+            // which no 0.8× floor can gate stably).
+            grid_cells: [31, 41],
             kernel_evals: 128,
             reps: 13,
         }
@@ -398,14 +408,21 @@ fn streaming_batch_comparison(sh: &Shapes) -> Comparison {
     }
 }
 
-fn grid_comparison(cells: usize, sh: &Shapes) -> Comparison {
+/// The planar instance every grid-DP comparison prices: T=6, two
+/// requests per step, a movement budget that keeps the pruning window
+/// well inside the arena.
+fn grid_instance() -> Instance<2> {
     let steps: Vec<Step<2>> = (0..6)
         .map(|t| {
             let a = t as f64 * 0.9;
             Step::new(vec![P2::xy(a.cos(), a.sin()), P2::xy(-0.4 * a.sin(), 0.7)])
         })
         .collect();
-    let inst = Instance::new(2.0, 0.4, P2::origin(), steps);
+    Instance::new(2.0, 0.4, P2::origin(), steps)
+}
+
+fn grid_comparison(cells: usize, sh: &Shapes) -> Comparison {
+    let inst = grid_instance();
     let mut dp = GridDp::new(&inst, cells);
     let baseline_ns = time_ns(5.min(sh.reps), || {
         dp.solve_unpruned(&inst, ServingOrder::MoveFirst)
@@ -423,6 +440,46 @@ fn grid_comparison(cells: usize, sh: &Shapes) -> Comparison {
         detail: format!(
             "{cells}×{cells} planar grid, T=6, m=0.4, reused GridDp scratch: all-pairs transition \
              scan vs radius-pruned window (both on the hoisted SoA service scan)"
+        ),
+    }
+}
+
+/// PR 4: the distance-transform transition kernel vs the PR-3 windowed
+/// kernel — the baseline here is the *previous record's fast path*, so
+/// the speedup is the window factor the envelope sweep removes.
+fn grid_dt_comparison(cells: usize, sh: &Shapes) -> Comparison {
+    let inst = grid_instance();
+    let mut dp = GridDp::new(&inst, cells);
+    // Both sides are fast solves (no all-pairs baseline), so the full
+    // repetition budget is affordable — and needed: these medians gate CI
+    // at the 0.8× floor, and short timings are the noisiest in the record.
+    let baseline_ns = time_ns(sh.reps, || {
+        dp.solve_with(&inst, ServingOrder::MoveFirst, TransitionKernel::Windowed)
+    });
+    let fast_ns = time_ns(sh.reps, || {
+        dp.solve_with(
+            &inst,
+            ServingOrder::MoveFirst,
+            TransitionKernel::DistanceTransform,
+        )
+    });
+    let windowed = dp.solve_with(&inst, ServingOrder::MoveFirst, TransitionKernel::Windowed);
+    let dt = dp.solve_with(
+        &inst,
+        ServingOrder::MoveFirst,
+        TransitionKernel::DistanceTransform,
+    );
+    assert!(
+        dt >= windowed && (dt - windowed).abs() <= 1e-9 * (1.0 + windowed.abs()),
+        "dt/windowed parity broken: {dt} vs {windowed}"
+    );
+    Comparison {
+        name: format!("grid_dp_dt_{cells}"),
+        baseline_ns,
+        fast_ns,
+        detail: format!(
+            "{cells}×{cells} planar grid, T=6, m=0.4, reused GridDp scratch: radius-pruned \
+             window scan vs lower-envelope distance transform (one cone envelope per row pair)"
         ),
     }
 }
@@ -454,6 +511,23 @@ fn recorded_speedups(text: &str) -> Vec<(String, f64)> {
     out
 }
 
+const HELP: &str = "\
+perf_report — measure the tracked fast-path/baseline pairs and write a
+machine-readable perf record.
+
+Usage:
+  cargo run --release -p msp-bench --bin perf_report [-- FLAGS] [out.json]
+
+Flags:
+  --quick            reduced CI smoke shapes (default output bench-ci.json)
+  --check <file>     exit non-zero if any tracked speedup falls below 0.8x
+                     of the value recorded under the same name in <file>
+  --help             this message
+
+The default output is BENCH_4.json. docs/BENCHMARKS.md explains how the
+BENCH_*.json records are produced, what the 0.8x CI gate means, and how to
+regenerate the references after a hardware change.";
+
 fn main() {
     let mut quick = false;
     let mut check: Option<String> = None;
@@ -461,6 +535,10 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{HELP}");
+                return;
+            }
             "--quick" => quick = true,
             "--check" => check = Some(args.next().expect("--check needs a file path")),
             other => out_path = Some(other.to_string()),
@@ -470,7 +548,7 @@ fn main() {
         if quick {
             "bench-ci.json".into()
         } else {
-            "BENCH_3.json".into()
+            "BENCH_4.json".into()
         }
     });
     let sh = if quick {
@@ -501,6 +579,8 @@ fn main() {
         streaming_batch_comparison(&sh),
         grid_comparison(sh.grid_cells[0], &sh),
         grid_comparison(sh.grid_cells[1], &sh),
+        grid_dt_comparison(sh.grid_cells[0], &sh),
+        grid_dt_comparison(sh.grid_cells[1], &sh),
     ];
 
     for c in &comparisons {
@@ -514,7 +594,7 @@ fn main() {
     }
 
     let json = Json::obj([
-        ("pr", Json::Num(3.0)),
+        ("pr", Json::Num(4.0)),
         ("quick", Json::from(quick)),
         (
             "tier1",

@@ -61,6 +61,28 @@ impl<const N: usize> RunResult<N> {
 /// is priced from the old or the new position. Proposals beyond the budget
 /// `(1+δ)m` are clamped onto the segment towards the proposal, so the
 /// returned trajectory is always feasible for the *online* budget.
+///
+/// ```
+/// use msp_core::cost::ServingOrder;
+/// use msp_core::model::{Instance, Step};
+/// use msp_core::mtc::MoveToCenter;
+/// use msp_core::simulator::run;
+/// use msp_geometry::P2;
+///
+/// // Three rounds of requests pulling the server to the right.
+/// let steps = (1..=3)
+///     .map(|t| Step::single(P2::xy(t as f64, 0.0)))
+///     .collect();
+/// let inst = Instance::new(2.0, 0.5, P2::origin(), steps);
+///
+/// let mut alg = MoveToCenter::new();
+/// let result = run(&inst, &mut alg, 0.1, ServingOrder::MoveFirst);
+///
+/// assert_eq!(result.positions.len(), inst.horizon() + 1);
+/// // The budget (1+δ)m is strictly enforced on every step.
+/// assert!(result.max_step_used() <= 0.55 + 1e-12);
+/// assert!(result.total_cost() > 0.0);
+/// ```
 pub fn run<const N: usize, A: OnlineAlgorithm<N>>(
     instance: &Instance<N>,
     algorithm: &mut A,
@@ -336,6 +358,32 @@ fn partition_groups<T>(lanes: Vec<T>, group_size: usize) -> Vec<Vec<T>> {
 /// algorithms such as [`crate::mtc::MoveToCenter`], batching additionally
 /// keeps each δ-lane's solver warm across the whole pass, exactly as the
 /// sequential path would.
+///
+/// ```
+/// use msp_core::cost::ServingOrder;
+/// use msp_core::model::{Instance, Step};
+/// use msp_core::mtc::MoveToCenter;
+/// use msp_core::simulator::run_batch;
+/// use msp_geometry::P2;
+///
+/// let steps = (0..20)
+///     .map(|t| Step::single(P2::xy((t as f64 * 0.4).sin(), 0.1 * t as f64)))
+///     .collect();
+/// let inst = Instance::new(2.0, 0.5, P2::origin(), steps);
+///
+/// // One pass prices a whole δ-grid under both serving orders.
+/// let deltas = [0.0, 0.2, 0.8];
+/// let orders = [ServingOrder::MoveFirst, ServingOrder::AnswerFirst];
+/// let results = run_batch(&inst, &MoveToCenter::new(), &deltas, &orders);
+///
+/// assert_eq!(results.len(), deltas.len() * orders.len());
+/// // δ-major, order-minor: entry 0 is (δ=0.0, MoveFirst).
+/// assert_eq!(results[0].delta, 0.0);
+/// assert_eq!(results[0].order, ServingOrder::MoveFirst);
+/// // More augmentation never hurts Move-to-Center on this workload:
+/// // entry 4 is (δ=0.8, MoveFirst), entry 0 is (δ=0.0, MoveFirst).
+/// assert!(results[4].total_cost() <= results[0].total_cost());
+/// ```
 ///
 /// # Panics
 /// Panics when `deltas` or `orders` is empty.
@@ -672,9 +720,9 @@ const STREAM_BATCH_BLOCK: usize = 256;
 
 /// Streaming counterpart of [`run_batch`]: one pass over an open-ended
 /// step stream prices every `(δ, order)` combination, keeping only running
-/// totals plus a bounded step buffer ([`STREAM_BATCH_BLOCK`] steps — the
-/// blocks let δ-lane groups fan out over cores without materializing the
-/// stream). Results are δ-major, order-minor, and match [`run_batch`] on
+/// totals plus a bounded step buffer (`STREAM_BATCH_BLOCK` = 256 steps —
+/// the blocks let δ-lane groups fan out over cores without materializing
+/// the stream). Results are δ-major, order-minor, and match [`run_batch`] on
 /// the same steps bit for bit: the lane grouping, warm seeding, and
 /// pricing arithmetic are identical, only the step delivery is blocked.
 ///

@@ -16,25 +16,33 @@
 //! which is jointly **convex** in the trajectory `(P_1, …, P_T)` with
 //! convex constraints. Three solvers, strongest first:
 //!
-//! * [`line`](crate::line) — **exact** solver for the 1-D case. The cost-to-go function
+//! * [`line`](mod@line) — **exact** solver for the 1-D case. The cost-to-go function
 //!   is convex piecewise-linear; the per-step transform is a closed-form
 //!   Lipschitz-clamp-and-widen (see [`pwl`]), so the DP is exact up to
 //!   floating-point rounding.
 //! * [`convex`] — projected subgradient descent with Dykstra projections
 //!   for arbitrary dimension, polished by coordinate descent; converges to
 //!   the global optimum of the convex program (tolerance reported).
-//! * [`grid`] — brute-force dynamic program on a discretized arena, with
-//!   movement-radius-pruned transitions (`O(cells · window · T)` instead
-//!   of all-pairs `O(cells² · r · T)`). Only practical for modest
-//!   instances; exists to cross-validate the other two and to certify
-//!   them in property tests.
+//! * [`grid`] — brute-force dynamic program on a discretized arena with
+//!   pluggable transition kernels ([`grid::TransitionKernel`]): the
+//!   all-pairs `O(cells² · T)` oracle, the radius-pruned
+//!   `O(cells · windowᴺ · T)` neighbor-window scan, and the
+//!   lower-envelope distance transform (`O(cells · windowᴺ⁻¹ · T)`,
+//!   `O(cells · T)` on the line) built on [`envelope`]. Only practical
+//!   for modest instances; exists to cross-validate the other two
+//!   solvers and to certify them in property tests.
+//! * [`envelope`] — the 1-D lower-envelope-of-cones primitive
+//!   (Felzenszwalb–Huttenlocher sweep adapted to the Euclidean metric)
+//!   that powers the distance-transform kernel.
 
 pub mod convex;
+pub mod envelope;
 pub mod grid;
 pub mod line;
 pub mod pwl;
 
 pub use convex::{ConvexSolver, ConvexSolverOptions};
-pub use grid::{grid_optimum, grid_optimum_unpruned, GridDp};
+pub use envelope::ConeEnvelope;
+pub use grid::{grid_optimum, grid_optimum_unpruned, GridDp, TransitionKernel};
 pub use line::{solve_line, solve_line_with_trajectory, IncrementalLineOpt, LineSolution};
 pub use pwl::ConvexPwl;

@@ -12,8 +12,9 @@
 //!   certificates ([`stream::InstanceStream`]), and durable traces
 //!   ([`trace::TraceReader`]).
 //! * [`trace`] — versioned trace formats (text v1, chunked v2, framed
-//!   binary) with exact record/replay and bit-level cross-run diffing.
-//! * [`registry`] — the named scenario catalog: benches, examples, and
+//!   binary) with exact record/replay and bit-level cross-run diffing;
+//!   the wire-format spec lives in `docs/TRACE_FORMAT.md`.
+//! * [`registry`](mod@registry) — the named scenario catalog: benches, examples, and
 //!   tests all pull their workloads from one place
 //!   (`lookup("edge-drift")`) instead of bespoke setup code.
 //! * [`engine`] — glue to `msp_core::simulator::run_streaming` (O(1)

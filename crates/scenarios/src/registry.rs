@@ -567,6 +567,29 @@ pub fn registry() -> Vec<ScenarioSpec> {
 }
 
 /// Finds a scenario by name.
+///
+/// ```
+/// use msp_scenarios::registry::{lookup, ScenarioKnobs};
+/// use msp_scenarios::stream::RequestStream;
+///
+/// let spec = lookup("edge-drift").expect("catalog entry");
+/// assert_eq!(spec.dim, 2);
+///
+/// // Open a short replayable stream (the horizon knob overrides the
+/// // spec's default) and drain it.
+/// let mut stream = spec
+///     .stream_with::<2>(7, &ScenarioKnobs::horizon(16))
+///     .unwrap();
+/// let mut steps = 0;
+/// while let Some(_step) = stream.next_step() {
+///     steps += 1;
+/// }
+/// assert_eq!(steps, 16);
+///
+/// // Rewinding replays the exact same steps — streams are durable.
+/// stream.rewind();
+/// assert!(stream.next_step().is_some());
+/// ```
 pub fn lookup(name: &str) -> Option<ScenarioSpec> {
     registry().into_iter().find(|s| s.name == name)
 }

@@ -21,6 +21,13 @@
 //! re-encoding is lossless. Non-finite coordinates are rejected at both
 //! ends: they cannot enter a trace, and a corrupt trace cannot smuggle
 //! them into an [`Instance`].
+//!
+//! The **normative wire-format specification** — line grammars, chunk
+//! and trailer contracts, and the byte-layout tables of the binary
+//! encoding — lives in `docs/TRACE_FORMAT.md` at the repository root;
+//! this module is its reference implementation, and the round-trip and
+//! corruption tests here (plus `tests/scenario_streaming.rs`) pin every
+//! claim the spec makes.
 
 use crate::stream::RequestStream;
 use msp_core::model::{Instance, Step, StreamParams};

@@ -4,8 +4,11 @@
 //! * warm-started [`MedianSolver`] vs the cold free function vs the seed's
 //!   classic solver,
 //! * `run_batch` vs repeated `run` calls,
-//! * radius-pruned `grid_optimum` vs the all-pairs scan (exact equality —
-//!   the pruned window provably enumerates the same transition set),
+//! * the grid DP's transition kernels vs the all-pairs scan: windowed is
+//!   exactly equal (the pruned window provably enumerates the same
+//!   transition set); the distance transform is never below and within
+//!   tie-breaking tolerance (the full kernel matrix lives in
+//!   `tests/transition_kernels.rs`),
 //! * (PR 3) the chunked SoA distance kernels vs their scalar oracles —
 //!   proptests with explicit f64 tolerance bounds, bit-equality where the
 //!   kernel promises it,
@@ -26,7 +29,7 @@ use mobile_server::geometry::soa::{
     self, nearest_index_points, sum_distances_points, sum_distances_points_scalar,
     weighted_sum_distances_points, weighted_sum_distances_points_scalar, SoaPoints,
 };
-use mobile_server::offline::{grid_optimum, grid_optimum_unpruned, GridDp};
+use mobile_server::offline::{grid_optimum, grid_optimum_unpruned, GridDp, TransitionKernel};
 use mobile_server::prelude::*;
 use proptest::prelude::*;
 
@@ -130,7 +133,7 @@ fn run_batch_matches_repeated_runs_for_all_algorithms() {
 }
 
 #[test]
-fn pruned_grid_dp_equals_all_pairs_on_random_instances() {
+fn grid_dp_kernels_agree_with_all_pairs_on_random_instances() {
     for seed in 0..3u64 {
         let mut s = SeededSampler::new(100 + seed);
         let steps: Vec<Step<2>> = (0..5)
@@ -142,12 +145,24 @@ fn pruned_grid_dp_equals_all_pairs_on_random_instances() {
         let inst = Instance::new(1.0 + seed as f64, 0.5, P2::origin(), steps);
         for order in [ServingOrder::MoveFirst, ServingOrder::AnswerFirst] {
             for cells in [11, 19, 27] {
-                let pruned = grid_optimum(&inst, cells, order);
-                let full = grid_optimum_unpruned(&inst, cells, order);
+                let mut dp = GridDp::new(&inst, cells);
+                let full = dp.solve_with(&inst, order, TransitionKernel::AllPairs);
+                let pruned = dp.solve_with(&inst, order, TransitionKernel::Windowed);
+                let dt = dp.solve_with(&inst, order, TransitionKernel::DistanceTransform);
                 assert_eq!(
                     pruned, full,
                     "seed {seed} {order:?} cells={cells}: {pruned} vs {full}"
                 );
+                // The DT kernel admits only oracle-feasible candidates at
+                // oracle-identical values: never below, and off only by
+                // envelope tie-breaking.
+                assert!(dt >= full, "seed {seed} {order:?} cells={cells}");
+                assert!(
+                    (dt - full).abs() <= 1e-9 * (1.0 + full.abs()),
+                    "seed {seed} {order:?} cells={cells}: dt {dt} vs {full}"
+                );
+                // grid_optimum is the DT kernel: same numbers, one shot.
+                assert_eq!(dt, grid_optimum(&inst, cells, order));
             }
         }
     }
@@ -396,9 +411,10 @@ fn grid_dp_reuse_matches_one_shot_solves() {
     for order in [ServingOrder::MoveFirst, ServingOrder::AnswerFirst] {
         let pruned = dp.solve(&inst, order);
         let full = dp.solve_unpruned(&inst, order);
+        let dt = dp.solve_with(&inst, order, TransitionKernel::DistanceTransform);
         assert_eq!(pruned, full, "{order:?}");
-        assert_eq!(pruned, grid_optimum(&inst, 15, order), "{order:?}");
         assert_eq!(full, grid_optimum_unpruned(&inst, 15, order), "{order:?}");
+        assert_eq!(dt, grid_optimum(&inst, 15, order), "{order:?}");
     }
 }
 
