@@ -17,7 +17,8 @@
 //! * [`json`] — a minimal, dependency-free JSON emitter for machine-readable
 //!   experiment records.
 //! * [`sweep`] — an order-preserving parallel map over experiment cells on
-//!   crossbeam scoped threads.
+//!   a persistent work-stealing worker pool (`MSP_THREADS`-sizable, with
+//!   the scoped executor retained as parity oracle).
 
 pub mod bootstrap;
 pub mod json;
@@ -32,5 +33,5 @@ pub use json::Json;
 pub use plot::{ascii_chart, Series};
 pub use regression::{fit_power_law, linear_fit, LinearFit, PowerLawFit};
 pub use stats::{StreamingSummary, Summary};
-pub use sweep::{parallel_for_each_mut, parallel_map};
+pub use sweep::{parallel_for_each_mut, parallel_map, pool_threads};
 pub use table::Table;

@@ -1,50 +1,353 @@
-//! Order-preserving parallel map for experiment sweeps.
+//! Order-preserving parallel execution for experiment sweeps, backed by a
+//! **persistent work-stealing worker pool**.
 //!
 //! Experiment grids are embarrassingly parallel: every cell is an
-//! independent (seeded) simulation. This executor fans cells out over
-//! `std::thread::scope` workers with dynamic work stealing via a shared
-//! atomic cursor, and returns results in input order so tables render
-//! deterministically regardless of scheduling.
+//! independent (seeded) simulation. Through PR 3 the executor fanned cells
+//! out over `std::thread::scope` workers — correct, but every call paid a
+//! full spawn/join barrier, which the streaming batch engine (one fan-out
+//! per 256-step block) and the distance-transform DP (one fan-out per DP
+//! step) hit thousands of times per run. This module now keeps a single
+//! lazily-initialized pool of workers alive for the life of the process:
+//!
+//! * **Dispatch** pushes one *ticket* per participating worker onto a
+//!   shared queue (`Mutex<VecDeque>` + `Condvar` — no busy waiting);
+//!   parked workers wake, claim the ticket, and join the job's
+//!   atomic-cursor work-stealing loop — the same dynamic stealing
+//!   discipline the scoped executor used, so load balancing is unchanged.
+//! * **The caller participates.** The submitting thread runs the same
+//!   stealing loop instead of blocking, so a `threads = k` request uses
+//!   `k − 1` pool workers plus the caller, and small jobs often finish on
+//!   the caller alone before a worker even wakes.
+//! * **Borrowed closures still work.** Jobs erase the closure's lifetime
+//!   internally, and the dispatching call does not return until every
+//!   claimed ticket has finished (unclaimed tickets are revoked from the
+//!   queue) — the closure and its borrows provably outlive all worker
+//!   access, exactly as with scoped threads. Worker panics are caught,
+//!   forwarded, and re-raised on the caller.
+//! * **Results stay deterministic.** Outputs land in input-order slots, so
+//!   tables render identically regardless of scheduling, and
+//!   [`parallel_map_indexed`] is output-identical to the sequential path
+//!   (pinned by proptest in `tests/executor_semantics.rs`).
+//!
+//! The **no-oversubscription guarantee** is preserved: pool workers (and
+//! the caller while it participates) are flagged as sweep workers, so a
+//! nested fan — a seed fan inside a cell fan, a DT row fan inside a seed
+//! fan — runs sequentially on its worker instead of multiplying CPU-bound
+//! threads to `cores × cells`. Additionally the pool itself caps
+//! parallelism: a request for more threads than the pool owns is served by
+//! the whole pool, never by extra transient threads.
+//!
+//! ## Sizing and `MSP_THREADS`
+//!
+//! The pool size is resolved **once**, at first use, as:
+//!
+//! 1. the `MSP_THREADS` environment variable, when set to a positive
+//!    integer (the CI contention job pins `MSP_THREADS=2` so scheduling
+//!    races surface under contention rather than only on many-core
+//!    runners);
+//! 2. otherwise [`std::thread::available_parallelism`];
+//! 3. otherwise — only when the platform cannot report a count — **1**,
+//!    i.e. fully sequential execution rather than an arbitrary guess (the
+//!    pre-PR-5 executor silently assumed 4 here).
+//!
+//! [`pool_threads`] exposes the resolved value so engines that partition
+//! work *before* fanning out can size their partitions consistently.
+//!
+//! The scoped executor is retained as [`scoped_map_indexed`] /
+//! [`scoped_for_each_mut`] — the parity oracle the pooled paths are tested
+//! against, and the baseline the `executor_pooled_fanout` entry of the
+//! `BENCH_*.json` records measures the pool against.
 
+use std::any::Any;
 use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 thread_local! {
-    /// True while the current thread is a sweep worker. Nested
+    /// True while the current thread is a sweep worker (a pool worker, or
+    /// the caller while it participates in a fan-out). Nested
     /// `parallel_map*` calls (a seed fan inside a cell fan) then run
     /// sequentially instead of multiplying CPU-bound threads to
     /// `cores × cells`.
     static IN_SWEEP: Cell<bool> = const { Cell::new(false) };
 }
 
+/// Resolves the pool size once: `MSP_THREADS` override, else the
+/// available CPU count, else 1 (sequential — never a silent guess).
+fn resolve_pool_threads() -> usize {
+    if let Ok(raw) = std::env::var("MSP_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+        // A set-but-invalid override falls through to autodetection: a
+        // typo should not silently serialize a production sweep.
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// One fan-out in flight: the work-stealing cursor plus the completion
+/// latch. The task pointer is the caller's borrowed closure with its
+/// lifetime erased; safety rests on the dispatch protocol — the
+/// dispatching call revokes unclaimed tickets and blocks until every
+/// claimed ticket has finished before returning, so no worker can touch
+/// the closure after the borrow ends.
+struct Job {
+    /// Next item index to claim.
+    cursor: AtomicUsize,
+    /// Total number of items.
+    n: usize,
+    /// The erased per-index task. Valid for the whole dispatch (see
+    /// above); workers only dereference it between claiming a ticket and
+    /// signalling `state`.
+    task: *const (dyn Fn(usize) + Sync),
+    /// Outstanding tickets (queued or running) plus the first worker
+    /// panic, if any.
+    state: Mutex<JobState>,
+    /// Signalled when `state.outstanding` reaches zero.
+    done: Condvar,
+}
+
+struct JobState {
+    outstanding: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+// SAFETY: `task` is only dereferenced while the dispatching call is
+// blocked in `dispatch` (workers signal `state` before releasing their
+// ticket), so the pointee — a `Sync` closure on the caller's stack —
+// is live and shareable for every access.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and runs items until the cursor is exhausted.
+    fn run_cursor(&self) {
+        // SAFETY: see the `Send`/`Sync` justification above.
+        let task = unsafe { &*self.task };
+        loop {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n {
+                break;
+            }
+            task(i);
+        }
+    }
+
+    /// One worker's participation: run the stealing loop, then retire the
+    /// ticket. Panics are captured into the job (first wins) and re-raised
+    /// by the dispatcher; the worker thread itself survives.
+    fn run_ticket(&self) {
+        let result = catch_unwind(AssertUnwindSafe(|| self.run_cursor()));
+        let mut state = self.state.lock().expect("sweep job state poisoned");
+        if let Err(payload) = result {
+            // Park the cursor at the end so sibling workers stop claiming
+            // items of a job that is already doomed.
+            self.cursor.store(self.n, Ordering::Relaxed);
+            state.panic.get_or_insert(payload);
+        }
+        state.outstanding -= 1;
+        if state.outstanding == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// The process-wide worker pool: a ticket queue and the resolved thread
+/// count. Workers are spawned once (detached — they park on the condvar
+/// between jobs and die with the process).
+struct Pool {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    available: Condvar,
+    /// Resolved parallelism (see [`pool_threads`]): the caller plus
+    /// `threads − 1` spawned workers.
+    threads: usize,
+}
+
+impl Pool {
+    fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| Pool {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            threads: resolve_pool_threads(),
+        })
+    }
+
+    /// Spawns the pool's worker threads exactly once (separate from
+    /// `global()` so the `OnceLock` closure never references the lock's
+    /// own storage).
+    fn ensure_workers(&'static self) {
+        static SPAWNED: OnceLock<()> = OnceLock::new();
+        SPAWNED.get_or_init(|| {
+            for idx in 1..self.threads {
+                std::thread::Builder::new()
+                    .name(format!("msp-sweep-{idx}"))
+                    .spawn(move || self.worker_loop())
+                    .expect("spawn sweep pool worker");
+            }
+        });
+    }
+
+    fn worker_loop(&self) {
+        IN_SWEEP.with(|flag| flag.set(true));
+        loop {
+            let job = {
+                let mut queue = self.queue.lock().expect("sweep queue poisoned");
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        break job;
+                    }
+                    queue = self.available.wait(queue).expect("sweep queue poisoned");
+                }
+            };
+            job.run_ticket();
+        }
+    }
+
+    /// Pushes `tickets` participation tickets for `job`.
+    fn submit(&self, job: &Arc<Job>, tickets: usize) {
+        let mut queue = self.queue.lock().expect("sweep queue poisoned");
+        for _ in 0..tickets {
+            queue.push_back(Arc::clone(job));
+        }
+        drop(queue);
+        for _ in 0..tickets {
+            self.available.notify_one();
+        }
+    }
+
+    /// Revokes every still-queued ticket of `job` (workers busy elsewhere
+    /// never claimed them; the caller has already drained the cursor) and
+    /// retires them, so the dispatcher only waits for tickets a worker
+    /// actually claimed.
+    fn revoke(&self, job: &Arc<Job>) {
+        let mut queue = self.queue.lock().expect("sweep queue poisoned");
+        let before = queue.len();
+        queue.retain(|queued| !Arc::ptr_eq(queued, job));
+        let revoked = before - queue.len();
+        drop(queue);
+        if revoked > 0 {
+            let mut state = job.state.lock().expect("sweep job state poisoned");
+            state.outstanding -= revoked;
+            if state.outstanding == 0 {
+                job.done.notify_all();
+            }
+        }
+    }
+}
+
+/// The resolved size of the persistent worker pool: the `MSP_THREADS`
+/// environment override when set to a positive integer, otherwise the
+/// available CPU count, otherwise 1. Resolved once at first use and
+/// stable for the life of the process; this is what a `threads = 0`
+/// request fans out to, and the hard ceiling on concurrent sweep workers.
+pub fn pool_threads() -> usize {
+    Pool::global().threads
+}
+
 /// The number of worker threads a sweep with the given request would
 /// actually use before clamping to the item count: 1 inside an existing
-/// sweep worker (nested fans run sequentially), the available CPU count
-/// for `0`, otherwise the request itself.
+/// sweep worker (nested fans run sequentially), [`pool_threads`] for `0`,
+/// otherwise the request itself (served by at most the whole pool — the
+/// pool is the parallelism ceiling, so requests beyond it change the
+/// partition shape but not the worker count).
 ///
 /// Exposed so engines that partition work *before* fanning out (e.g. the
-/// simulator's δ-lane chunking) can size their partitions consistently
-/// with what [`parallel_map_indexed`] / [`parallel_for_each_mut`] will do.
+/// simulator's δ-lane chunking, the grid DP's row chunking) can size their
+/// partitions consistently with what [`parallel_map_indexed`] /
+/// [`parallel_for_each_mut`] will do.
 pub fn effective_threads(requested: usize) -> usize {
     if IN_SWEEP.with(Cell::get) {
         1
     } else if requested == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4)
+        pool_threads()
     } else {
         requested
     }
 }
 
-/// Applies `f` to every item on up to `threads` worker threads (0 = number
-/// of available CPUs), returning outputs in input order.
+/// Core dispatch: runs `task(0..n)` over the pool with up to `threads`
+/// participants (caller included), blocking until every index is done.
+/// Caller must have resolved `threads ≥ 2` and `n ≥ 2`.
+fn dispatch(n: usize, threads: usize, task: &(dyn Fn(usize) + Sync)) {
+    let pool = Pool::global();
+    pool.ensure_workers();
+    // Participants: the caller plus however many pool workers the request
+    // and the item count justify.
+    let tickets = threads.min(pool.threads).saturating_sub(1).min(n - 1);
+    if tickets == 0 {
+        // No pool workers to enlist (single-thread pool, or a one-item
+        // job): run inline. The caller is not flagged as a sweep worker
+        // here — with a sequential pool, nested fans are sequential anyway.
+        for i in 0..n {
+            task(i);
+        }
+        return;
+    }
+
+    // SAFETY: the borrow of `task` outlives this function call, and this
+    // function does not return until the caller's own loop is finished
+    // and every claimed ticket has retired (`revoke` + the wait below) —
+    // no worker dereferences the pointer after that.
+    let erased: *const (dyn Fn(usize) + Sync) = unsafe {
+        std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(task)
+    };
+    let job = Arc::new(Job {
+        cursor: AtomicUsize::new(0),
+        n,
+        task: erased,
+        state: Mutex::new(JobState {
+            outstanding: tickets,
+            panic: None,
+        }),
+        done: Condvar::new(),
+    });
+    pool.submit(&job, tickets);
+
+    // The caller participates as one more worker, flagged as a sweep
+    // worker so nested fans inside `task` run sequentially.
+    let caller_result = {
+        let was = IN_SWEEP.with(|flag| flag.replace(true));
+        let result = catch_unwind(AssertUnwindSafe(|| job.run_cursor()));
+        IN_SWEEP.with(|flag| flag.set(was));
+        result
+    };
+
+    // Tickets no worker claimed carry no borrow of `task`; revoke them so
+    // a pool busy with other jobs cannot delay this (already finished)
+    // one, then wait out the claimed tickets.
+    pool.revoke(&job);
+    {
+        let mut state = job.state.lock().expect("sweep job state poisoned");
+        while state.outstanding > 0 {
+            state = job.done.wait(state).expect("sweep job state poisoned");
+        }
+        if let Some(payload) = state.panic.take() {
+            drop(state);
+            resume_unwind(payload);
+        }
+    }
+    if let Err(payload) = caller_result {
+        resume_unwind(payload);
+    }
+}
+
+/// Applies `f` to every item on up to `threads` pooled workers (0 = the
+/// resolved pool size, see [`pool_threads`]), returning outputs in input
+/// order.
 ///
 /// `f` must be `Sync` (shared across workers) and is given `(index, item)`
 /// so callers can derive per-cell seeds from the index. Calls nested
 /// inside another sweep's worker run sequentially on that worker — the
-/// outer sweep already owns the machine's parallelism.
+/// outer sweep already owns the machine's parallelism. Output is
+/// identical to the sequential path for any thread count (input-order
+/// result slots; pinned by proptest).
 pub fn parallel_map_indexed<I, O, F>(items: &[I], threads: usize, f: F) -> Vec<O>
 where
     I: Sync,
@@ -56,28 +359,14 @@ where
         return Vec::new();
     }
     let threads = effective_threads(threads).min(n);
-
     if threads <= 1 {
         return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
     }
 
-    let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                IN_SWEEP.with(|flag| flag.set(true));
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let out = f(i, &items[i]);
-                    *slots[i].lock().expect("sweep slot poisoned") = Some(out);
-                }
-            });
-        }
+    dispatch(n, threads, &|i| {
+        let out = f(i, &items[i]);
+        *slots[i].lock().expect("sweep slot poisoned") = Some(out);
     });
 
     slots
@@ -90,12 +379,17 @@ where
         .collect()
 }
 
-/// Runs `f` on every item **in place** over up to `threads` workers
-/// (0 = all CPUs) with the same dynamic work stealing and nested-sweep
-/// sequential fallback as [`parallel_map_indexed`]. This is the executor
-/// for stateful shards — e.g. independent δ-lane groups of a batched
-/// simulation, each owning its algorithm clones and cost accumulators —
-/// where results are written into the items rather than collected.
+/// Runs `f` on every item **in place** over up to `threads` pooled
+/// workers (0 = the resolved pool size) with the same dynamic work
+/// stealing and nested-sweep sequential fallback as
+/// [`parallel_map_indexed`]. This is the executor for stateful shards —
+/// e.g. independent δ-lane groups of a batched simulation, each owning
+/// its algorithm clones and cost accumulators, or the grid DP's
+/// distance-transform row chunks — where results are written into the
+/// items rather than collected. Because the pool persists, engines that
+/// fan out repeatedly (one call per 256-step stream block, one call per
+/// DP step) reuse the same workers instead of paying a spawn/join
+/// barrier per call.
 pub fn parallel_for_each_mut<T, F>(items: &mut [T], threads: usize, f: F)
 where
     T: Send,
@@ -113,6 +407,94 @@ where
         return;
     }
 
+    let slots: Vec<Mutex<Option<&mut T>>> = items.iter_mut().map(|r| Mutex::new(Some(r))).collect();
+    dispatch(n, threads, &|i| {
+        let item = slots[i]
+            .lock()
+            .expect("sweep slot poisoned")
+            .take()
+            .expect("sweep item claimed twice");
+        f(i, item);
+    });
+}
+
+/// [`parallel_map_indexed`] without the index, using the whole pool.
+pub fn parallel_map<I, O, F>(items: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    parallel_map_indexed(items, 0, |_, item| f(item))
+}
+
+/// The pre-PR-5 scoped executor: spawns `threads` fresh
+/// `std::thread::scope` workers **per call** and joins them before
+/// returning. Retained as the parity oracle of [`parallel_map_indexed`]
+/// (identical input-order results — pinned by tests) and as the measured
+/// baseline of the `executor_pooled_fanout` entry in the `BENCH_*.json`
+/// records: the difference between this and the pooled path is exactly
+/// the per-call spawn/join barrier the persistent pool removes. Not a
+/// fast path — use [`parallel_map_indexed`].
+pub fn scoped_map_indexed<I, O, F>(items: &[I], threads: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &I) -> O + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = effective_threads(threads).min(n);
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                IN_SWEEP.with(|flag| flag.set(true));
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = f(i, &items[i]);
+                    *slots[i].lock().expect("sweep slot poisoned") = Some(out);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("sweep slot poisoned")
+                .expect("missing sweep result")
+        })
+        .collect()
+}
+
+/// Scoped (spawn-per-call) twin of [`parallel_for_each_mut`]; see
+/// [`scoped_map_indexed`] for why it is retained.
+pub fn scoped_for_each_mut<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    let threads = effective_threads(threads).min(n);
+    if threads <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<&mut T>>> = items.iter_mut().map(|r| Mutex::new(Some(r))).collect();
     std::thread::scope(|scope| {
@@ -134,16 +516,6 @@ where
             });
         }
     });
-}
-
-/// [`parallel_map_indexed`] without the index, using all CPUs.
-pub fn parallel_map<I, O, F>(items: &[I], f: F) -> Vec<O>
-where
-    I: Sync,
-    O: Send,
-    F: Fn(&I) -> O + Sync,
-{
-    parallel_map_indexed(items, 0, |_, item| f(item))
 }
 
 #[cfg(test)]
@@ -241,7 +613,9 @@ mod tests {
     fn effective_threads_resolves_requests() {
         assert_eq!(effective_threads(3), 3);
         assert!(effective_threads(0) >= 1);
-        // Inside a sweep worker, everything collapses to one thread.
+        assert_eq!(effective_threads(0), pool_threads());
+        // Inside a sweep fan (whether on a pool worker or the
+        // participating caller), everything collapses to one thread.
         let items = [0usize; 2];
         let nested = parallel_map(&items, |_| effective_threads(0));
         assert!(nested.iter().all(|&t| t == 1));
@@ -261,5 +635,59 @@ mod tests {
         for (i, (x, _)) in out.iter().enumerate() {
             assert_eq!(*x as usize, i);
         }
+    }
+
+    #[test]
+    fn repeated_fanouts_reuse_the_pool_without_leaking_state() {
+        // One fan-out per iteration — the streaming-block dispatch shape.
+        // Every iteration must see clean results (job state is per-job,
+        // not per-pool).
+        let items: Vec<usize> = (0..16).collect();
+        for round in 0..200 {
+            let out = parallel_map_indexed(&items, 0, |i, x| i + x + round);
+            assert_eq!(
+                out,
+                (0..16).map(|x| 2 * x + round).collect::<Vec<_>>(),
+                "round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn scoped_twins_match_pooled_results() {
+        let items: Vec<u64> = (0..257).collect();
+        let pooled = parallel_map_indexed(&items, 0, |i, x| x * 3 + i as u64);
+        let scoped = scoped_map_indexed(&items, 0, |i, x| x * 3 + i as u64);
+        assert_eq!(pooled, scoped);
+
+        let mut a: Vec<u64> = (0..300).collect();
+        let mut b = a.clone();
+        parallel_for_each_mut(&mut a, 3, |i, v| *v = v.wrapping_mul(7) ^ i as u64);
+        scoped_for_each_mut(&mut b, 3, |i, v| *v = v.wrapping_mul(7) ^ i as u64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_the_caller() {
+        let items: Vec<usize> = (0..64).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map_indexed(&items, 0, |i, _| {
+                assert!(i != 13, "intentional test panic");
+                i
+            })
+        }));
+        assert!(result.is_err(), "panic must cross the dispatch boundary");
+        // The pool must still be usable afterwards.
+        let out = parallel_map(&items, |x| x + 1);
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn requests_beyond_the_pool_are_served_by_the_pool() {
+        // More threads requested than the pool owns: the fan must still
+        // complete correctly (the pool is the ceiling, not a panic).
+        let items: Vec<usize> = (0..97).collect();
+        let out = parallel_map_indexed(&items, 64, |i, x| i * x);
+        assert_eq!(out, (0..97).map(|x| x * x).collect::<Vec<_>>());
     }
 }

@@ -89,8 +89,32 @@ pub fn run<const N: usize, A: OnlineAlgorithm<N>>(
     delta: f64,
     order: ServingOrder,
 ) -> RunResult<N> {
+    run_with_warm_hint(instance, algorithm, None, delta, order)
+}
+
+/// [`run`] with an optional **cross-instance warm hint**: after the reset
+/// (which clears the algorithm's numerical warm state so reruns stay
+/// bit-identical), `warm` — typically the final state of the same
+/// algorithm on a *seed-adjacent* instance of a fan — is offered once via
+/// [`OnlineAlgorithm::warm_hint`] before the first decision. Exactly the
+/// cross-lane δ-seeding discipline of [`run_batch`], applied across the
+/// instance boundary instead of across lanes: the hint is a starting
+/// iterate, never policy, so results agree with the unhinted [`run`] to
+/// well within solver tolerance (pinned by tests). `None` is bit-equal to
+/// [`run`]. Seed fans chain this through
+/// `msp_bench::runner::warm_seed_fan`.
+pub fn run_with_warm_hint<const N: usize, A: OnlineAlgorithm<N>>(
+    instance: &Instance<N>,
+    algorithm: &mut A,
+    warm: Option<&A>,
+    delta: f64,
+    order: ServingOrder,
+) -> RunResult<N> {
     let ctx = AlgContext::new(instance, delta);
     algorithm.reset(&ctx);
+    if let Some(neighbor) = warm {
+        algorithm.warm_hint(neighbor);
+    }
     let budget = ctx.online_budget();
 
     let mut positions = Vec::with_capacity(instance.horizon() + 1);
@@ -144,8 +168,11 @@ pub fn run_move_first<const N: usize, A: OnlineAlgorithm<N>>(
 /// [`run_streaming_batch_with`]).
 ///
 /// δ-lanes are partitioned into **groups**; groups execute concurrently
-/// over [`msp_analysis::sweep::parallel_for_each_mut`] workers, while the
-/// lanes *inside* a group are stepped together, which enables cross-lane
+/// over [`msp_analysis::sweep::parallel_for_each_mut`] workers — the
+/// persistent work-stealing pool, so engines that fan out repeatedly
+/// (the streaming batch engine dispatches once per 256-step block) reuse
+/// the same workers instead of paying a spawn/join barrier per dispatch —
+/// while the lanes *inside* a group are stepped together, which enables cross-lane
 /// warm seeding: before lane `i` of a group decides on a step, it receives
 /// an [`OnlineAlgorithm::warm_hint`] from lane `i − 1`, which just solved
 /// the **same step** — for Move-to-Center that hands over an essentially
@@ -714,7 +741,9 @@ where
 }
 
 /// Number of steps buffered per block by the streaming batch engine:
-/// large enough to amortize the per-block lane fan-out, small enough that
+/// large enough to amortize the per-block lane fan-out (a ticket push to
+/// the persistent sweep pool — lane groups reuse the same workers across
+/// blocks, with no spawn/join barrier per block), small enough that
 /// memory stays bounded (`O(block · r)`) on open-ended streams.
 const STREAM_BATCH_BLOCK: usize = 256;
 

@@ -64,6 +64,15 @@
 //!   detected at construction and silently served by the windowed kernel
 //!   instead.
 //!
+//! **DT rows fan out.** The distance-transform transition's target rows
+//! are mutually independent (each reads the frozen frontier and writes
+//! only its own `next` row), so the row loop fans out over the
+//! [`msp_analysis::sweep`] persistent worker pool in contiguous chunks
+//! with per-worker scratch ([`GridDp::set_row_threads`]; default: the
+//! pool size, collapsing to one thread inside an outer sweep). The
+//! chunking changes wall-clock only — the DP result is bit-identical for
+//! every thread count, so the parity contracts above are unaffected.
+//!
 //! **Scratch is hoisted.** [`GridDp`] owns the arena (node positions in
 //! array-of-structs, structure-of-arrays, and per-axis coordinate layout)
 //! and every DP buffer, so repeated solves — all kernels, both serving
@@ -271,17 +280,71 @@ pub struct GridDp<const N: usize> {
     /// DT scratch: per-row minimum of `base` (∞ for dead rows) — the
     /// whole-pair skip bound.
     row_min: Vec<f64>,
-    /// DT scratch: the admissible (C², source row) pairs of one target
-    /// row, sorted by ascending rest offset.
+    /// DT scratch: one [`DtScratch`] per row-fan worker (grown lazily to
+    /// the fan width; index 0 serves the sequential path).
+    dt_scratch: Vec<DtScratch>,
+    /// Worker threads for the per-target-row fan of the
+    /// distance-transform transition (0 = the sweep pool size; nested
+    /// inside another sweep everything runs on the current worker). See
+    /// [`GridDp::set_row_threads`].
+    row_threads: usize,
+}
+
+/// Per-worker scratch of the distance-transform row fan: everything one
+/// target row needs beyond the shared read-only step context. Rows are
+/// independent (each writes only its own `next` slice), so giving every
+/// worker chunk its own scratch makes the fan embarrassingly parallel
+/// while keeping the per-row arithmetic — and therefore the result —
+/// bit-identical to the sequential sweep for any thread count.
+struct DtScratch {
+    /// The admissible (C², source row) pairs of one target row, sorted by
+    /// ascending rest offset.
     pair_buf: Vec<(f64, usize)>,
-    /// DT scratch: per-cell sweep state for one row pair — resolved, or
-    /// the feasible right edge deferred to the suffix sweep.
+    /// Per-cell sweep state for one row pair — resolved, or the feasible
+    /// right edge deferred to the suffix sweep.
     mark: Vec<u32>,
-    /// DT scratch: monotone deque for the sliding-window base minimum
-    /// (the per-cell improvement bound).
+    /// Monotone deque for the sliding-window base minimum (the per-cell
+    /// improvement bound).
     minq: Vec<u32>,
-    /// DT scratch: the reusable axis-0 lower envelope.
+    /// The reusable axis-0 lower envelope.
     env: ConeEnvelope,
+}
+
+impl DtScratch {
+    fn new(n0: usize) -> Self {
+        DtScratch {
+            pair_buf: Vec::new(),
+            mark: vec![0; n0],
+            minq: Vec::with_capacity(n0),
+            env: ConeEnvelope::with_capacity(n0),
+        }
+    }
+}
+
+/// Read-only per-step context shared by every target row of one
+/// distance-transform transition: the frozen DP inputs ([`GridDp`]
+/// buffers filled by the sequential prologue) plus the arena geometry.
+/// `Sync` by construction (shared references only), which is what lets
+/// the row fan borrow it across workers.
+struct DtStep<'a, const N: usize> {
+    n0: usize,
+    d: f64,
+    /// Axis-0 node coordinates.
+    x0: &'a [f64],
+    /// Axis-0 spacing.
+    h0: f64,
+    axis: &'a [Vec<f64>; N],
+    nodes: &'a [Point<N>],
+    /// Per-source transition base cost (`cost`, plus `serve` under
+    /// Answer-First).
+    base: &'a [f64],
+    /// Per-row prefix counts of finite `base` entries.
+    pref: &'a [u32],
+    /// Per-row minimum of `base`.
+    row_min: &'a [f64],
+    window: &'a [usize; N],
+    r2max: f64,
+    r2win: f64,
 }
 
 impl<const N: usize> GridDp<N> {
@@ -313,11 +376,22 @@ impl<const N: usize> GridDp<N> {
             base: vec![0.0; n],
             finite_pref: vec![0; rows * (cells_per_axis + 1)],
             row_min: vec![0.0; rows],
-            pair_buf: Vec::new(),
-            mark: vec![0; cells_per_axis],
-            minq: Vec::with_capacity(cells_per_axis),
-            env: ConeEnvelope::with_capacity(cells_per_axis),
+            dt_scratch: vec![DtScratch::new(cells_per_axis)],
+            row_threads: 0,
         }
+    }
+
+    /// Sets the worker-thread request of the distance-transform kernel's
+    /// per-target-row fan: `0` (the default) fans rows over the
+    /// [`msp_analysis::sweep`] pool, `1` forces the sequential sweep, any
+    /// other value requests that many workers (served by at most the
+    /// pool). The fan changes wall-clock only — per-row arithmetic is
+    /// independent of the chunking, so the DP result is **bit-identical**
+    /// for every setting (pinned by tests), and solves nested inside
+    /// another sweep collapse to one thread regardless.
+    pub fn set_row_threads(&mut self, threads: usize) -> &mut Self {
+        self.row_threads = threads;
+        self
     }
 
     /// Debug-build guard against solving a different instance than the
@@ -553,56 +627,57 @@ impl<const N: usize> GridDp<N> {
     /// window directly. Feasibility is tested on squared distances
     /// against [`sq_reach_threshold`], bit-faithful to the oracle's
     /// `d(j,k) ≤ reach` predicate.
+    ///
+    /// Target rows are mutually independent — each reads only the frozen
+    /// step inputs and writes only its own `next` slice — so the row loop
+    /// fans out over the [`msp_analysis::sweep`] pool in contiguous
+    /// chunks, one [`DtScratch`] per worker chunk ([`GridDp::set_row_threads`]
+    /// sizes the fan). Per-row arithmetic does not depend on the
+    /// chunking, so the transition result is bit-identical for every
+    /// thread count.
     fn transition_distance_transform(&mut self, d: f64, order: ServingOrder, window: &[usize; N]) {
         let n0 = self.cells_per_axis;
         let cells = self.cost.len();
         let rows = cells / n0;
-        let arena = &self.arena;
-        let reach = arena.reach;
-        let nodes = &arena.nodes;
-        let x0 = &arena.axis[0][..];
-        let h0 = arena.spacing[0];
-        let cost = &self.cost;
-        let serve = &self.serve;
-        let base = &mut self.base;
-        let pref = &mut self.finite_pref;
-        let row_min = &mut self.row_min;
-        let pair_buf = &mut self.pair_buf;
-        let mark = &mut self.mark;
-        let minq = &mut self.minq;
-        let next = &mut self.next;
-        let env = &mut self.env;
 
-        // Transition base costs: what a source contributes before the
-        // move term. Mirrors the oracle's expression evaluation order so
-        // admitted candidates are priced bit-identically.
-        match order {
-            ServingOrder::MoveFirst => base.copy_from_slice(cost),
-            ServingOrder::AnswerFirst => {
-                for ((b, &c), &sv) in base.iter_mut().zip(cost).zip(serve) {
-                    *b = c + sv;
+        // Sequential prologue — transition base costs: what a source
+        // contributes before the move term. Mirrors the oracle's
+        // expression evaluation order so admitted candidates are priced
+        // bit-identically.
+        {
+            let cost = &self.cost;
+            let serve = &self.serve;
+            let base = &mut self.base;
+            match order {
+                ServingOrder::MoveFirst => base.copy_from_slice(cost),
+                ServingOrder::AnswerFirst => {
+                    for ((b, &c), &sv) in base.iter_mut().zip(cost).zip(serve) {
+                        *b = c + sv;
+                    }
                 }
+            }
+
+            // Per-row prefix counts of finite sources (O(1) dead-row
+            // tests) and per-row base minima (the whole-pair skip bound).
+            let pref = &mut self.finite_pref;
+            let row_min = &mut self.row_min;
+            for (r, rmin_out) in row_min.iter_mut().enumerate().take(rows) {
+                let pbase = r * (n0 + 1);
+                let sbase = r * n0;
+                pref[pbase] = 0;
+                let mut rmin = f64::INFINITY;
+                for i in 0..n0 {
+                    let b = base[sbase + i];
+                    pref[pbase + i + 1] = pref[pbase + i] + u32::from(b.is_finite());
+                    if b < rmin {
+                        rmin = b;
+                    }
+                }
+                *rmin_out = rmin;
             }
         }
 
-        // Per-row prefix counts of finite sources (O(1) dead-row tests)
-        // and per-row base minima (the whole-pair skip bound below).
-        for (r, rmin_out) in row_min.iter_mut().enumerate().take(rows) {
-            let pbase = r * (n0 + 1);
-            let sbase = r * n0;
-            pref[pbase] = 0;
-            let mut rmin = f64::INFINITY;
-            for i in 0..n0 {
-                let b = base[sbase + i];
-                pref[pbase + i + 1] = pref[pbase + i] + u32::from(b.is_finite());
-                if b < rmin {
-                    rmin = b;
-                }
-            }
-            *rmin_out = rmin;
-        }
-
-        for c in next.iter_mut() {
+        for c in self.next.iter_mut() {
             *c = f64::INFINITY;
         }
 
@@ -614,288 +689,366 @@ impl<const N: usize> GridDp<N> {
         // uses a hair-inflated threshold (a guaranteed superset of the
         // oracle's transition set) and winners re-check with the
         // oracle's own accumulation order before being admitted.
-        let r2max = sq_reach_threshold(reach);
+        let r2max = sq_reach_threshold(self.arena.reach);
         let r2win = if N <= 2 { r2max } else { r2max * (1.0 + 1e-12) };
 
-        /// Cell marker: resolved by the prefix sweep (or no action
-        /// needed); any other value is the cell's feasible right edge,
-        /// left for the suffix sweep.
-        const DONE: u32 = u32::MAX;
+        let threads = msp_analysis::sweep::effective_threads(self.row_threads)
+            .min(rows)
+            .max(1);
+        while self.dt_scratch.len() < threads {
+            self.dt_scratch.push(DtScratch::new(n0));
+        }
 
-        for rt in 0..rows {
-            // Decode the target row's rest-axis indices and clamp the
-            // per-axis source window (axes 1..N live in row space with
-            // stride n0^(i-1)), then collect the admissible source rows.
-            let mut t_rest = [0usize; N];
-            let mut lo = [0usize; N];
-            let mut hi = [0usize; N];
-            let mut cur = [0usize; N];
-            {
-                let mut stride = 1usize;
-                for i in 0..N.saturating_sub(1) {
-                    let ti = (rt / stride) % n0;
-                    t_rest[i] = ti;
-                    lo[i] = ti.saturating_sub(window[i + 1]);
-                    hi[i] = (ti + window[i + 1]).min(n0 - 1);
-                    cur[i] = lo[i];
-                    stride *= n0;
-                }
+        let ctx = DtStep {
+            n0,
+            d,
+            x0: &self.arena.axis[0][..],
+            h0: self.arena.spacing[0],
+            axis: &self.arena.axis,
+            nodes: &self.arena.nodes,
+            base: &self.base,
+            pref: &self.finite_pref,
+            row_min: &self.row_min,
+            window,
+            r2max,
+            r2win,
+        };
+        let next = &mut self.next[..];
+        let dt_scratch = &mut self.dt_scratch[..];
+
+        if threads <= 1 {
+            let scratch = &mut dt_scratch[0];
+            for (rt, nrow) in next.chunks_mut(n0).enumerate() {
+                dt_row(&ctx, rt, nrow, scratch);
             }
-            pair_buf.clear();
-            // Odometer over the source rows of the rest-axis window (a
-            // single pass when N = 1: the line has one row pair). A pair
-            // with C² > r2win is wholly infeasible (every move distance
-            // is at least C), matching the oracle's per-candidate reach
-            // rejections; dead rows are skipped via the prefix counts.
-            loop {
-                let mut rs = 0usize;
-                let mut c2 = 0.0f64;
-                {
-                    let mut stride = 1usize;
-                    for i in 0..N.saturating_sub(1) {
-                        rs += cur[i] * stride;
-                        let dx = arena.axis[i + 1][t_rest[i]] - arena.axis[i + 1][cur[i]];
-                        c2 += dx * dx;
-                        stride *= n0;
-                    }
+        } else {
+            // Contiguous row chunks, one per worker, each with its own
+            // scratch — the fan-out shape the sweep pool serves without a
+            // per-step spawn/join barrier.
+            let per = rows.div_ceil(threads);
+            let mut items: Vec<(usize, &mut [f64], &mut DtScratch)> = next
+                .chunks_mut(per * n0)
+                .zip(dt_scratch.iter_mut())
+                .enumerate()
+                .map(|(c, (chunk, scratch))| (c * per, chunk, scratch))
+                .collect();
+            msp_analysis::sweep::parallel_for_each_mut(&mut items, threads, |_, item| {
+                let (row0, chunk, scratch) = item;
+                for (ri, nrow) in chunk.chunks_mut(ctx.n0).enumerate() {
+                    dt_row(&ctx, *row0 + ri, nrow, scratch);
                 }
-                if c2 <= r2win && pref[rs * (n0 + 1) + n0] > 0 {
-                    pair_buf.push((c2, rs));
-                }
-                // Advance the row odometer.
-                let mut i = 0;
-                while i < N.saturating_sub(1) {
-                    cur[i] += 1;
-                    if cur[i] <= hi[i] {
-                        break;
-                    }
-                    cur[i] = lo[i];
-                    i += 1;
-                }
-                if i == N.saturating_sub(1) {
-                    break;
-                }
-            }
-            // Nearest rows first: the frontier row tightens early, so the
-            // rim pairs usually fail the improvement bound outright.
-            pair_buf.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
-
-            let tbase = rt * n0;
-            let nrow = &mut next[tbase..tbase + n0];
-            for &(c2, rs) in pair_buf.iter() {
-                let sbase = rs * n0;
-                // Whole-pair skip: every candidate of this pair costs at
-                // least the row's cheapest base plus the D·C rest-offset
-                // move — if that cannot beat the worst frontier cell, no
-                // cell can improve. (Skipping non-improving candidates
-                // keeps the DT result within tie-level slop of the
-                // oracle, and never below it.)
-                let pair_floor = row_min[rs] + d * c2.sqrt();
-                let frontier_max = nrow.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                if pair_floor >= frontier_max {
-                    continue;
-                }
-
-                // Separable squared move distance (bit-identical to the
-                // oracle's sum for N ≤ 2; a window superset otherwise).
-                let d2_sep = |j0: usize, k0: usize| -> f64 {
-                    let dx = x0[k0] - x0[j0];
-                    dx * dx + c2
-                };
-                // The oracle's own squared sum, for N ≥ 3 re-checks.
-                let d2_exact = |j0: usize, k0: usize| -> f64 {
-                    let a = &nodes[sbase + j0];
-                    let b = &nodes[tbase + k0];
-                    let mut s = 0.0;
-                    for i in 0..N {
-                        let t = a[i] - b[i];
-                        s += t * t;
-                    }
-                    s
-                };
-                // Admits `j0` for `k0` iff the oracle would; returns the
-                // candidate value (the oracle's expression) or None.
-                let admit = |j0: usize, k0: usize| -> Option<f64> {
-                    if N <= 2 {
-                        Some(base[sbase + j0] + d * d2_sep(j0, k0).sqrt())
-                    } else {
-                        let d2 = d2_exact(j0, k0);
-                        (d2 <= r2max).then(|| base[sbase + j0] + d * d2.sqrt())
-                    }
-                };
-                // Window scan for the rare cell neither sweep resolves:
-                // every index in [a, b] is window-feasible; N ≥ 3
-                // re-checks exactly via `admit`.
-                let brute = |a: usize, b: usize, k0: usize, cur: f64| -> f64 {
-                    let mut best = cur;
-                    for jf in a..=b {
-                        if !base[sbase + jf].is_finite() {
-                            continue;
-                        }
-                        if let Some(cand) = admit(jf, k0) {
-                            if cand < best {
-                                best = cand;
-                            }
-                        }
-                    }
-                    best
-                };
-
-                // Sources whose base plus the D·C rest-offset move
-                // already matches the frontier can improve no cell;
-                // excluding them from the envelopes is safe (the
-                // superset-resolution argument only ever compares
-                // admitted winners against `nrow`) and skips their
-                // crossover arithmetic.
-                let dc = d * c2.sqrt();
-                let src_cut = frontier_max - dc;
-
-                // Per-cell improvement bound: a sliding-window minimum of
-                // `base` over a superset of the feasible index window (a
-                // monotone deque, no square roots). A cell where even
-                // `winmin + D·C` cannot beat the frontier value admits no
-                // improving candidate from this pair — the common case
-                // for rim pairs once the DP saturates.
-                let wq = if h0 > 0.0 {
-                    (((r2win - c2).max(0.0).sqrt() / h0).ceil() as usize + 1).min(n0 - 1)
-                } else {
-                    n0 - 1
-                };
-                minq.clear();
-                let mut qhead = 0usize;
-                for j in 0..=wq.min(n0 - 1) {
-                    let b = base[sbase + j];
-                    while minq.len() > qhead && base[sbase + *minq.last().unwrap() as usize] >= b {
-                        minq.pop();
-                    }
-                    minq.push(j as u32);
-                }
-
-                // ---- Prefix sweep: envelope of sources j ≤ feasible
-                // right edge, queried left to right. Both edge pointers
-                // are monotone (amortized O(n0) squared-distance tests;
-                // the center j0 = k0 is always feasible since C² ≤ r2win).
-                env.begin(d, c2);
-                let mut af = 0usize; // left feasibility edge
-                let mut bf = 0usize; // sources incorporated: j < bf
-                let mut unresolved = 0usize;
-                let mut min_unres = n0;
-                let mut max_unres = 0usize;
-                for k0 in 0..n0 {
-                    // Slide the base-min window: admit j = k0 + wq, evict
-                    // the front once it falls left of k0 - wq.
-                    if k0 > 0 && k0 + wq < n0 {
-                        let j = k0 + wq;
-                        let b = base[sbase + j];
-                        while minq.len() > qhead
-                            && base[sbase + *minq.last().unwrap() as usize] >= b
-                        {
-                            minq.pop();
-                        }
-                        minq.push(j as u32);
-                    }
-                    while (minq[qhead] as usize) + wq < k0 {
-                        qhead += 1;
-                    }
-                    while d2_sep(af, k0) > r2win {
-                        af += 1;
-                    }
-                    while bf < n0 && d2_sep(bf, k0) <= r2win {
-                        if base[sbase + bf] < src_cut {
-                            env.push(bf, x0[bf], base[sbase + bf]);
-                        }
-                        bf += 1;
-                    }
-                    debug_assert!(af <= k0 && bf > k0);
-                    if base[sbase + minq[qhead] as usize] + dc >= nrow[k0] {
-                        // No candidate of this pair can improve the cell.
-                        mark[k0] = DONE;
-                        continue;
-                    }
-                    match env.query_at(x0[k0]) {
-                        Some(jp) if jp >= af => {
-                            // Winner inside the window: it minimizes the
-                            // prefix superset, so it is the window min.
-                            match admit(jp, k0) {
-                                Some(cand) => {
-                                    if cand < nrow[k0] {
-                                        nrow[k0] = cand;
-                                    }
-                                    mark[k0] = DONE;
-                                }
-                                None => {
-                                    // N ≥ 3 ulp-band winner: resolve by
-                                    // the exact window scan.
-                                    nrow[k0] = brute(af, bf - 1, k0, nrow[k0]);
-                                    mark[k0] = DONE;
-                                }
-                            }
-                        }
-                        _ => {
-                            // Winner left of the window (or no live
-                            // prefix source): defer to the suffix sweep.
-                            mark[k0] = (bf - 1) as u32;
-                            unresolved += 1;
-                            min_unres = min_unres.min(k0);
-                            max_unres = k0;
-                        }
-                    }
-                }
-
-                // ---- Suffix sweep: envelope of sources j ≥ feasible
-                // left edge, queried right to left — mirrored via negated
-                // abscissas. Only the deferred index range is walked, and
-                // sources right of the largest deferred cell's right edge
-                // are omitted (no deferred cell could admit them).
-                if unresolved > 0 {
-                    env.begin(d, c2);
-                    let mut af2 = max_unres + 1; // left feasibility edge
-                    let mut inc = mark[max_unres] as usize + 1; // sources incorporated: j ≥ inc
-                    for k0 in (min_unres..=max_unres).rev() {
-                        if unresolved == 0 {
-                            break;
-                        }
-                        while af2 > 0 && d2_sep(af2 - 1, k0) <= r2win {
-                            af2 -= 1;
-                        }
-                        while inc > af2 {
-                            inc -= 1;
-                            env.push(inc, -x0[inc], base[sbase + inc]);
-                        }
-                        let m = mark[k0];
-                        if m == DONE {
-                            continue;
-                        }
-                        unresolved -= 1;
-                        let bfk = m as usize;
-                        match env.query_at(-x0[k0]) {
-                            Some(js) if js <= bfk => match admit(js, k0) {
-                                Some(cand) => {
-                                    if cand < nrow[k0] {
-                                        nrow[k0] = cand;
-                                    }
-                                }
-                                None => {
-                                    nrow[k0] = brute(af2, bfk, k0, nrow[k0]);
-                                }
-                            },
-                            _ => {
-                                // Both winners outside the window (or no
-                                // live source): exact scan.
-                                nrow[k0] = brute(af2, bfk, k0, nrow[k0]);
-                            }
-                        }
-                    }
-                }
-            }
+            });
         }
 
         // Move-First serves from the target cell: add the service term
         // after the min (rounding is monotone, so min-then-add matches
         // the oracle's add-then-min bit for bit; ∞ stays ∞).
         if matches!(order, ServingOrder::MoveFirst) {
-            for (nx, &sv) in next.iter_mut().zip(serve.iter()) {
+            for (nx, &sv) in self.next.iter_mut().zip(self.serve.iter()) {
                 *nx += sv;
+            }
+        }
+    }
+}
+
+/// One target row of the distance-transform transition: the
+/// prefix/suffix envelope sweeps over every admissible source row of the
+/// rest-axis window, writing the row's relaxed costs into `nrow` (the
+/// row's slice of the `next` frontier). Pure function of the frozen
+/// [`DtStep`] inputs — the unit the row fan parallelizes over.
+fn dt_row<const N: usize>(
+    ctx: &DtStep<'_, N>,
+    rt: usize,
+    nrow: &mut [f64],
+    scratch: &mut DtScratch,
+) {
+    let DtStep {
+        n0,
+        d,
+        x0,
+        h0,
+        axis,
+        nodes,
+        base,
+        pref,
+        row_min,
+        window,
+        r2max,
+        r2win,
+    } = *ctx;
+    let DtScratch {
+        pair_buf,
+        mark,
+        minq,
+        env,
+    } = scratch;
+
+    /// Cell marker: resolved by the prefix sweep (or no action
+    /// needed); any other value is the cell's feasible right edge,
+    /// left for the suffix sweep.
+    const DONE: u32 = u32::MAX;
+
+    {
+        // Decode the target row's rest-axis indices and clamp the
+        // per-axis source window (axes 1..N live in row space with
+        // stride n0^(i-1)), then collect the admissible source rows.
+        let mut t_rest = [0usize; N];
+        let mut lo = [0usize; N];
+        let mut hi = [0usize; N];
+        let mut cur = [0usize; N];
+        {
+            let mut stride = 1usize;
+            for i in 0..N.saturating_sub(1) {
+                let ti = (rt / stride) % n0;
+                t_rest[i] = ti;
+                lo[i] = ti.saturating_sub(window[i + 1]);
+                hi[i] = (ti + window[i + 1]).min(n0 - 1);
+                cur[i] = lo[i];
+                stride *= n0;
+            }
+        }
+        pair_buf.clear();
+        // Odometer over the source rows of the rest-axis window (a
+        // single pass when N = 1: the line has one row pair). A pair
+        // with C² > r2win is wholly infeasible (every move distance
+        // is at least C), matching the oracle's per-candidate reach
+        // rejections; dead rows are skipped via the prefix counts.
+        loop {
+            let mut rs = 0usize;
+            let mut c2 = 0.0f64;
+            {
+                let mut stride = 1usize;
+                for i in 0..N.saturating_sub(1) {
+                    rs += cur[i] * stride;
+                    let dx = axis[i + 1][t_rest[i]] - axis[i + 1][cur[i]];
+                    c2 += dx * dx;
+                    stride *= n0;
+                }
+            }
+            if c2 <= r2win && pref[rs * (n0 + 1) + n0] > 0 {
+                pair_buf.push((c2, rs));
+            }
+            // Advance the row odometer.
+            let mut i = 0;
+            while i < N.saturating_sub(1) {
+                cur[i] += 1;
+                if cur[i] <= hi[i] {
+                    break;
+                }
+                cur[i] = lo[i];
+                i += 1;
+            }
+            if i == N.saturating_sub(1) {
+                break;
+            }
+        }
+        // Nearest rows first: the frontier row tightens early, so the
+        // rim pairs usually fail the improvement bound outright.
+        pair_buf.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+
+        let tbase = rt * n0;
+        for &(c2, rs) in pair_buf.iter() {
+            let sbase = rs * n0;
+            // Whole-pair skip: every candidate of this pair costs at
+            // least the row's cheapest base plus the D·C rest-offset
+            // move — if that cannot beat the worst frontier cell, no
+            // cell can improve. (Skipping non-improving candidates
+            // keeps the DT result within tie-level slop of the
+            // oracle, and never below it.)
+            let pair_floor = row_min[rs] + d * c2.sqrt();
+            let frontier_max = nrow.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            if pair_floor >= frontier_max {
+                continue;
+            }
+
+            // Separable squared move distance (bit-identical to the
+            // oracle's sum for N ≤ 2; a window superset otherwise).
+            let d2_sep = |j0: usize, k0: usize| -> f64 {
+                let dx = x0[k0] - x0[j0];
+                dx * dx + c2
+            };
+            // The oracle's own squared sum, for N ≥ 3 re-checks.
+            let d2_exact = |j0: usize, k0: usize| -> f64 {
+                let a = &nodes[sbase + j0];
+                let b = &nodes[tbase + k0];
+                let mut s = 0.0;
+                for i in 0..N {
+                    let t = a[i] - b[i];
+                    s += t * t;
+                }
+                s
+            };
+            // Admits `j0` for `k0` iff the oracle would; returns the
+            // candidate value (the oracle's expression) or None.
+            let admit = |j0: usize, k0: usize| -> Option<f64> {
+                if N <= 2 {
+                    Some(base[sbase + j0] + d * d2_sep(j0, k0).sqrt())
+                } else {
+                    let d2 = d2_exact(j0, k0);
+                    (d2 <= r2max).then(|| base[sbase + j0] + d * d2.sqrt())
+                }
+            };
+            // Window scan for the rare cell neither sweep resolves:
+            // every index in [a, b] is window-feasible; N ≥ 3
+            // re-checks exactly via `admit`.
+            let brute = |a: usize, b: usize, k0: usize, cur: f64| -> f64 {
+                let mut best = cur;
+                for jf in a..=b {
+                    if !base[sbase + jf].is_finite() {
+                        continue;
+                    }
+                    if let Some(cand) = admit(jf, k0) {
+                        if cand < best {
+                            best = cand;
+                        }
+                    }
+                }
+                best
+            };
+
+            // Sources whose base plus the D·C rest-offset move
+            // already matches the frontier can improve no cell;
+            // excluding them from the envelopes is safe (the
+            // superset-resolution argument only ever compares
+            // admitted winners against `nrow`) and skips their
+            // crossover arithmetic.
+            let dc = d * c2.sqrt();
+            let src_cut = frontier_max - dc;
+
+            // Per-cell improvement bound: a sliding-window minimum of
+            // `base` over a superset of the feasible index window (a
+            // monotone deque, no square roots). A cell where even
+            // `winmin + D·C` cannot beat the frontier value admits no
+            // improving candidate from this pair — the common case
+            // for rim pairs once the DP saturates.
+            let wq = if h0 > 0.0 {
+                (((r2win - c2).max(0.0).sqrt() / h0).ceil() as usize + 1).min(n0 - 1)
+            } else {
+                n0 - 1
+            };
+            minq.clear();
+            let mut qhead = 0usize;
+            for j in 0..=wq.min(n0 - 1) {
+                let b = base[sbase + j];
+                while minq.len() > qhead && base[sbase + *minq.last().unwrap() as usize] >= b {
+                    minq.pop();
+                }
+                minq.push(j as u32);
+            }
+
+            // ---- Prefix sweep: envelope of sources j ≤ feasible
+            // right edge, queried left to right. Both edge pointers
+            // are monotone (amortized O(n0) squared-distance tests;
+            // the center j0 = k0 is always feasible since C² ≤ r2win).
+            env.begin(d, c2);
+            let mut af = 0usize; // left feasibility edge
+            let mut bf = 0usize; // sources incorporated: j < bf
+            let mut unresolved = 0usize;
+            let mut min_unres = n0;
+            let mut max_unres = 0usize;
+            for k0 in 0..n0 {
+                // Slide the base-min window: admit j = k0 + wq, evict
+                // the front once it falls left of k0 - wq.
+                if k0 > 0 && k0 + wq < n0 {
+                    let j = k0 + wq;
+                    let b = base[sbase + j];
+                    while minq.len() > qhead && base[sbase + *minq.last().unwrap() as usize] >= b {
+                        minq.pop();
+                    }
+                    minq.push(j as u32);
+                }
+                while (minq[qhead] as usize) + wq < k0 {
+                    qhead += 1;
+                }
+                while d2_sep(af, k0) > r2win {
+                    af += 1;
+                }
+                while bf < n0 && d2_sep(bf, k0) <= r2win {
+                    if base[sbase + bf] < src_cut {
+                        env.push(bf, x0[bf], base[sbase + bf]);
+                    }
+                    bf += 1;
+                }
+                debug_assert!(af <= k0 && bf > k0);
+                if base[sbase + minq[qhead] as usize] + dc >= nrow[k0] {
+                    // No candidate of this pair can improve the cell.
+                    mark[k0] = DONE;
+                    continue;
+                }
+                match env.query_at(x0[k0]) {
+                    Some(jp) if jp >= af => {
+                        // Winner inside the window: it minimizes the
+                        // prefix superset, so it is the window min.
+                        match admit(jp, k0) {
+                            Some(cand) => {
+                                if cand < nrow[k0] {
+                                    nrow[k0] = cand;
+                                }
+                                mark[k0] = DONE;
+                            }
+                            None => {
+                                // N ≥ 3 ulp-band winner: resolve by
+                                // the exact window scan.
+                                nrow[k0] = brute(af, bf - 1, k0, nrow[k0]);
+                                mark[k0] = DONE;
+                            }
+                        }
+                    }
+                    _ => {
+                        // Winner left of the window (or no live
+                        // prefix source): defer to the suffix sweep.
+                        mark[k0] = (bf - 1) as u32;
+                        unresolved += 1;
+                        min_unres = min_unres.min(k0);
+                        max_unres = k0;
+                    }
+                }
+            }
+
+            // ---- Suffix sweep: envelope of sources j ≥ feasible
+            // left edge, queried right to left — mirrored via negated
+            // abscissas. Only the deferred index range is walked, and
+            // sources right of the largest deferred cell's right edge
+            // are omitted (no deferred cell could admit them).
+            if unresolved > 0 {
+                env.begin(d, c2);
+                let mut af2 = max_unres + 1; // left feasibility edge
+                let mut inc = mark[max_unres] as usize + 1; // sources incorporated: j ≥ inc
+                for k0 in (min_unres..=max_unres).rev() {
+                    if unresolved == 0 {
+                        break;
+                    }
+                    while af2 > 0 && d2_sep(af2 - 1, k0) <= r2win {
+                        af2 -= 1;
+                    }
+                    while inc > af2 {
+                        inc -= 1;
+                        env.push(inc, -x0[inc], base[sbase + inc]);
+                    }
+                    let m = mark[k0];
+                    if m == DONE {
+                        continue;
+                    }
+                    unresolved -= 1;
+                    let bfk = m as usize;
+                    match env.query_at(-x0[k0]) {
+                        Some(js) if js <= bfk => match admit(js, k0) {
+                            Some(cand) => {
+                                if cand < nrow[k0] {
+                                    nrow[k0] = cand;
+                                }
+                            }
+                            None => {
+                                nrow[k0] = brute(af2, bfk, k0, nrow[k0]);
+                            }
+                        },
+                        _ => {
+                            // Both winners outside the window (or no
+                            // live source): exact scan.
+                            nrow[k0] = brute(af2, bfk, k0, nrow[k0]);
+                        }
+                    }
+                }
             }
         }
     }
