@@ -33,5 +33,7 @@ pub use json::Json;
 pub use plot::{ascii_chart, Series};
 pub use regression::{fit_power_law, linear_fit, LinearFit, PowerLawFit};
 pub use stats::{StreamingSummary, Summary};
-pub use sweep::{parallel_for_each_mut, parallel_map, pool_threads};
+pub use sweep::{
+    parallel_for_each_mut, parallel_map, pool_threads, try_parallel_map_indexed, LaneError,
+};
 pub use table::Table;

@@ -418,6 +418,108 @@ where
     });
 }
 
+/// Why one item of a supervised fan-out ([`try_parallel_map_indexed`])
+/// produced no result. Carries the attempt count so callers can tell a
+/// flaky lane (succeeded-after-retry lanes don't appear here at all) from
+/// a deterministically broken one.
+#[derive(Debug)]
+pub enum LaneError<E> {
+    /// The item's closure panicked on every attempt; `message` renders
+    /// the final panic payload.
+    Panicked {
+        /// Attempts made (= the configured bound).
+        attempts: usize,
+        /// The final panic payload, rendered where possible.
+        message: String,
+    },
+    /// The item's closure returned `Err` on every attempt; `error` is the
+    /// final one.
+    Failed {
+        /// Attempts made (= the configured bound).
+        attempts: usize,
+        /// The final error.
+        error: E,
+    },
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for LaneError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaneError::Panicked { attempts, message } => {
+                write!(f, "lane panicked after {attempts} attempt(s): {message}")
+            }
+            LaneError::Failed { attempts, error } => {
+                write!(f, "lane failed after {attempts} attempt(s): {error}")
+            }
+        }
+    }
+}
+
+impl<E: std::fmt::Display + std::fmt::Debug> std::error::Error for LaneError<E> {}
+
+/// Renders a caught panic payload (`&str` or `String`) for error reports;
+/// other payload types collapse to a fixed placeholder. Shared by the
+/// supervised fan here and the salvage-mode seed fans in `msp-bench`.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Supervised twin of [`parallel_map_indexed`]: per-item `Result`s
+/// instead of all-or-nothing. Each item's closure runs under
+/// `catch_unwind` with up to `attempts` tries (0 is treated as 1), so a
+/// poisoned lane — a panic or an `Err` — is confined to its own output
+/// slot while every other lane completes; no panic ever reaches the pool
+/// dispatcher from here. This is the degraded-mode fan for long
+/// multi-seed sweeps where losing one seed must not abort hours of
+/// sibling work (the salvage entry points in `msp-bench` build on it).
+///
+/// Retrying is what makes *transient* faults (an injected
+/// `ErrorKind::Interrupted`, a flaky filesystem) invisible: a lane that
+/// succeeds on attempt 2 returns plain `Ok` with no trace of the retry.
+/// Deterministic failures exhaust the bound and report the final
+/// panic/error with the attempt count ([`LaneError`]).
+pub fn try_parallel_map_indexed<I, O, E, F>(
+    items: &[I],
+    threads: usize,
+    attempts: usize,
+    f: F,
+) -> Vec<Result<O, LaneError<E>>>
+where
+    I: Sync,
+    O: Send,
+    E: Send,
+    F: Fn(usize, &I) -> Result<O, E> + Sync,
+{
+    let attempts = attempts.max(1);
+    parallel_map_indexed(items, threads, |i, item| {
+        let mut last = None;
+        for attempt in 1..=attempts {
+            match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                Ok(Ok(out)) => return Ok(out),
+                Ok(Err(error)) => {
+                    last = Some(LaneError::Failed {
+                        attempts: attempt,
+                        error,
+                    })
+                }
+                Err(payload) => {
+                    last = Some(LaneError::Panicked {
+                        attempts: attempt,
+                        message: panic_message(payload.as_ref()),
+                    })
+                }
+            }
+        }
+        Err(last.expect("at least one attempt was made"))
+    })
+}
+
 /// [`parallel_map_indexed`] without the index, using the whole pool.
 pub fn parallel_map<I, O, F>(items: &[I], f: F) -> Vec<O>
 where
@@ -680,6 +782,73 @@ mod tests {
         // The pool must still be usable afterwards.
         let out = parallel_map(&items, |x| x + 1);
         assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn supervised_fan_confines_a_panicking_lane() {
+        // The crash-safety contract: one poisoned lane must not abort the
+        // sweep. Lane 5 panics on every attempt; every other lane's result
+        // still lands in its slot.
+        let items: Vec<usize> = (0..32).collect();
+        let out = try_parallel_map_indexed(&items, 0, 2, |i, x| {
+            assert!(i != 5, "injected fault: poisoned lane");
+            Ok::<usize, String>(x * 2)
+        });
+        assert_eq!(out.len(), 32);
+        for (i, slot) in out.iter().enumerate() {
+            if i == 5 {
+                match slot {
+                    Err(LaneError::Panicked { attempts, message }) => {
+                        assert_eq!(*attempts, 2, "the retry bound must be exhausted");
+                        assert!(message.contains("poisoned lane"), "payload: {message}");
+                    }
+                    other => panic!("lane 5 must report a panic, got {other:?}"),
+                }
+            } else {
+                assert_eq!(*slot.as_ref().unwrap(), 2 * i);
+            }
+        }
+        // The pool survives: a plain fan still works afterwards.
+        let out = parallel_map(&items, |x| x + 1);
+        assert_eq!(out.len(), 32);
+    }
+
+    #[test]
+    fn supervised_fan_retries_transient_failures_to_success() {
+        // Each lane fails (half by Err, half by panic) exactly once, then
+        // succeeds — the bounded retry must absorb both kinds silently.
+        let items: Vec<usize> = (0..16).collect();
+        let tries: Vec<AtomicUsize> = (0..16).map(|_| AtomicUsize::new(0)).collect();
+        let out = try_parallel_map_indexed(&items, 0, 3, |i, x| {
+            if tries[i].fetch_add(1, Ordering::SeqCst) == 0 {
+                if i % 2 == 0 {
+                    return Err("transient".to_string());
+                }
+                panic!("transient");
+            }
+            Ok(x * x)
+        });
+        for (i, slot) in out.iter().enumerate() {
+            assert_eq!(*slot.as_ref().unwrap(), i * i, "lane {i}");
+            assert_eq!(tries[i].load(Ordering::SeqCst), 2, "lane {i} attempts");
+        }
+    }
+
+    #[test]
+    fn supervised_fan_reports_the_final_error_with_attempt_count() {
+        let items = [0_usize];
+        let out = try_parallel_map_indexed(&items, 1, 4, |_, _| {
+            Err::<(), String>("deterministic failure".to_string())
+        });
+        match &out[0] {
+            Err(LaneError::Failed { attempts, error }) => {
+                assert_eq!(*attempts, 4);
+                assert_eq!(error, "deterministic failure");
+                let rendered = format!("{}", out[0].as_ref().unwrap_err());
+                assert!(rendered.contains("after 4 attempt(s)"), "{rendered}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
     }
 
     #[test]

@@ -5,13 +5,22 @@
 //! Exits non-zero on the first divergence, so a broken trace codec or a
 //! non-replayable scenario fails the build.
 //!
-//! Usage: `cargo run --release -p msp-bench --bin scenario_smoke`
+//! With `--fault-seed <n>` the run also exercises the crash-safety tier
+//! per scenario: a recording through a seeded silently-truncating sink
+//! must be caught by the salvage reader (never read back clean and
+//! complete), and a journaled session crashed mid-stream must resume
+//! from [`msp_scenarios::journal::recover_journal`] bit-equal to the
+//! uninterrupted run.
+//!
+//! Usage: `cargo run --release -p msp-bench --bin scenario_smoke [--fault-seed <n>]`
 
 use msp_core::cost::ServingOrder;
 use msp_core::mtc::MoveToCenter;
+use msp_core::simulator::StreamingSim;
 use msp_scenarios::{
-    diff_streams, record_to_vec, registry, run_stream, RequestStream, ScenarioKnobs, ScenarioSpec,
-    TraceFormat, TraceReader,
+    diff_streams, record_stream, record_to_vec, recover_journal, registry, resume_from_journal,
+    run_stream, salvage_trace, FaultEvent, FaultKind, FaultPlan, FaultyWrite, JournalWriter,
+    RequestStream, ScenarioKnobs, ScenarioSpec, TraceFormat, TraceReader,
 };
 use std::io::Cursor;
 
@@ -73,7 +82,137 @@ fn smoke_one(spec: &ScenarioSpec) -> Result<(), String> {
     }
 }
 
+/// Crash-safety smoke for one scenario: a silently-truncating recording
+/// must be caught by the salvage reader, and a journaled session crashed
+/// at a seed-derived step must resume bit-equal to the uninterrupted
+/// run. All fault placements derive from `fault_seed`, so a CI failure
+/// replays locally from the seed in the log.
+fn fault_smoke_dim<const N: usize>(spec: &ScenarioSpec, fault_seed: u64) -> Result<(), String> {
+    let name = spec.name;
+    let knobs = ScenarioKnobs::horizon(SMOKE_HORIZON);
+    let mut stream = spec
+        .stream_with::<N>(SMOKE_SEED, &knobs)
+        .map_err(|e| format!("{name}: {e}"))?;
+
+    // 1. A sink that silently truncates (reports success, drops bytes)
+    //    must never read back clean and complete.
+    let (_, clean) = record_stream(stream.as_mut(), TraceFormat::Binary, Vec::new())
+        .map_err(|e| format!("{name}: clean recording failed: {e}"))?;
+    let truncate_op = 2 + fault_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) % 24;
+    let plan = FaultPlan::scripted(vec![FaultEvent {
+        at: truncate_op,
+        kind: FaultKind::Truncate,
+    }]);
+    let (_, faulty) = record_stream(
+        stream.as_mut(),
+        TraceFormat::Binary,
+        FaultyWrite::new(Vec::new(), plan),
+    )
+    .map_err(|e| format!("{name}: faulty recording failed: {e}"))?;
+    if !faulty.is_truncated() {
+        return Err(format!(
+            "{name}: truncation at op {truncate_op} never fired"
+        ));
+    }
+    let torn = faulty.into_inner();
+    let full = salvage_trace::<N>(&clean).map_err(|e| format!("{name}: clean salvage: {e}"))?;
+    if let Ok(salvaged) = salvage_trace::<N>(&torn) {
+        if salvaged.is_clean() && salvaged.steps.len() == full.steps.len() {
+            return Err(format!(
+                "{name}: silent truncation at op {truncate_op} read back clean and complete"
+            ));
+        }
+    }
+
+    // 2. Journal a session, crash at a seed-derived step with a torn
+    //    in-flight record, recover, resume, and demand bit-equality.
+    let params = stream.params();
+    let (delta, order) = (spec.default_delta, ServingOrder::MoveFirst);
+    stream.rewind();
+    let mut truth = StreamingSim::new(&params, MoveToCenter::new(), delta, order);
+    while let Some(step) = stream.next_step() {
+        truth.feed(&step);
+    }
+    let truth = truth.checkpoint();
+
+    let crash_at = 1 + (fault_seed as usize % (SMOKE_HORIZON - 1));
+    stream.rewind();
+    let mut sim = StreamingSim::new(&params, MoveToCenter::new(), delta, order);
+    let mut journal = JournalWriter::<N, Vec<u8>>::new(Vec::new(), &params, delta, order)
+        .map_err(|e| format!("{name}: journal open: {e}"))?;
+    journal
+        .append_sim(&sim)
+        .map_err(|e| format!("{name}: journal append: {e}"))?;
+    for _ in 0..crash_at {
+        let Some(step) = stream.next_step() else {
+            break;
+        };
+        sim.feed(&step);
+        if sim.steps() % 16 == 0 {
+            journal
+                .append_sim(&sim)
+                .map_err(|e| format!("{name}: journal append: {e}"))?;
+        }
+    }
+    let mut bytes = journal.into_inner();
+    bytes.extend_from_slice(b"JRN"); // the crash tore the next record
+
+    let recovery =
+        recover_journal::<N>(&bytes).map_err(|e| format!("{name}: recovery failed: {e}"))?;
+    if recovery.torn_tail.is_none() {
+        return Err(format!("{name}: torn in-flight record went unreported"));
+    }
+    let mut resumed = resume_from_journal(&recovery, MoveToCenter::new())
+        .map_err(|e| format!("{name}: resume failed: {e}"))?;
+    stream.rewind();
+    for _ in 0..recovery.checkpoint.step {
+        stream.next_step();
+    }
+    while let Some(step) = stream.next_step() {
+        resumed.feed(&step);
+    }
+    if resumed.checkpoint() != truth {
+        return Err(format!(
+            "{name}: resumed run diverged from the uninterrupted run (crash at {crash_at})"
+        ));
+    }
+    println!(
+        "  {:<20} dim {N}  torn recording caught, crash@{crash_at} resumed bit-equal (gen {})",
+        name, recovery.generation
+    );
+    Ok(())
+}
+
+fn fault_smoke_one(spec: &ScenarioSpec, fault_seed: u64) -> Result<(), String> {
+    match spec.dim {
+        1 => fault_smoke_dim::<1>(spec, fault_seed),
+        2 => fault_smoke_dim::<2>(spec, fault_seed),
+        other => Err(format!("{}: unexpected dimension {other}", spec.name)),
+    }
+}
+
 fn main() {
+    let mut fault_seed: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fault-seed" => {
+                let raw = args.next().unwrap_or_else(|| {
+                    eprintln!("--fault-seed requires a value");
+                    std::process::exit(2);
+                });
+                fault_seed = Some(raw.parse().unwrap_or_else(|_| {
+                    eprintln!("--fault-seed: not a number: {raw}");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let specs = registry();
     println!(
         "scenario smoke: {} scenarios × record/replay/diff ({} steps each)",
@@ -87,12 +226,26 @@ fn main() {
             failures += 1;
         }
     }
+    if let Some(seed) = fault_seed {
+        println!("fault smoke (seed {seed}): torn-write salvage + journal crash/resume");
+        for spec in &specs {
+            if let Err(e) = fault_smoke_one(spec, seed) {
+                eprintln!("FAIL {e}");
+                failures += 1;
+            }
+        }
+    }
     if failures > 0 {
         eprintln!("{failures} scenario(s) failed");
         std::process::exit(1);
     }
     println!(
-        "all {} scenarios recorded, replayed, and diffed clean",
-        specs.len()
+        "all {} scenarios recorded, replayed, and diffed clean{}",
+        specs.len(),
+        if fault_seed.is_some() {
+            " — and survived injected faults"
+        } else {
+            ""
+        }
     );
 }

@@ -25,11 +25,37 @@
 //!   `min{1, r/(2D)}` per step, adopt the request center as the standing
 //!   target; always move towards the standing target at full budget.
 
-use crate::algorithm::{AlgContext, OnlineAlgorithm};
+use crate::algorithm::{
+    decode_point, encode_point, AlgContext, OnlineAlgorithm, WarmStateCodec, WarmStateError,
+};
 use msp_geometry::median::{weighted_center, MedianOptions};
 use msp_geometry::{step_towards, Point};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Implements [`WarmStateCodec`] for a memoryless baseline: nothing to
+/// encode, and decoding accepts only the empty blob it produced.
+macro_rules! stateless_codec {
+    ($ty:ty, $label:literal) => {
+        impl WarmStateCodec for $ty {
+            fn encode_warm_state(&self, _out: &mut Vec<u8>) {}
+            fn decode_warm_state(&mut self, bytes: &[u8]) -> Result<(), WarmStateError> {
+                if bytes.is_empty() {
+                    Ok(())
+                } else {
+                    Err(WarmStateError::new(concat!(
+                        $label,
+                        " is stateless but blob is non-empty"
+                    )))
+                }
+            }
+        }
+    };
+}
+
+stateless_codec!(Lazy, "lazy");
+stateless_codec!(FollowCenter, "follow-center");
+stateless_codec!(FractionalStep, "fractional-step");
 
 /// Never moves; serves every request from `P_0`.
 #[derive(Clone, Copy, Debug, Default)]
@@ -207,6 +233,65 @@ impl<const N: usize> OnlineAlgorithm<N> for MoveToMinN<N> {
     }
 }
 
+impl<const N: usize> WarmStateCodec for MoveToMinN<N> {
+    // Layout: target tag (`0` none, `1` + point), then the pending batch
+    // as a `u32` count followed by that many points. Unlike MtC's warm
+    // iterate this *is* algorithmic state — dropping it would silently
+    // shift every future migration — so the codec carries it in full.
+    fn encode_warm_state(&self, out: &mut Vec<u8>) {
+        match self.target {
+            None => out.push(0),
+            Some(t) => {
+                out.push(1);
+                encode_point(&t, out);
+            }
+        }
+        out.extend_from_slice(&(self.batch.len() as u32).to_le_bytes());
+        for p in &self.batch {
+            encode_point(p, out);
+        }
+    }
+
+    fn decode_warm_state(&mut self, bytes: &[u8]) -> Result<(), WarmStateError> {
+        let point_len = 8 * N;
+        let (target, rest) = match bytes.split_first() {
+            Some((0, rest)) => (None, rest),
+            Some((1, rest)) if rest.len() >= point_len => {
+                let (raw, rest) = rest.split_at(point_len);
+                (Some(decode_point::<N>(raw)?), rest)
+            }
+            Some((1, _)) => {
+                return Err(WarmStateError::new("move-to-min target truncated"));
+            }
+            Some((tag, _)) => {
+                return Err(WarmStateError::new(format!(
+                    "unknown move-to-min tag {tag}"
+                )));
+            }
+            None => return Err(WarmStateError::new("empty move-to-min blob")),
+        };
+        if rest.len() < 4 {
+            return Err(WarmStateError::new("move-to-min batch count truncated"));
+        }
+        let (raw_count, body) = rest.split_at(4);
+        let count = u32::from_le_bytes(raw_count.try_into().unwrap()) as usize;
+        if body.len() != count * point_len {
+            return Err(WarmStateError::new(format!(
+                "move-to-min batch has {} bytes, expected {}",
+                body.len(),
+                count * point_len
+            )));
+        }
+        let mut batch = Vec::with_capacity(count);
+        for raw in body.chunks_exact(point_len) {
+            batch.push(decode_point::<N>(raw)?);
+        }
+        self.target = target;
+        self.batch = batch;
+        Ok(())
+    }
+}
+
 /// Adaptation of Westbrook's randomized Coin-Flip algorithm: each step,
 /// with probability `min{1, r/(2D)}`, re-target the current request
 /// center; always move at full budget towards the standing target.
@@ -214,6 +299,11 @@ impl<const N: usize> OnlineAlgorithm<N> for MoveToMinN<N> {
 /// The RNG is re-seeded from `seed` on every [`OnlineAlgorithm::reset`], so
 /// runs are reproducible and repeated runs of the same configured instance
 /// coincide.
+///
+/// [`WarmStateCodec`] is deliberately **not** implemented here: the RNG's
+/// mid-run state is not exposed, so a crash-resumed run could not replay
+/// the coin flips bit-equal to the uninterrupted run. Journal support is
+/// therefore compile-time restricted to the deterministic algorithms.
 #[derive(Clone, Debug)]
 pub struct RandomizedCoinFlip<const N: usize> {
     /// Seed applied at reset.

@@ -21,7 +21,9 @@
 //! exposes the counters. The warm state is cleared on every
 //! [`OnlineAlgorithm::reset`], so repeated runs stay deterministic.
 
-use crate::algorithm::{AlgContext, OnlineAlgorithm};
+use crate::algorithm::{
+    decode_point, encode_point, AlgContext, OnlineAlgorithm, WarmStateCodec, WarmStateError,
+};
 use msp_geometry::median::{
     centroid, weighted_center, MedianOptions, MedianSolver, MedianTelemetry,
 };
@@ -143,6 +145,37 @@ impl<const N: usize> OnlineAlgorithm<N> for MoveToCenter<N> {
         // collapses this lane's solve to a verification pass.
         if let Some(center) = neighbor.solver.warm_state() {
             self.solver.seed(center);
+        }
+    }
+}
+
+impl<const N: usize> WarmStateCodec for MoveToCenter<N> {
+    // Layout: tag `0` (cold solver) or tag `1` followed by the warm
+    // iterate as 8·N little-endian f64 bit patterns. The warm iterate is
+    // the only per-run state the solver carries (scratch buffers and
+    // telemetry never feed back into the numerics), so round-tripping it
+    // bit-exactly makes a resumed run's decisions identical to the
+    // uninterrupted run's.
+    fn encode_warm_state(&self, out: &mut Vec<u8>) {
+        match self.solver.warm_state() {
+            None => out.push(0),
+            Some(center) => {
+                out.push(1);
+                encode_point(&center, out);
+            }
+        }
+    }
+
+    fn decode_warm_state(&mut self, bytes: &[u8]) -> Result<(), WarmStateError> {
+        match bytes.split_first() {
+            Some((0, [])) => Ok(()),
+            Some((0, _)) => Err(WarmStateError::new("trailing bytes after cold mtc tag")),
+            Some((1, rest)) => {
+                self.solver.seed(decode_point::<N>(rest)?);
+                Ok(())
+            }
+            Some((tag, _)) => Err(WarmStateError::new(format!("unknown mtc tag {tag}"))),
+            None => Err(WarmStateError::new("empty mtc warm-state blob")),
         }
     }
 }

@@ -18,7 +18,7 @@
 //!   the horizon. [`StreamingSim`] is the underlying push-style engine
 //!   with checkpoint/resume support for multi-million-step runs.
 
-use crate::algorithm::{AlgContext, OnlineAlgorithm};
+use crate::algorithm::{AlgContext, OnlineAlgorithm, WarmStateCodec, WarmStateError};
 use crate::cost::{service_cost, CostBreakdown, ServingOrder, StepCost};
 use crate::model::{Instance, Step, StreamParams};
 use msp_geometry::{step_towards, Point};
@@ -600,6 +600,56 @@ impl<const N: usize, A: OnlineAlgorithm<N>> StreamingSim<N, A> {
             service: checkpoint.service,
             max_step_used: checkpoint.max_step_used,
         }
+    }
+
+    /// Resumes a streaming run from `checkpoint` plus an encoded
+    /// warm-state blob — the durable-recovery counterpart of
+    /// [`StreamingSim::resume`]. The algorithm is reset (giving it the
+    /// context) and then restored from `warm_state` via its
+    /// [`WarmStateCodec`], so the continuation's decisions are bit-equal
+    /// to a run that was never interrupted; the blob typically comes from
+    /// a checkpoint journal (`msp-scenarios`' `journal` module).
+    ///
+    /// # Errors
+    /// Returns [`WarmStateError`] when the blob does not decode — journal
+    /// bytes are untrusted, so corruption is reported, never papered over.
+    pub fn resume_with_warm_state(
+        params: &StreamParams<N>,
+        mut algorithm: A,
+        delta: f64,
+        order: ServingOrder,
+        checkpoint: &StreamCheckpoint<N>,
+        warm_state: &[u8],
+    ) -> Result<Self, WarmStateError>
+    where
+        A: WarmStateCodec,
+    {
+        let ctx = AlgContext::from_params(params, delta);
+        algorithm.reset(&ctx);
+        algorithm.decode_warm_state(warm_state)?;
+        Ok(StreamingSim {
+            budget: ctx.online_budget(),
+            ctx,
+            order,
+            algorithm,
+            current: checkpoint.position,
+            steps: checkpoint.step,
+            movement: checkpoint.movement,
+            service: checkpoint.service,
+            max_step_used: checkpoint.max_step_used,
+        })
+    }
+
+    /// Encodes the algorithm's current warm state (see [`WarmStateCodec`])
+    /// — what a durable checkpoint writer persists next to
+    /// [`StreamingSim::checkpoint`].
+    pub fn warm_state_bytes(&self) -> Vec<u8>
+    where
+        A: WarmStateCodec,
+    {
+        let mut out = Vec::new();
+        self.algorithm.encode_warm_state(&mut out);
+        out
     }
 
     /// Advances the simulation by one step, returning that step's cost.

@@ -20,19 +20,40 @@
 //! * [`engine`] — glue to `msp_core::simulator::run_streaming` (O(1)
 //!   memory in the horizon) plus parallel multi-seed materialization and
 //!   trace recording.
+//! * [`journal`] — the crash-safety tier: a CRC-guarded, append-only
+//!   checkpoint journal from which an interrupted streaming session
+//!   resumes bit-equal to the uninterrupted run (spec in
+//!   `docs/CHECKPOINT_FORMAT.md`).
+//! * [`fault`] — deterministic, seed-replayable fault injection for
+//!   sinks, sources, and streams: every discovered failure is a
+//!   reproducible test case.
+//! * [`durable`] — temp-file + atomic-rename commit discipline, so a
+//!   final filename never points at half-written bytes.
 
+pub mod durable;
 pub mod engine;
+pub mod fault;
+pub mod journal;
 pub mod registry;
 pub mod stream;
 pub mod trace;
 
+pub use durable::{record_seeds_to_dir, record_stream_to_path, AtomicFile};
 pub use engine::{
     materialize, materialize_seeds, record_seeds, run_stream, run_stream_batch,
     run_stream_with_summary,
 };
-pub use registry::{lookup, lookup_or_err, registry, ScenarioError, ScenarioKnobs, ScenarioSpec};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultyRead, FaultyStream, FaultyWrite};
+pub use journal::{
+    recover_journal, resume_from_journal, DurableJournal, JournalError, JournalRecovery,
+    JournalWriter,
+};
+pub use registry::{
+    lookup, lookup_or_err, must_lookup, registry, RegistryError, ScenarioError, ScenarioKnobs,
+    ScenarioSpec,
+};
 pub use stream::{collect_instance, GeneratedStream, InstanceStream, RequestStream, StreamSteps};
 pub use trace::{
-    diff_streams, read_trace, record_stream, record_to_vec, StreamDiff, TraceError, TraceFormat,
-    TraceReader, TraceWriter,
+    diff_streams, read_trace, record_stream, record_to_vec, salvage_trace, SalvagedTrace,
+    StreamDiff, TraceError, TraceFormat, TraceReader, TraceWriter,
 };

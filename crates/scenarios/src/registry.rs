@@ -46,9 +46,20 @@ pub enum ScenarioError {
         /// The compile-time dimension the caller requested.
         requested: usize,
     },
+    /// A Moving-Client accessor was invoked on a family that has no
+    /// moving client.
+    NotMovingClient {
+        /// Scenario name.
+        scenario: &'static str,
+    },
     /// Trace encoding/decoding failed while building a replay scenario.
     Trace(TraceError),
 }
+
+/// Typed registry failure — every lookup/parsing path in this module
+/// returns `Result<_, RegistryError>` instead of panicking; examples that
+/// want the old crash-on-typo behavior use [`must_lookup`].
+pub type RegistryError = ScenarioError;
 
 impl std::fmt::Display for ScenarioError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -62,6 +73,9 @@ impl std::fmt::Display for ScenarioError {
                 f,
                 "scenario {scenario:?} is {expected}-dimensional, caller requested {requested}"
             ),
+            ScenarioError::NotMovingClient { scenario } => {
+                write!(f, "scenario {scenario:?} has no moving client")
+            }
             ScenarioError::Trace(e) => write!(f, "replay scenario failed: {e}"),
         }
     }
@@ -241,9 +255,11 @@ impl ScenarioSpec {
                 })
             }
             Family::DisasterWaypoint | Family::DisasterRunaway => {
-                let mc = self
-                    .moving_client::<N>(seed, knobs)
-                    .expect("moving-client family");
+                let mc =
+                    self.moving_client::<N>(seed, knobs)
+                        .ok_or(ScenarioError::NotMovingClient {
+                            scenario: self.name,
+                        })?;
                 Box::new(InstanceStream::new(mc.to_instance()))
             }
             Family::RegimeShiftLine => {
@@ -288,15 +304,13 @@ impl ScenarioSpec {
             Family::ReplayEdgeDrift => {
                 // Record the drift scenario through the binary trace format
                 // and replay it — the registry's own record/replay loop.
-                let mut inner = lookup("edge-drift")
-                    .expect("edge-drift is registered")
-                    .stream_with::<N>(
-                        seed,
-                        &ScenarioKnobs {
-                            delta: None,
-                            ..*knobs
-                        },
-                    )?;
+                let mut inner = lookup_or_err("edge-drift")?.stream_with::<N>(
+                    seed,
+                    &ScenarioKnobs {
+                        delta: None,
+                        ..*knobs
+                    },
+                )?;
                 let bytes = record_to_vec(inner.as_mut(), TraceFormat::Binary)?;
                 Box::new(TraceReader::<N, _>::open(Cursor::new(bytes))?)
             }
@@ -599,6 +613,22 @@ pub fn lookup_or_err(name: &str) -> Result<ScenarioSpec, ScenarioError> {
     lookup(name).ok_or_else(|| ScenarioError::UnknownScenario(name.to_string()))
 }
 
+/// Panicking [`lookup`] for examples and quick scripts, with the
+/// available names in the panic message.
+///
+/// # Panics
+/// Panics when no scenario has the requested name. Library code should
+/// use [`lookup_or_err`] and propagate the [`RegistryError`].
+pub fn must_lookup(name: &str) -> ScenarioSpec {
+    lookup(name).unwrap_or_else(|| {
+        let names: Vec<&str> = registry().iter().map(|s| s.name).collect();
+        panic!(
+            "unknown scenario {name:?}; registered: {}",
+            names.join(", ")
+        )
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -729,5 +759,24 @@ mod tests {
             lookup_or_err("no-such-thing"),
             Err(ScenarioError::UnknownScenario(_))
         ));
+    }
+
+    #[test]
+    fn must_lookup_finds_registered_scenarios() {
+        assert_eq!(must_lookup("edge-drift").name, "edge-drift");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scenario")]
+    fn must_lookup_panics_with_the_catalog() {
+        let _ = must_lookup("no-such-thing");
+    }
+
+    #[test]
+    fn moving_client_accessor_is_none_off_family() {
+        let spec = lookup("edge-drift").unwrap();
+        assert!(spec
+            .moving_client::<2>(0, &ScenarioKnobs::default())
+            .is_none());
     }
 }

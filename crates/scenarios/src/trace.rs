@@ -574,6 +574,76 @@ impl<const N: usize, R: BufRead + Seek> TraceReader<N, R> {
     pub fn steps_read(&self) -> usize {
         self.steps_read
     }
+
+    /// Salvage mode: drains the reader, collecting every step up to the
+    /// first corruption. Where [`TraceReader::try_next`] makes the caller
+    /// choose between per-step error handling and the panicking
+    /// [`RequestStream`] facade, this returns the valid prefix *and* the
+    /// structured error in one call — the recovery path for a trace whose
+    /// tail was torn by a crash: keep what is provably intact, report
+    /// what was lost.
+    pub fn read_valid_prefix(&mut self) -> SalvagedTrace<N> {
+        let mut steps = Vec::new();
+        let error = loop {
+            match self.try_next() {
+                Ok(Some(step)) => steps.push(step),
+                Ok(None) => break None,
+                // A frame cut off mid-read surfaces as `UnexpectedEof`
+                // from the reader; in salvage terms that *is* data
+                // corruption (a torn tail), not an I/O environment
+                // failure — classify it so callers can match on
+                // `Corrupt` for every form of damaged bytes.
+                Err(TraceError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                    break Some(corrupt(
+                        format!("step {}", steps.len()),
+                        format!("trace truncated mid-frame: {e}"),
+                    ));
+                }
+                Err(e) => break Some(e),
+            }
+        };
+        SalvagedTrace {
+            params: self.params,
+            steps,
+            error,
+        }
+    }
+}
+
+/// Result of a salvage read ([`TraceReader::read_valid_prefix`] /
+/// [`salvage_trace`]): everything decodable before the first corruption,
+/// plus the corruption report itself.
+#[derive(Debug)]
+pub struct SalvagedTrace<const N: usize> {
+    /// Model parameters from the (always fully validated) header.
+    pub params: StreamParams<N>,
+    /// Steps decoded before the first error — for a clean trace, all of
+    /// them.
+    pub steps: Vec<Step<N>>,
+    /// `Some` when decoding stopped at corrupt or truncated data; `None`
+    /// when the trace read cleanly through its trailer.
+    pub error: Option<TraceError>,
+}
+
+impl<const N: usize> SalvagedTrace<N> {
+    /// True when the whole trace decoded without error.
+    pub fn is_clean(&self) -> bool {
+        self.error.is_none()
+    }
+
+    /// Converts the salvaged prefix into an [`Instance`] (dropping the
+    /// error report).
+    pub fn into_instance(self) -> Instance<N> {
+        self.params.into_instance(self.steps)
+    }
+}
+
+/// Salvages a trace from raw bytes: the valid step prefix plus the first
+/// corruption, if any. Header damage is still a hard error — without a
+/// valid header there are no parameters to salvage under.
+pub fn salvage_trace<const N: usize>(bytes: &[u8]) -> Result<SalvagedTrace<N>, TraceError> {
+    let mut reader = TraceReader::<N, _>::open(Cursor::new(bytes))?;
+    Ok(reader.read_valid_prefix())
 }
 
 impl<const N: usize, R: BufRead + Seek> RequestStream<N> for TraceReader<N, R> {
@@ -601,7 +671,7 @@ impl<const N: usize, R: BufRead + Seek> RequestStream<N> for TraceReader<N, R> {
     }
 }
 
-fn validated_params<const N: usize>(
+pub(crate) fn validated_params<const N: usize>(
     d: f64,
     m: f64,
     start: Point<N>,
@@ -969,6 +1039,46 @@ mod tests {
         bytes[44..52].copy_from_slice(&nan);
         let err = read_trace::<2>(&bytes).unwrap_err();
         assert!(format!("{err}").contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn salvage_recovers_valid_prefix_of_torn_binary_trace() {
+        let inst = sample_instance();
+        let bytes =
+            record_to_vec(&mut InstanceStream::new(inst.clone()), TraceFormat::Binary).unwrap();
+        // Tear inside the last frame (trailer is 12 bytes; reach further
+        // back to land mid-frame).
+        let torn = &bytes[..bytes.len() - 20];
+        let salvaged = salvage_trace::<2>(torn).unwrap();
+        assert!(!salvaged.is_clean());
+        assert!(salvaged.steps.len() < inst.horizon());
+        // Every salvaged step is bit-equal to the source.
+        for (a, b) in salvaged.steps.iter().zip(&inst.steps) {
+            for (va, vb) in a.requests.iter().zip(&b.requests) {
+                assert_eq!(bits_of(va), bits_of(vb));
+            }
+        }
+        let err = salvaged.error.unwrap();
+        assert!(matches!(err, TraceError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn salvage_of_a_clean_trace_is_complete_and_clean() {
+        let inst = sample_instance();
+        for format in formats() {
+            let bytes = record_to_vec(&mut InstanceStream::new(inst.clone()), format).unwrap();
+            let salvaged = salvage_trace::<2>(&bytes).unwrap();
+            assert!(salvaged.is_clean(), "{format:?}");
+            assert_eq!(salvaged.steps.len(), inst.horizon(), "{format:?}");
+            assert_eq!(salvaged.into_instance().horizon(), inst.horizon());
+        }
+    }
+
+    #[test]
+    fn salvage_still_rejects_header_damage() {
+        let inst = sample_instance();
+        let bytes = record_to_vec(&mut InstanceStream::new(inst), TraceFormat::Binary).unwrap();
+        assert!(salvage_trace::<2>(&bytes[..8]).is_err());
     }
 
     #[test]
