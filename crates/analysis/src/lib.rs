@@ -19,9 +19,13 @@
 //! * [`sweep`] — an order-preserving parallel map over experiment cells on
 //!   a persistent work-stealing worker pool (`MSP_THREADS`-sizable, with
 //!   the scoped executor retained as parity oracle).
+//! * [`obs`] — the process-wide observability registry: lock-free sharded
+//!   counters, histograms, and span timers every tier reports through,
+//!   exportable as a deterministic JSON [`obs::MetricsSnapshot`].
 
 pub mod bootstrap;
 pub mod json;
+pub mod obs;
 pub mod plot;
 pub mod regression;
 pub mod stats;
@@ -30,10 +34,12 @@ pub mod table;
 
 pub use bootstrap::bootstrap_mean_ci;
 pub use json::Json;
+pub use obs::MetricsSnapshot;
 pub use plot::{ascii_chart, Series};
 pub use regression::{fit_power_law, linear_fit, LinearFit, PowerLawFit};
 pub use stats::{StreamingSummary, Summary};
 pub use sweep::{
-    parallel_for_each_mut, parallel_map, pool_threads, try_parallel_map_indexed, LaneError,
+    parallel_for_each_mut, parallel_map, pool_stats, pool_threads, try_parallel_map_indexed,
+    LaneError, PoolStats,
 };
 pub use table::Table;

@@ -58,6 +58,7 @@
 //! against, and the baseline the `executor_pooled_fanout` entry of the
 //! `BENCH_*.json` records measures the pool against.
 
+use crate::obs;
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
@@ -126,24 +127,33 @@ unsafe impl Send for Job {}
 unsafe impl Sync for Job {}
 
 impl Job {
-    /// Claims and runs items until the cursor is exhausted.
-    fn run_cursor(&self) {
+    /// Claims and runs items until the cursor is exhausted; returns how
+    /// many items this participant executed (the caller's share vs. the
+    /// pool workers' stolen share feeds the observability registry).
+    fn run_cursor(&self) -> usize {
         // SAFETY: see the `Send`/`Sync` justification above.
         let task = unsafe { &*self.task };
+        let mut ran = 0usize;
         loop {
             let i = self.cursor.fetch_add(1, Ordering::Relaxed);
             if i >= self.n {
                 break;
             }
             task(i);
+            ran += 1;
         }
+        ran
     }
 
     /// One worker's participation: run the stealing loop, then retire the
     /// ticket. Panics are captured into the job (first wins) and re-raised
     /// by the dispatcher; the worker thread itself survives.
     fn run_ticket(&self) {
-        let result = catch_unwind(AssertUnwindSafe(|| self.run_cursor()));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let stolen = self.run_cursor();
+            obs::add(obs::Counter::ExecutorItems, stolen as u64);
+            obs::add(obs::Counter::ExecutorSteals, stolen as u64);
+        }));
         let mut state = self.state.lock().expect("sweep job state poisoned");
         if let Err(payload) = result {
             // Park the cursor at the end so sibling workers stop claiming
@@ -216,6 +226,7 @@ impl Pool {
         for _ in 0..tickets {
             queue.push_back(Arc::clone(job));
         }
+        obs::gauge_max(obs::Gauge::ExecutorQueueDepthHwm, queue.len() as u64);
         drop(queue);
         for _ in 0..tickets {
             self.available.notify_one();
@@ -232,6 +243,7 @@ impl Pool {
         queue.retain(|queued| !Arc::ptr_eq(queued, job));
         let revoked = before - queue.len();
         drop(queue);
+        obs::add(obs::Counter::ExecutorTicketsRevoked, revoked as u64);
         if revoked > 0 {
             let mut state = job.state.lock().expect("sweep job state poisoned");
             state.outstanding -= revoked;
@@ -251,6 +263,50 @@ pub fn pool_threads() -> usize {
     Pool::global().threads
 }
 
+/// Point-in-time introspection of the persistent worker pool, read from
+/// the observability registry (see [`pool_stats`]).
+#[derive(Clone, Copy, Debug)]
+pub struct PoolStats {
+    /// Resolved pool size ([`pool_threads`]): the caller plus
+    /// `workers − 1` spawned threads.
+    pub workers: usize,
+    /// Fan-outs dispatched to the pool (inline single-thread runs
+    /// included).
+    pub dispatches: u64,
+    /// Work items executed under pool dispatch (caller + workers).
+    pub items: u64,
+    /// Work items claimed by pool workers — stolen from the caller's
+    /// cursor rather than run on the dispatching thread.
+    pub steals: u64,
+    /// Deepest ticket queue observed at submit time.
+    pub queue_depth_hwm: u64,
+    /// Nested fans collapsed to sequential on a sweep worker.
+    pub nested_collapses: u64,
+    /// Queued tickets revoked unclaimed when their dispatch finished.
+    pub tickets_revoked: u64,
+}
+
+/// Debug accessor for executor-pool introspection. The counters live in
+/// the [`crate::obs`] registry and populate only while metrics are
+/// enabled ([`crate::obs::enable`]); with metrics disabled every field
+/// except `workers` reads as its last collected value (zero in a fresh
+/// process). Reading is always safe and lock-free.
+pub fn pool_stats() -> PoolStats {
+    let snap = obs::snapshot();
+    let counter = |c: obs::Counter| snap.counter(c.name()).unwrap_or(0);
+    PoolStats {
+        workers: pool_threads(),
+        dispatches: counter(obs::Counter::ExecutorDispatches),
+        items: counter(obs::Counter::ExecutorItems),
+        steals: counter(obs::Counter::ExecutorSteals),
+        queue_depth_hwm: snap
+            .gauge(obs::Gauge::ExecutorQueueDepthHwm.name())
+            .unwrap_or(0),
+        nested_collapses: counter(obs::Counter::ExecutorNestedCollapses),
+        tickets_revoked: counter(obs::Counter::ExecutorTicketsRevoked),
+    }
+}
+
 /// The number of worker threads a sweep with the given request would
 /// actually use before clamping to the item count: 1 inside an existing
 /// sweep worker (nested fans run sequentially), [`pool_threads`] for `0`,
@@ -264,6 +320,7 @@ pub fn pool_threads() -> usize {
 /// [`parallel_for_each_mut`] will do.
 pub fn effective_threads(requested: usize) -> usize {
     if IN_SWEEP.with(Cell::get) {
+        obs::incr(obs::Counter::ExecutorNestedCollapses);
         1
     } else if requested == 0 {
         pool_threads()
@@ -278,6 +335,8 @@ pub fn effective_threads(requested: usize) -> usize {
 fn dispatch(n: usize, threads: usize, task: &(dyn Fn(usize) + Sync)) {
     let pool = Pool::global();
     pool.ensure_workers();
+    let span = obs::timer(obs::Hist::ExecutorDispatchNs);
+    obs::incr(obs::Counter::ExecutorDispatches);
     // Participants: the caller plus however many pool workers the request
     // and the item count justify.
     let tickets = threads.min(pool.threads).saturating_sub(1).min(n - 1);
@@ -288,6 +347,8 @@ fn dispatch(n: usize, threads: usize, task: &(dyn Fn(usize) + Sync)) {
         for i in 0..n {
             task(i);
         }
+        obs::add(obs::Counter::ExecutorItems, n as u64);
+        span.stop();
         return;
     }
 
@@ -314,7 +375,10 @@ fn dispatch(n: usize, threads: usize, task: &(dyn Fn(usize) + Sync)) {
     // worker so nested fans inside `task` run sequentially.
     let caller_result = {
         let was = IN_SWEEP.with(|flag| flag.replace(true));
-        let result = catch_unwind(AssertUnwindSafe(|| job.run_cursor()));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let ran = job.run_cursor();
+            obs::add(obs::Counter::ExecutorItems, ran as u64);
+        }));
         IN_SWEEP.with(|flag| flag.set(was));
         result
     };
@@ -848,6 +912,44 @@ mod tests {
                 assert!(rendered.contains("after 4 attempt(s)"), "{rendered}");
             }
             other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pool_stats_reflect_a_fan() {
+        // Sibling tests share the process-global registry, so compare
+        // before/after deltas (concurrent fans only push counters up).
+        obs::enable();
+        let before = pool_stats();
+        let items: Vec<usize> = (0..128).collect();
+        let out = parallel_map_indexed(&items, 0, |i, x| i + x);
+        assert_eq!(out.len(), 128);
+        let after = pool_stats();
+        assert_eq!(after.workers, pool_threads());
+        if pool_threads() >= 2 {
+            assert!(
+                after.dispatches > before.dispatches,
+                "a multi-thread fan must count a dispatch: {before:?} -> {after:?}"
+            );
+            assert!(
+                after.items >= before.items + 128,
+                "all 128 items must be counted: {before:?} -> {after:?}"
+            );
+            assert!(after.queue_depth_hwm >= 1, "tickets were queued");
+
+            // A fan nested inside a sweep worker must count a collapse
+            // (with a 1-thread pool the outer fan is sequential and never
+            // flags its thread, so there is nothing to collapse).
+            let collapsed_before = pool_stats().nested_collapses;
+            let outer: Vec<usize> = (0..4).collect();
+            parallel_map(&outer, |_| {
+                let inner = [0usize; 4];
+                parallel_map(&inner, |x| *x)
+            });
+            assert!(
+                pool_stats().nested_collapses > collapsed_before,
+                "nested fans inside workers collapse and are counted"
+            );
         }
     }
 

@@ -1,4 +1,4 @@
-//! Emits the machine-readable perf trajectory record (`BENCH_5.json`):
+//! Emits the machine-readable perf trajectory record (`BENCH_7.json`):
 //! wall-clock comparisons of the tracked fast paths against their
 //! baselines, so future optimization PRs have measured numbers to beat.
 //! `docs/BENCHMARKS.md` documents the record format, the regeneration
@@ -36,7 +36,12 @@
 //! * `cross_instance_warm_fan` (PR 5) — a warm-chained seed fan
 //!   (`run_with_warm_hint`, each instance seeded by its predecessor's
 //!   converged solver state) vs cold per-instance runs over
-//!   seed-adjacent planar instances.
+//!   seed-adjacent planar instances,
+//! * `obs_overhead_streaming` (PR 7) — the same streaming MtC sweep with
+//!   the [`msp_analysis::obs`] metrics registry **enabled** (baseline)
+//!   vs **disabled** (fast): the instrumentation tax on the hot path.
+//!   The contract is ≈ 1× — results are bit-equal either way (asserted)
+//!   and the enabled path must stay within ~1% of the disabled one.
 //!
 //! Usage:
 //!   `cargo run --release -p msp-bench --bin perf_report [-- FLAGS] [out.json]`
@@ -726,6 +731,49 @@ fn warm_fan_comparison(sh: &Shapes) -> Comparison {
     }
 }
 
+/// PR 7: the observability tax. One streaming MtC pass over the sweep
+/// instance with the process-wide metrics registry enabled (baseline)
+/// vs disabled (fast). Instrumentation is read-only and batched
+/// (`OBS_STEP_FLUSH`), so the two sides must produce bit-equal costs
+/// (asserted) and time within ~1% of each other — the recorded speedup
+/// hovers at 1× and the 0.8× floor guards against a future probe
+/// landing un-batched in the hot path.
+fn obs_overhead_comparison(sh: &Shapes) -> Comparison {
+    use msp_analysis::obs;
+    let inst = sweep_instance(sh);
+    let params = inst.params();
+    let pass = || {
+        run_streaming(
+            &params,
+            inst.steps.iter().cloned(),
+            MoveToCenter::new(),
+            0.2,
+            ServingOrder::MoveFirst,
+        )
+        .total_cost()
+    };
+    obs::enable();
+    let baseline_ns = time_ns(sh.reps, pass);
+    let cost_enabled = pass();
+    obs::disable();
+    let fast_ns = time_ns(sh.reps, pass);
+    let cost_disabled = pass();
+    assert_eq!(
+        cost_enabled.to_bits(),
+        cost_disabled.to_bits(),
+        "metrics toggling changed streaming results"
+    );
+    Comparison {
+        name: "obs_overhead_streaming".into(),
+        baseline_ns,
+        fast_ns,
+        detail: format!(
+            "one streaming MoveToCenter pass over T={} with the obs registry enabled              (baseline) vs disabled (fast); bit-equal costs asserted, contract ≈ 1×",
+            sh.sweep_horizon
+        ),
+    }
+}
+
 /// Extracts `(name, speedup)` pairs from a previously recorded report.
 /// The format is our own compact emitter's (`"name":"…"` precedes
 /// `"speedup":…` inside each bench object, keys alphabetical), so a
@@ -771,7 +819,7 @@ Flags:
                      of the value recorded under the same name in <file>
   --help             this message
 
-The default output is BENCH_5.json. docs/BENCHMARKS.md explains how the
+The default output is BENCH_7.json. docs/BENCHMARKS.md explains how the
 BENCH_*.json records are produced, what the 0.8x CI gate means, and how to
 regenerate the references after a hardware change.";
 
@@ -795,7 +843,7 @@ fn main() {
         if quick {
             "bench-ci.json".into()
         } else {
-            "BENCH_5.json".into()
+            "BENCH_7.json".into()
         }
     });
     let sh = if quick {
@@ -832,6 +880,7 @@ fn main() {
         grid_dt_par_comparison(sh.grid_cells[0], &sh),
         grid_dt_par_comparison(sh.grid_cells[1], &sh),
         warm_fan_comparison(&sh),
+        obs_overhead_comparison(&sh),
     ];
 
     for c in &comparisons {
@@ -845,7 +894,7 @@ fn main() {
     }
 
     let json = Json::obj([
-        ("pr", Json::Num(5.0)),
+        ("pr", Json::Num(7.0)),
         ("quick", Json::from(quick)),
         (
             "tier1",

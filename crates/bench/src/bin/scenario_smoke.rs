@@ -12,8 +12,15 @@
 //! from [`msp_scenarios::journal::recover_journal`] bit-equal to the
 //! uninterrupted run.
 //!
-//! Usage: `cargo run --release -p msp-bench --bin scenario_smoke [--fault-seed <n>]`
+//! With `--metrics` the run enables the process-wide observability
+//! registry ([`msp_analysis::obs`]), validates the resulting
+//! [`msp_analysis::MetricsSnapshot`] (every counter present, totals
+//! monotone across the run, no timestamps — the snapshot must be
+//! deterministic modulo timing histograms), and dumps it as JSON.
+//!
+//! Usage: `cargo run --release -p msp-bench --bin scenario_smoke [--fault-seed <n>] [--metrics]`
 
+use msp_analysis::obs;
 use msp_core::cost::ServingOrder;
 use msp_core::mtc::MoveToCenter;
 use msp_core::simulator::StreamingSim;
@@ -191,11 +198,62 @@ fn fault_smoke_one(spec: &ScenarioSpec, fault_seed: u64) -> Result<(), String> {
     }
 }
 
+/// Schema checks on the post-run snapshot: every declared metric must be
+/// present, totals must dominate the pre-run snapshot (counters are
+/// monotone), and the rendered JSON must carry no wall-clock fields —
+/// the contract `docs/OBSERVABILITY.md` pins.
+fn validate_metrics(
+    before: &msp_analysis::MetricsSnapshot,
+    after: &msp_analysis::MetricsSnapshot,
+) -> Result<(), String> {
+    if !after.enabled {
+        return Err("snapshot taken with the registry disabled".into());
+    }
+    for c in obs::Counter::ALL {
+        if after.counter(c.name()).is_none() {
+            return Err(format!("counter {} missing from snapshot", c.name()));
+        }
+    }
+    for g in obs::Gauge::ALL {
+        if after.gauge(g.name()).is_none() {
+            return Err(format!("gauge {} missing from snapshot", g.name()));
+        }
+    }
+    for h in obs::Hist::ALL {
+        if after.hist(h.name()).is_none() {
+            return Err(format!("histogram {} missing from snapshot", h.name()));
+        }
+    }
+    if !after.dominates(before) {
+        return Err("metrics regressed across the smoke run (counters must be monotone)".into());
+    }
+    let sessions_before = before.counter("stream.sessions").unwrap_or(0);
+    let sessions_after = after.counter("stream.sessions").unwrap_or(0);
+    if sessions_after <= sessions_before {
+        return Err("smoke run recorded no streaming sessions".into());
+    }
+    let rendered = after.to_json().to_string();
+    if !rendered.contains(&format!("\"schema\":\"{}\"", obs::SCHEMA)) {
+        return Err(format!(
+            "snapshot JSON lacks the {} schema tag",
+            obs::SCHEMA
+        ));
+    }
+    for stamp in ["timestamp", "wall_clock", "\"time\":", "date"] {
+        if rendered.contains(stamp) {
+            return Err(format!("snapshot JSON must not carry {stamp}"));
+        }
+    }
+    Ok(())
+}
+
 fn main() {
     let mut fault_seed: Option<u64> = None;
+    let mut metrics = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--metrics" => metrics = true,
             "--fault-seed" => {
                 let raw = args.next().unwrap_or_else(|| {
                     eprintln!("--fault-seed requires a value");
@@ -212,6 +270,11 @@ fn main() {
             }
         }
     }
+
+    let metrics_before = metrics.then(|| {
+        obs::enable();
+        obs::snapshot()
+    });
 
     let specs = registry();
     println!(
@@ -231,6 +294,19 @@ fn main() {
         for spec in &specs {
             if let Err(e) = fault_smoke_one(spec, seed) {
                 eprintln!("FAIL {e}");
+                failures += 1;
+            }
+        }
+    }
+    if let Some(before) = &metrics_before {
+        let after = obs::snapshot();
+        match validate_metrics(before, &after) {
+            Ok(()) => {
+                println!("metrics snapshot ({} schema) validated:", obs::SCHEMA);
+                println!("{}", after.to_json());
+            }
+            Err(e) => {
+                eprintln!("FAIL metrics: {e}");
                 failures += 1;
             }
         }

@@ -24,6 +24,7 @@
 use crate::algorithm::{
     decode_point, encode_point, AlgContext, OnlineAlgorithm, WarmStateCodec, WarmStateError,
 };
+use msp_analysis::obs;
 use msp_geometry::median::{
     centroid, weighted_center, MedianOptions, MedianSolver, MedianTelemetry,
 };
@@ -87,6 +88,28 @@ impl<const N: usize> MoveToCenter<N> {
     }
 }
 
+/// The observability registry's aggregate view of median-solver activity,
+/// as a [`MedianTelemetry`] — the same struct
+/// [`MoveToCenter::median_telemetry`] returns for one solver instance,
+/// deduplicated at the process level: every `decide` publishes its solver
+/// deltas into `msp_analysis::obs` (while metrics are enabled), so the
+/// registry totals are the sum over all solver instances.
+/// `last_iterations` is inherently per-solver and reads as 0 here.
+pub fn median_telemetry_view(snapshot: &obs::MetricsSnapshot) -> MedianTelemetry {
+    MedianTelemetry {
+        solves: snapshot
+            .counter(obs::Counter::MedianSolves.name())
+            .unwrap_or(0),
+        iterations: snapshot
+            .counter(obs::Counter::MedianIterations.name())
+            .unwrap_or(0),
+        warm_starts: snapshot
+            .counter(obs::Counter::MedianWarmStarts.name())
+            .unwrap_or(0),
+        last_iterations: 0,
+    }
+}
+
 impl<const N: usize> Default for MoveToCenter<N> {
     fn default() -> Self {
         Self::new()
@@ -126,7 +149,26 @@ impl<const N: usize> OnlineAlgorithm<N> for MoveToCenter<N> {
                 // field even when callers mutate it between decisions
                 // without an intervening reset (a cheap Copy assignment).
                 self.solver.set_options(self.median_opts);
-                self.solver.center(requests, current)
+                // Route the solver's telemetry deltas through the
+                // observability registry (msp-geometry sits below
+                // msp-analysis in the crate graph, so the bridge lives
+                // here). Publishing counters never feeds back into the
+                // solve: decisions are bit-equal with metrics on or off.
+                let before = obs::enabled().then_some(self.solver.telemetry);
+                let c = self.solver.center(requests, current);
+                if let Some(before) = before {
+                    let t = self.solver.telemetry;
+                    obs::add(obs::Counter::MedianSolves, t.solves - before.solves);
+                    obs::add(
+                        obs::Counter::MedianIterations,
+                        t.iterations - before.iterations,
+                    );
+                    obs::add(
+                        obs::Counter::MedianWarmStarts,
+                        t.warm_starts - before.warm_starts,
+                    );
+                }
+                c
             }
             CenterTarget::Centroid => centroid(requests),
         };
@@ -183,7 +225,7 @@ impl<const N: usize> WarmStateCodec for MoveToCenter<N> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{Instance, Step};
+    use crate::model::{Instance, Step, StreamParams};
     use msp_geometry::{P1, P2};
 
     fn ctx2(d: f64, m: f64, delta: f64) -> AlgContext<2> {
@@ -332,6 +374,28 @@ mod tests {
         lane_c.warm_hint(&fresh);
         let _ = lane_c.decide(&P2::origin(), &reqs, &ctx);
         assert_eq!(lane_c.median_telemetry().warm_starts, 0);
+    }
+
+    #[test]
+    fn decide_routes_median_telemetry_through_the_registry() {
+        // The registry is process-global and sibling tests solve medians
+        // concurrently, so assert growth deltas (≥), never exact counts.
+        obs::enable();
+        let mut mtc = MoveToCenter::<2>::new();
+        let ctx = AlgContext::from_params(&StreamParams::new(4.0, 1.0, P2::origin()), 0.1);
+        mtc.reset(&ctx);
+        let before = median_telemetry_view(&obs::snapshot());
+        let reqs = [P2::xy(1.0, 0.4), P2::xy(-0.3, 1.2), P2::xy(0.8, -0.9)];
+        let _ = mtc.decide(&P2::origin(), &reqs, &ctx);
+        let after = median_telemetry_view(&obs::snapshot());
+        let local = mtc.median_telemetry();
+        assert!(local.solves >= 1);
+        assert!(
+            after.solves >= before.solves + local.solves,
+            "registry view must absorb this solver's activity: {before:?} -> {after:?}"
+        );
+        assert!(after.iterations >= before.iterations + local.iterations);
+        assert_eq!(after.last_iterations, 0, "inherently per-solver");
     }
 
     #[test]

@@ -21,7 +21,17 @@
 use crate::algorithm::{AlgContext, OnlineAlgorithm, WarmStateCodec, WarmStateError};
 use crate::cost::{service_cost, CostBreakdown, ServingOrder, StepCost};
 use crate::model::{Instance, Step, StreamParams};
+use msp_analysis::obs;
 use msp_geometry::{step_towards, Point};
+
+/// Granularity at which [`StreamingSim::feed`] flushes its local step
+/// count into the observability registry: one shared-counter add per 64
+/// steps keeps the enabled-metrics hot path well under the 1% overhead
+/// budget even for trivial algorithms, at the cost of the live
+/// `stream.steps` counter trailing reality by at most 63 steps (the
+/// remainder is flushed by [`StreamingSim::finish`] /
+/// [`StreamingSim::into_parts`]).
+const OBS_STEP_FLUSH: u32 = 64;
 
 /// Outcome of one simulated run.
 #[derive(Clone, Debug)]
@@ -551,6 +561,9 @@ pub struct StreamingSim<const N: usize, A> {
     movement: f64,
     service: f64,
     max_step_used: f64,
+    /// Steps fed since the last observability flush (metrics-only state:
+    /// never checkpointed, never compared, never affects a trajectory).
+    obs_pending: u32,
 }
 
 impl<const N: usize, A: OnlineAlgorithm<N>> StreamingSim<N, A> {
@@ -564,6 +577,7 @@ impl<const N: usize, A: OnlineAlgorithm<N>> StreamingSim<N, A> {
     ) -> Self {
         let ctx = AlgContext::from_params(params, delta);
         algorithm.reset(&ctx);
+        obs::incr(obs::Counter::StreamSessions);
         StreamingSim {
             budget: ctx.online_budget(),
             ctx,
@@ -574,6 +588,7 @@ impl<const N: usize, A: OnlineAlgorithm<N>> StreamingSim<N, A> {
             movement: 0.0,
             service: 0.0,
             max_step_used: 0.0,
+            obs_pending: 0,
         }
     }
 
@@ -589,6 +604,7 @@ impl<const N: usize, A: OnlineAlgorithm<N>> StreamingSim<N, A> {
         checkpoint: &StreamCheckpoint<N>,
     ) -> Self {
         let ctx = AlgContext::from_params(params, delta);
+        obs::incr(obs::Counter::StreamSessions);
         StreamingSim {
             budget: ctx.online_budget(),
             ctx,
@@ -599,6 +615,7 @@ impl<const N: usize, A: OnlineAlgorithm<N>> StreamingSim<N, A> {
             movement: checkpoint.movement,
             service: checkpoint.service,
             max_step_used: checkpoint.max_step_used,
+            obs_pending: 0,
         }
     }
 
@@ -627,6 +644,7 @@ impl<const N: usize, A: OnlineAlgorithm<N>> StreamingSim<N, A> {
         let ctx = AlgContext::from_params(params, delta);
         algorithm.reset(&ctx);
         algorithm.decode_warm_state(warm_state)?;
+        obs::incr(obs::Counter::StreamSessions);
         Ok(StreamingSim {
             budget: ctx.online_budget(),
             ctx,
@@ -637,6 +655,7 @@ impl<const N: usize, A: OnlineAlgorithm<N>> StreamingSim<N, A> {
             movement: checkpoint.movement,
             service: checkpoint.service,
             max_step_used: checkpoint.max_step_used,
+            obs_pending: 0,
         })
     }
 
@@ -675,6 +694,11 @@ impl<const N: usize, A: OnlineAlgorithm<N>> StreamingSim<N, A> {
         self.max_step_used = self.max_step_used.max(step_len);
         self.current = next;
         self.steps += 1;
+        self.obs_pending += 1;
+        if self.obs_pending >= OBS_STEP_FLUSH {
+            obs::add(obs::Counter::StreamSteps, u64::from(self.obs_pending));
+            self.obs_pending = 0;
+        }
         StepCost { movement, service }
     }
 
@@ -700,6 +724,7 @@ impl<const N: usize, A: OnlineAlgorithm<N>> StreamingSim<N, A> {
 
     /// Snapshot of the resumable run state.
     pub fn checkpoint(&self) -> StreamCheckpoint<N> {
+        obs::incr(obs::Counter::StreamCheckpoints);
         StreamCheckpoint {
             step: self.steps,
             position: self.current,
@@ -712,6 +737,7 @@ impl<const N: usize, A: OnlineAlgorithm<N>> StreamingSim<N, A> {
     /// Splits the run into the (warm) algorithm and the checkpoint — what
     /// a caller persists to resume later via [`StreamingSim::resume`].
     pub fn into_parts(self) -> (A, StreamCheckpoint<N>) {
+        obs::add(obs::Counter::StreamSteps, u64::from(self.obs_pending));
         let cp = StreamCheckpoint {
             step: self.steps,
             position: self.current,
@@ -724,6 +750,7 @@ impl<const N: usize, A: OnlineAlgorithm<N>> StreamingSim<N, A> {
 
     /// Finalizes the run.
     pub fn finish(self) -> StreamRunResult<N> {
+        obs::add(obs::Counter::StreamSteps, u64::from(self.obs_pending));
         StreamRunResult {
             algorithm: self.algorithm.name(),
             order: self.order,
@@ -929,6 +956,8 @@ where
             break;
         }
         steps_seen += block.len();
+        obs::incr(obs::Counter::StreamBlocks);
+        obs::record(obs::Hist::StreamBlockFill, block.len() as u64);
         let block_ref = &block;
         msp_analysis::sweep::parallel_for_each_mut(&mut groups, opts.threads, |_, group| {
             advance_lane_group(group, block_ref, orders, opts.cross_lane_seed);

@@ -86,6 +86,7 @@
 //! preserved for every request count.
 
 use crate::envelope::ConeEnvelope;
+use msp_analysis::obs;
 use msp_core::cost::ServingOrder;
 use msp_core::model::Instance;
 use msp_geometry::{Aabb, Point, SoaPoints};
@@ -477,6 +478,7 @@ impl<const N: usize> GridDp<N> {
         kernel: TransitionKernel,
     ) -> f64 {
         self.check_instance(instance);
+        obs::incr(obs::Counter::GridSolves);
         let kernel = match kernel {
             // Degenerate float grids (spacing under one ulp) cannot host
             // the envelope sweep; serve them with the windowed scan.
@@ -488,6 +490,8 @@ impl<const N: usize> GridDp<N> {
         self.reset_initial_costs(&instance.start);
         let window = self.axis_windows();
         for step in &instance.steps {
+            obs::incr(obs::Counter::GridSteps);
+            let step_span = obs::timer(obs::Hist::GridStepNs);
             self.fill_service_costs(&step.requests);
             match kernel {
                 TransitionKernel::AllPairs => self.transition_all_pairs(instance.d, order),
@@ -496,6 +500,7 @@ impl<const N: usize> GridDp<N> {
                     self.transition_distance_transform(instance.d, order, &window)
                 }
             }
+            step_span.stop();
             std::mem::swap(&mut self.cost, &mut self.next);
         }
         self.cost.iter().copied().fold(f64::INFINITY, f64::min)
@@ -522,6 +527,7 @@ impl<const N: usize> GridDp<N> {
         let (cost, next, serve) = (&self.cost, &mut self.next, &self.serve);
         let nodes = &self.arena.nodes;
         let reach = self.arena.reach;
+        let mut scanned = 0u64;
         for c in next.iter_mut() {
             *c = inf;
         }
@@ -529,6 +535,7 @@ impl<const N: usize> GridDp<N> {
             if cost[j].is_infinite() {
                 continue;
             }
+            scanned += nodes.len() as u64;
             for (k, pk) in nodes.iter().enumerate() {
                 let move_dist = pj.distance(pk);
                 if move_dist > reach {
@@ -543,6 +550,7 @@ impl<const N: usize> GridDp<N> {
                 }
             }
         }
+        obs::add(obs::Counter::GridAllPairsCells, scanned);
     }
 
     /// One step of the radius-pruned neighbor-window scan: for each live
@@ -562,6 +570,7 @@ impl<const N: usize> GridDp<N> {
         for c in next.iter_mut() {
             *c = inf;
         }
+        let mut scanned = 0u64;
         for (j, pj) in nodes.iter().enumerate() {
             if cost[j].is_infinite() {
                 continue;
@@ -570,12 +579,15 @@ impl<const N: usize> GridDp<N> {
             let mut lo = [0usize; N];
             let mut hi = [0usize; N];
             let mut cur = [0usize; N];
+            let mut vol = 1u64;
             for i in 0..N {
                 let c = (j / stride[i]) % cells_per_axis;
                 lo[i] = c.saturating_sub(window[i]);
                 hi[i] = (c + window[i]).min(cells_per_axis - 1);
                 cur[i] = lo[i];
+                vol *= (hi[i] - lo[i] + 1) as u64;
             }
+            scanned += vol;
             // Odometer over the neighbor box.
             loop {
                 let mut k = 0usize;
@@ -611,6 +623,7 @@ impl<const N: usize> GridDp<N> {
                 }
             }
         }
+        obs::add(obs::Counter::GridWindowedCells, scanned);
     }
 
     /// One step of the lower-envelope distance transform. See the
@@ -788,6 +801,12 @@ fn dt_row<const N: usize>(
     /// left for the suffix sweep.
     const DONE: u32 = u32::MAX;
 
+    // Metrics-only tallies, flushed to the registry once per row so the
+    // hot sweeps touch no atomics.
+    let dt_pairs;
+    let mut suffix_cells = 0u64;
+    let mut brute_cells = 0u64;
+
     {
         // Decode the target row's rest-axis indices and clamp the
         // per-axis source window (axes 1..N live in row space with
@@ -845,6 +864,7 @@ fn dt_row<const N: usize>(
         // Nearest rows first: the frontier row tightens early, so the
         // rim pairs usually fail the improvement bound outright.
         pair_buf.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        dt_pairs = pair_buf.len() as u64;
 
         let tbase = rt * n0;
         for &(c2, rs) in pair_buf.iter() {
@@ -989,6 +1009,7 @@ fn dt_row<const N: usize>(
                             None => {
                                 // N ≥ 3 ulp-band winner: resolve by
                                 // the exact window scan.
+                                brute_cells += (bf - af) as u64;
                                 nrow[k0] = brute(af, bf - 1, k0, nrow[k0]);
                                 mark[k0] = DONE;
                             }
@@ -1010,6 +1031,7 @@ fn dt_row<const N: usize>(
             // abscissas. Only the deferred index range is walked, and
             // sources right of the largest deferred cell's right edge
             // are omitted (no deferred cell could admit them).
+            suffix_cells += unresolved as u64;
             if unresolved > 0 {
                 env.begin(d, c2);
                 let mut af2 = max_unres + 1; // left feasibility edge
@@ -1039,18 +1061,27 @@ fn dt_row<const N: usize>(
                                 }
                             }
                             None => {
+                                brute_cells += (bfk + 1 - af2) as u64;
                                 nrow[k0] = brute(af2, bfk, k0, nrow[k0]);
                             }
                         },
                         _ => {
                             // Both winners outside the window (or no
                             // live source): exact scan.
+                            brute_cells += (bfk + 1 - af2) as u64;
                             nrow[k0] = brute(af2, bfk, k0, nrow[k0]);
                         }
                     }
                 }
             }
         }
+    }
+
+    if obs::enabled() {
+        obs::incr(obs::Counter::GridDtRows);
+        obs::add(obs::Counter::GridDtPairs, dt_pairs);
+        obs::add(obs::Counter::GridDtSuffixCells, suffix_cells);
+        obs::add(obs::Counter::GridDtBruteCells, brute_cells);
     }
 }
 

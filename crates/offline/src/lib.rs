@@ -34,15 +34,22 @@
 //! * [`envelope`] — the 1-D lower-envelope-of-cones primitive
 //!   (Felzenszwalb–Huttenlocher sweep adapted to the Euclidean metric)
 //!   that powers the distance-transform kernel.
+//! * [`probe`] — *online* certified **lower** bounds on the offline
+//!   optimum ([`probe::RatioProbe`]): per-axis projection optima via
+//!   [`IncrementalLineOpt`] plus windowed deflated grid DPs, so a live
+//!   streaming session can report `alg_cost / OPT_lower_bound` without
+//!   ever seeing the future.
 
 pub mod convex;
 pub mod envelope;
 pub mod grid;
 pub mod line;
+pub mod probe;
 pub mod pwl;
 
 pub use convex::{ConvexSolver, ConvexSolverOptions};
 pub use envelope::ConeEnvelope;
 pub use grid::{grid_optimum, grid_optimum_unpruned, GridDp, TransitionKernel};
 pub use line::{solve_line, solve_line_with_trajectory, IncrementalLineOpt, LineSolution};
+pub use probe::{run_streaming_probed, ProbeOptions, RatioProbe, RatioSample};
 pub use pwl::ConvexPwl;

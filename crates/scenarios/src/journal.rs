@@ -21,6 +21,7 @@
 
 use crate::durable::AtomicFile;
 use crate::trace::validated_params;
+use msp_analysis::obs;
 use msp_core::algorithm::{OnlineAlgorithm, WarmStateCodec};
 use msp_core::cost::ServingOrder;
 use msp_core::model::StreamParams;
@@ -189,6 +190,9 @@ fn encode_record<const N: usize>(
 pub struct JournalWriter<const N: usize, W: Write> {
     sink: W,
     next_generation: u64,
+    /// Metrics-only state: step of the last appended checkpoint, for the
+    /// checkpoint-cadence histogram. Never serialized, never compared.
+    obs_last_step: Option<u64>,
 }
 
 impl<const N: usize, W: Write> JournalWriter<N, W> {
@@ -213,6 +217,7 @@ impl<const N: usize, W: Write> JournalWriter<N, W> {
         Ok(JournalWriter {
             sink,
             next_generation: 0,
+            obs_last_step: None,
         })
     }
 
@@ -223,11 +228,15 @@ impl<const N: usize, W: Write> JournalWriter<N, W> {
         checkpoint: &StreamCheckpoint<N>,
         warm_state: &[u8],
     ) -> Result<u64, JournalError> {
+        let span = obs::timer(obs::Hist::JournalAppendNs);
         let generation = self.next_generation;
         self.sink
             .write_all(&encode_record(generation, checkpoint, warm_state))?;
         self.sink.flush()?;
         self.next_generation += 1;
+        span.stop();
+        obs::incr(obs::Counter::JournalAppends);
+        self.observe_gap(checkpoint.step as u64);
         Ok(generation)
     }
 
@@ -248,6 +257,18 @@ impl<const N: usize, W: Write> JournalWriter<N, W> {
     /// Returns the underlying sink.
     pub fn into_inner(self) -> W {
         self.sink
+    }
+
+    /// Records the step gap since the previous append into the
+    /// checkpoint-cadence histogram (metrics only).
+    fn observe_gap(&mut self, step: u64) {
+        if let Some(prev) = self.obs_last_step {
+            obs::record(
+                obs::Hist::JournalCheckpointGapSteps,
+                step.saturating_sub(prev),
+            );
+        }
+        self.obs_last_step = Some(step);
     }
 }
 
@@ -345,6 +366,7 @@ fn parse_record<const N: usize>(
     );
     let actual_crc = crc32(&bytes[start..offset - 4]);
     if stored_crc != actual_crc {
+        obs::incr(obs::Counter::JournalCrcRejects);
         return Err(corrupt(
             at(),
             format!("CRC mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"),
@@ -443,6 +465,7 @@ pub fn recover_journal<const N: usize>(bytes: &[u8]) -> Result<JournalRecovery<N
                 offset = next;
             }
             Err(e) => {
+                obs::incr(obs::Counter::JournalTornTails);
                 torn_tail = Some(e.to_string());
                 break;
             }
@@ -501,6 +524,9 @@ pub struct DurableJournal<const N: usize> {
     path: PathBuf,
     file: File,
     next_generation: u64,
+    /// Metrics-only state: step of the last appended checkpoint (see
+    /// [`JournalWriter`]'s counterpart).
+    obs_last_step: Option<u64>,
 }
 
 impl<const N: usize> DurableJournal<N> {
@@ -526,6 +552,7 @@ impl<const N: usize> DurableJournal<N> {
             path,
             file,
             next_generation: 0,
+            obs_last_step: None,
         })
     }
 
@@ -536,11 +563,25 @@ impl<const N: usize> DurableJournal<N> {
         checkpoint: &StreamCheckpoint<N>,
         warm_state: &[u8],
     ) -> Result<u64, JournalError> {
+        let span = obs::timer(obs::Hist::JournalAppendNs);
         let generation = self.next_generation;
         self.file
             .write_all(&encode_record(generation, checkpoint, warm_state))?;
-        self.file.sync_data()?;
+        {
+            let fsync_span = obs::timer(obs::Hist::JournalFsyncNs);
+            self.file.sync_data()?;
+            fsync_span.stop();
+        }
         self.next_generation += 1;
+        span.stop();
+        obs::incr(obs::Counter::JournalAppends);
+        if let Some(prev) = self.obs_last_step {
+            obs::record(
+                obs::Hist::JournalCheckpointGapSteps,
+                (checkpoint.step as u64).saturating_sub(prev),
+            );
+        }
+        self.obs_last_step = Some(checkpoint.step as u64);
         Ok(generation)
     }
 
