@@ -5,8 +5,9 @@
 //! Every tier of the system reports through this module — the executor
 //! pool (`sweep`), the grid DP and its distance-transform kernel
 //! (`msp-offline`), the median solver (via `msp-core`'s Move-to-Center),
-//! the streaming simulator, the checkpoint journal (`msp-scenarios`),
-//! and the live ratio probe. The registry is the *only* shared state:
+//! the streaming simulator, the checkpoint journal and the session
+//! service (`msp-scenarios` — the `service.*` metric family), and the
+//! live ratio probe. The registry is the *only* shared state:
 //! metric identities are a closed enum, storage is static, and nothing
 //! here allocates or locks on the hot path.
 //!
@@ -101,6 +102,8 @@ metric_enum! {
         ExecutorNestedCollapses => "executor.nested_collapses",
         /// Queued participation tickets revoked unclaimed at dispatch end.
         ExecutorTicketsRevoked => "executor.tickets_revoked",
+        /// Supervised-lane retry attempts after a failure or panic.
+        ExecutorRetries => "executor.retries",
         /// Grid-DP solves started (`GridDp::solve_with`).
         GridSolves => "grid_dp.solves",
         /// Grid-DP transition steps executed.
@@ -141,6 +144,19 @@ metric_enum! {
         ProbeBlocks => "probe.blocks",
         /// Windowed grid lower bounds solved by ratio probes.
         ProbeGridBounds => "probe.grid_bounds",
+        /// Sessions opened (or re-opened after recovery) by a session
+        /// service (the `service.*` metric family; `docs/SESSIONS.md`).
+        ServiceSessions => "service.sessions",
+        /// Sessions evicted from residency (to warm state or journal).
+        ServiceEvictions => "service.evictions",
+        /// Evictions that spilled the session to its durable journal.
+        ServiceSpills => "service.spills",
+        /// Cold sessions rebuilt into live simulations on access.
+        ServiceResumes => "service.resumes",
+        /// Sessions quarantined after exhausting their retry budget.
+        ServiceQuarantines => "service.quarantines",
+        /// Loud durable→memory-only degradations on journal errors.
+        ServiceDegradations => "service.degradations",
     }
 }
 
@@ -149,6 +165,8 @@ metric_enum! {
     Gauge {
         /// Deepest executor ticket queue observed at submit time.
         ExecutorQueueDepthHwm => "executor.queue_depth_hwm",
+        /// Most sessions simultaneously resident in a session service.
+        ServiceResidentHwm => "service.resident_hwm",
     }
 }
 
@@ -171,6 +189,11 @@ metric_enum! {
         ProbeBoundNs => "probe.bound_ns",
         /// Live ratio `alg_cost / lower_bound` per report block, ×1000.
         ProbeRatioPermille => "probe.ratio_permille",
+        /// Wall-clock of one cold-session resume (warm decode or journal
+        /// recovery plus stream fast-forward), nanoseconds.
+        ServiceResumeNs => "service.resume_ns",
+        /// Steps delivered per session-service advance call.
+        ServiceAdvanceSteps => "service.advance_steps",
     }
 }
 
@@ -182,8 +205,11 @@ impl Hist {
             | Hist::GridStepNs
             | Hist::JournalAppendNs
             | Hist::JournalFsyncNs
-            | Hist::ProbeBoundNs => "ns",
-            Hist::StreamBlockFill | Hist::JournalCheckpointGapSteps => "steps",
+            | Hist::ProbeBoundNs
+            | Hist::ServiceResumeNs => "ns",
+            Hist::StreamBlockFill | Hist::JournalCheckpointGapSteps | Hist::ServiceAdvanceSteps => {
+                "steps"
+            }
             Hist::ProbeRatioPermille => "permille",
         }
     }

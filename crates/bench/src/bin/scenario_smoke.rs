@@ -18,21 +18,98 @@
 //! monotone across the run, no timestamps — the snapshot must be
 //! deterministic modulo timing histograms), and dumps it as JSON.
 //!
-//! Usage: `cargo run --release -p msp-bench --bin scenario_smoke [--fault-seed <n>] [--metrics]`
+//! With `--chaos` the run drives a mixed session fleet through a
+//! seed-replayable schedule of advances, evictions, crashes (drop the
+//! whole [`msp_scenarios::SessionService`] and rebuild it with
+//! [`msp_scenarios::recover_service`]), and journal corruptions — then
+//! asserts every surviving session's trajectory is bit-equal to its
+//! uninterrupted oracle and every poisoned session surfaced as a typed
+//! quarantine, never a silent drop. `--seed <n>` picks the schedule.
+//!
+//! Run `scenario_smoke --help` for the flag summary.
 
 use msp_analysis::obs;
+use msp_analysis::BackoffSchedule;
 use msp_core::cost::ServingOrder;
 use msp_core::mtc::MoveToCenter;
-use msp_core::simulator::StreamingSim;
+use msp_core::simulator::{StreamCheckpoint, StreamingSim};
 use msp_scenarios::{
-    diff_streams, record_stream, record_to_vec, recover_journal, registry, resume_from_journal,
-    run_stream, salvage_trace, FaultEvent, FaultKind, FaultPlan, FaultyWrite, JournalWriter,
-    RequestStream, ScenarioKnobs, ScenarioSpec, TraceFormat, TraceReader,
+    diff_streams, lookup, record_stream, record_to_vec, recover_journal, recover_service, registry,
+    resume_from_journal, run_stream, salvage_trace, FaultEvent, FaultKind, FaultPlan, FaultyStream,
+    FaultyWrite, JournalWriter, RequestStream, ScenarioKnobs, ScenarioSpec, ServiceConfig,
+    SessionError, SessionService, TraceFormat, TraceReader,
 };
+use std::collections::BTreeMap;
 use std::io::Cursor;
+use std::path::{Path, PathBuf};
 
 const SMOKE_SEED: u64 = 2017;
 const SMOKE_HORIZON: usize = 256;
+
+const USAGE: &str = "\
+scenario_smoke — registry-wide record/replay/diff smoke check
+
+USAGE:
+    scenario_smoke [OPTIONS]
+
+OPTIONS:
+    --fault-seed <n>   Also run the crash-safety smoke per scenario:
+                       torn-write salvage plus journal crash/resume,
+                       with every fault placement derived from <n>.
+    --metrics          Enable the observability registry, validate the
+                       post-run snapshot schema, and dump it as JSON.
+    --chaos            Drive a mixed session-service fleet through a
+                       seed-replayable schedule of advances, evictions,
+                       crashes, and journal corruptions, asserting
+                       bit-equal recovery and typed quarantines.
+    --seed <n>         Schedule seed for --chaos (default 2017).
+    --help             Print this help and exit.
+
+Unknown flags are an error (exit 2), so a typo can never silently
+downgrade the check.";
+
+/// Parsed command-line options — one struct, one parsing pass, instead
+/// of ad-hoc flag scanning.
+#[derive(Debug, Default, PartialEq)]
+struct SmokeOptions {
+    fault_seed: Option<u64>,
+    metrics: bool,
+    chaos: bool,
+    chaos_seed: u64,
+    help: bool,
+}
+
+impl SmokeOptions {
+    fn parse(args: impl Iterator<Item = String>) -> Result<SmokeOptions, String> {
+        let mut options = SmokeOptions {
+            chaos_seed: SMOKE_SEED,
+            ..SmokeOptions::default()
+        };
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--help" | "-h" => options.help = true,
+                "--metrics" => options.metrics = true,
+                "--chaos" => options.chaos = true,
+                "--fault-seed" => {
+                    let raw = args.next().ok_or("--fault-seed requires a value")?;
+                    options.fault_seed = Some(
+                        raw.parse()
+                            .map_err(|_| format!("--fault-seed: not a number: {raw}"))?,
+                    );
+                }
+                "--seed" => {
+                    let raw = args.next().ok_or("--seed requires a value")?;
+                    options.chaos_seed = raw
+                        .parse()
+                        .map_err(|_| format!("--seed: not a number: {raw}"))?;
+                }
+                other => return Err(format!("unknown argument: {other}")),
+            }
+        }
+        Ok(options)
+    }
+}
 
 fn formats() -> [TraceFormat; 3] {
     [
@@ -198,6 +275,336 @@ fn fault_smoke_one(spec: &ScenarioSpec, fault_seed: u64) -> Result<(), String> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Chaos harness
+// ---------------------------------------------------------------------------
+
+const CHAOS_SCENARIOS: [&str; 5] = [
+    "walk-plane",
+    "edge-drift",
+    "car-fleet",
+    "ring-districts",
+    "fleet-chase",
+];
+const CHAOS_HORIZON: usize = 192;
+const CHAOS_SEEDS_PER_SCENARIO: u64 = 3;
+const CHAOS_DELTA: f64 = 0.25;
+const CHAOS_EVENTS: usize = 36;
+/// Stream op at which the poisoned sessions' injected panic fires.
+const CHAOS_PANIC_OP: u64 = 100;
+
+/// SplitMix64 — the schedule's only randomness source, so every chaos
+/// run replays exactly from its seed.
+struct ChaosRng(u64);
+
+impl ChaosRng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// One member of the chaos fleet. `poisoned` members run behind a
+/// [`FaultyStream`] that panics at op [`CHAOS_PANIC_OP`] — they can never
+/// finish and must end the run quarantined.
+#[derive(Clone)]
+struct FleetMember {
+    name: String,
+    scenario: &'static str,
+    seed: u64,
+    poisoned: bool,
+}
+
+fn member_name(scenario: &str, seed: u64, poisoned: bool) -> String {
+    if poisoned {
+        format!("{scenario}#{seed}#poisoned")
+    } else {
+        format!("{scenario}#{seed}")
+    }
+}
+
+/// Decodes a fleet-member name back into its scenario/seed/poisoned
+/// parts — the inverse of [`member_name`], used when re-attaching
+/// streams during recovery.
+fn parse_member_name(name: &str) -> Option<(&str, u64, bool)> {
+    let mut parts = name.split('#');
+    let scenario = parts.next()?;
+    let seed: u64 = parts.next()?.parse().ok()?;
+    let poisoned = match parts.next() {
+        None => false,
+        Some("poisoned") => true,
+        Some(_) => return None,
+    };
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((scenario, seed, poisoned))
+}
+
+fn chaos_stream(
+    scenario: &str,
+    seed: u64,
+    poisoned: bool,
+) -> Result<Box<dyn RequestStream<2> + Send>, String> {
+    let spec = lookup(scenario).ok_or_else(|| format!("chaos: unknown scenario {scenario}"))?;
+    let knobs = ScenarioKnobs::horizon(CHAOS_HORIZON);
+    let stream = spec
+        .stream_with::<2>(seed, &knobs)
+        .map_err(|e| format!("chaos: {scenario}: {e}"))?;
+    if poisoned {
+        let plan = FaultPlan::scripted(vec![FaultEvent {
+            at: CHAOS_PANIC_OP,
+            kind: FaultKind::Panic,
+        }]);
+        Ok(Box::new(FaultyStream::new(stream, plan)))
+    } else {
+        Ok(stream)
+    }
+}
+
+fn chaos_config(dir: &Path, seed: u64) -> ServiceConfig {
+    ServiceConfig::new(4)
+        .with_journal_dir(dir)
+        .with_retries(2, BackoffSchedule::new(seed, 1_000, 8_000))
+        .with_fault_plan(FaultPlan::from_seed(seed, 48, 5))
+}
+
+fn open_member(
+    service: &mut SessionService<2, MoveToCenter<2>>,
+    member: &FleetMember,
+) -> Result<(), String> {
+    let stream = chaos_stream(member.scenario, member.seed, member.poisoned)?;
+    service
+        .open_session(
+            member.name.clone(),
+            stream,
+            MoveToCenter::new(),
+            CHAOS_DELTA,
+            ServingOrder::MoveFirst,
+        )
+        .map_err(|e| format!("chaos: open {}: {e}", member.name))
+}
+
+/// Appends garbage to one seed-chosen journal file — simulated disk
+/// corruption, observed by the service at the next recovery.
+fn corrupt_one_journal(dir: &Path, rng: &mut ChaosRng) -> Option<String> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .ok()?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "mspj"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return None;
+    }
+    let victim = &files[rng.below(files.len() as u64) as usize];
+    let mut bytes = std::fs::read(victim).ok()?;
+    bytes.extend_from_slice(b"\xDE\xAD\xBE\xEFchaos-garbage");
+    std::fs::write(victim, &bytes).ok()?;
+    victim.file_name().map(|n| n.to_string_lossy().into_owned())
+}
+
+/// Drops the whole service (the crash) and rebuilds it from the journal
+/// directory; members that never spilled (or whose journal was lost to
+/// corruption) are re-opened from scratch — their deterministic streams
+/// replay to the same trajectory.
+fn crash_and_recover(
+    service: SessionService<2, MoveToCenter<2>>,
+    config: &ServiceConfig,
+    fleet: &[FleetMember],
+) -> Result<(SessionService<2, MoveToCenter<2>>, usize, usize), String> {
+    drop(service);
+    let (mut service, report) = recover_service::<2, MoveToCenter<2>, _>(config.clone(), {
+        |name, _recovery| {
+            let (scenario, seed, poisoned) = parse_member_name(name)?;
+            let stream = chaos_stream(scenario, seed, poisoned).ok()?;
+            Some((stream, MoveToCenter::new()))
+        }
+    })
+    .map_err(|e| format!("chaos: recovery failed: {e}"))?;
+    let recovered = report.recovered.len();
+    let skipped = report.skipped.len();
+    for member in fleet {
+        if !service.contains(&member.name) {
+            open_member(&mut service, member)?;
+        }
+    }
+    Ok((service, recovered, skipped))
+}
+
+/// The chaos smoke: a mixed fleet over a bounded-memory service, driven
+/// through a seed-replayable schedule of batch advances, explicit
+/// evictions, crash/recover cycles, and journal corruptions. Survivors
+/// must end bit-equal to their uninterrupted oracles; poisoned members
+/// must end quarantined with a typed error naming the injected fault.
+fn chaos_smoke(seed: u64) -> Result<(), String> {
+    let dir = std::env::temp_dir().join(format!("msp_chaos_{}_{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = chaos_config(&dir, seed);
+
+    // Assemble the fleet: every chaos scenario × a few seeds, plus two
+    // poisoned members that must quarantine rather than finish.
+    let mut fleet: Vec<FleetMember> = Vec::new();
+    for scenario in CHAOS_SCENARIOS {
+        for s in 0..CHAOS_SEEDS_PER_SCENARIO {
+            let seed_s = seed.wrapping_add(s);
+            fleet.push(FleetMember {
+                name: member_name(scenario, seed_s, false),
+                scenario,
+                seed: seed_s,
+                poisoned: false,
+            });
+        }
+    }
+    for (scenario, s) in [("walk-plane", 97u64), ("edge-drift", 98u64)] {
+        fleet.push(FleetMember {
+            name: member_name(scenario, s, true),
+            scenario,
+            seed: s,
+            poisoned: true,
+        });
+    }
+
+    // Uninterrupted oracle per healthy member: the full run, no service,
+    // no eviction, no faults.
+    let mut oracles: BTreeMap<String, StreamCheckpoint<2>> = BTreeMap::new();
+    for member in fleet.iter().filter(|m| !m.poisoned) {
+        let mut stream = chaos_stream(member.scenario, member.seed, false)?;
+        let params = stream.params();
+        let mut sim = StreamingSim::new(
+            &params,
+            MoveToCenter::new(),
+            CHAOS_DELTA,
+            ServingOrder::MoveFirst,
+        );
+        while let Some(step) = stream.next_step() {
+            sim.feed(&step);
+        }
+        oracles.insert(member.name.clone(), sim.checkpoint());
+    }
+
+    let mut service = SessionService::<2, MoveToCenter<2>>::new(config.clone());
+    for member in &fleet {
+        open_member(&mut service, member)?;
+    }
+
+    // The scheduled chaos: mostly batch advances, some explicit
+    // evictions, with crashes forced at fixed schedule positions (one of
+    // them preceded by journal corruption) and extra seed-chosen crashes.
+    let mut rng = ChaosRng(seed);
+    let (mut crashes, mut corruptions, mut recovered_total, mut skipped_total) = (0, 0, 0, 0);
+    for event in 0..CHAOS_EVENTS {
+        let forced_crash = event == CHAOS_EVENTS / 3 || event == 2 * CHAOS_EVENTS / 3;
+        let roll = rng.below(12);
+        if forced_crash || roll == 11 {
+            if forced_crash
+                && event >= CHAOS_EVENTS / 2
+                && corrupt_one_journal(&dir, &mut rng).is_some()
+            {
+                corruptions += 1;
+            }
+            let (next, recovered, skipped) = crash_and_recover(service, &config, &fleet)?;
+            service = next;
+            crashes += 1;
+            recovered_total += recovered;
+            skipped_total += skipped;
+        } else if roll >= 9 {
+            let victim = &fleet[rng.below(fleet.len() as u64) as usize];
+            service
+                .evict(&victim.name)
+                .map_err(|e| format!("chaos: evict {}: {e}", victim.name))?;
+        } else {
+            let mut requests: Vec<(String, usize)> = Vec::new();
+            for member in &fleet {
+                if rng.below(2) == 0 {
+                    requests.push((member.name.clone(), 16 + rng.below(48) as usize));
+                }
+            }
+            for (request, result) in requests.iter().zip(service.advance_batch(&requests)) {
+                match result {
+                    Ok(_) | Err(SessionError::Quarantined { .. }) => {}
+                    Err(e) => return Err(format!("chaos: advance {}: {e}", request.0)),
+                }
+            }
+        }
+    }
+
+    // Drive every non-quarantined member to the end of its stream.
+    for _ in 0..64 {
+        let requests: Vec<(String, usize)> = fleet
+            .iter()
+            .filter(|m| service.inspect(&m.name).is_none())
+            .filter(|m| {
+                service
+                    .checkpoint(&m.name)
+                    .map(|cp| cp.step < CHAOS_HORIZON)
+                    .unwrap_or(true)
+            })
+            .map(|m| (m.name.clone(), 64))
+            .collect();
+        if requests.is_empty() {
+            break;
+        }
+        for (request, result) in requests.iter().zip(service.advance_batch(&requests)) {
+            match result {
+                Ok(_) | Err(SessionError::Quarantined { .. }) => {}
+                Err(e) => return Err(format!("chaos: final drive {}: {e}", request.0)),
+            }
+        }
+    }
+
+    // Verdict 1: every healthy member's trajectory is bit-equal to its
+    // uninterrupted oracle.
+    for member in fleet.iter().filter(|m| !m.poisoned) {
+        let got = service
+            .checkpoint(&member.name)
+            .map_err(|e| format!("chaos: checkpoint {}: {e}", member.name))?;
+        let want = &oracles[&member.name];
+        if got != *want {
+            return Err(format!(
+                "chaos: {} diverged from its oracle after {crashes} crash(es): \
+                 step {} vs {}, cost {:.6} vs {:.6}",
+                member.name,
+                got.step,
+                want.step,
+                got.movement + got.service,
+                want.movement + want.service,
+            ));
+        }
+    }
+
+    // Verdict 2: every poisoned member surfaced as a typed quarantine
+    // naming the injected fault — never a silent drop or a wrong answer.
+    for member in fleet.iter().filter(|m| m.poisoned) {
+        let report = service
+            .inspect(&member.name)
+            .ok_or_else(|| format!("chaos: poisoned {} was not quarantined", member.name))?;
+        if !report.cause.contains("injected fault") {
+            return Err(format!(
+                "chaos: {} quarantined for the wrong reason: {}",
+                member.name, report.cause
+            ));
+        }
+    }
+
+    println!(
+        "  chaos seed {seed}: {} members, {crashes} crashes ({recovered_total} journal \
+         recoveries, {skipped_total} skipped), {corruptions} corruption(s), \
+         {} quarantined, survivors bit-equal to oracle",
+        fleet.len(),
+        service.quarantined().len(),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
 /// Schema checks on the post-run snapshot: every declared metric must be
 /// present, totals must dominate the pre-run snapshot (counters are
 /// monotone), and the rendered JSON must carry no wall-clock fields —
@@ -248,30 +655,20 @@ fn validate_metrics(
 }
 
 fn main() {
-    let mut fault_seed: Option<u64> = None;
-    let mut metrics = false;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--metrics" => metrics = true,
-            "--fault-seed" => {
-                let raw = args.next().unwrap_or_else(|| {
-                    eprintln!("--fault-seed requires a value");
-                    std::process::exit(2);
-                });
-                fault_seed = Some(raw.parse().unwrap_or_else(|_| {
-                    eprintln!("--fault-seed: not a number: {raw}");
-                    std::process::exit(2);
-                }));
-            }
-            other => {
-                eprintln!("unknown argument: {other}");
-                std::process::exit(2);
-            }
+    let options = match SmokeOptions::parse(std::env::args().skip(1)) {
+        Ok(options) => options,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("run `scenario_smoke --help` for the flag summary");
+            std::process::exit(2);
         }
+    };
+    if options.help {
+        println!("{USAGE}");
+        return;
     }
 
-    let metrics_before = metrics.then(|| {
+    let metrics_before = options.metrics.then(|| {
         obs::enable();
         obs::snapshot()
     });
@@ -289,7 +686,7 @@ fn main() {
             failures += 1;
         }
     }
-    if let Some(seed) = fault_seed {
+    if let Some(seed) = options.fault_seed {
         println!("fault smoke (seed {seed}): torn-write salvage + journal crash/resume");
         for spec in &specs {
             if let Err(e) = fault_smoke_one(spec, seed) {
@@ -297,6 +694,31 @@ fn main() {
                 failures += 1;
             }
         }
+    }
+    if options.chaos {
+        println!(
+            "chaos smoke (seed {}): session fleet under crash/evict/corrupt schedule",
+            options.chaos_seed
+        );
+        // The poisoned members panic by design (and are caught by the
+        // supervision layer); keep their backtraces out of the CI log.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let message = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !message.contains("injected fault") {
+                prev(info);
+            }
+        }));
+        if let Err(e) = chaos_smoke(options.chaos_seed) {
+            eprintln!("FAIL {e}");
+            failures += 1;
+        }
+        let _ = std::panic::take_hook();
     }
     if let Some(before) = &metrics_before {
         let after = obs::snapshot();
@@ -316,12 +738,17 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "all {} scenarios recorded, replayed, and diffed clean{}",
+        "all {} scenarios recorded, replayed, and diffed clean{}{}",
         specs.len(),
-        if fault_seed.is_some() {
+        if options.fault_seed.is_some() {
             " — and survived injected faults"
         } else {
             ""
-        }
+        },
+        if options.chaos {
+            " — and the chaos fleet recovered bit-equal"
+        } else {
+            ""
+        },
     );
 }

@@ -702,6 +702,30 @@ impl<const N: usize, A: OnlineAlgorithm<N>> StreamingSim<N, A> {
         StepCost { movement, service }
     }
 
+    /// Advances by at most `budget` steps pulled from `next`, stopping
+    /// early when the source runs dry. Returns the number of steps fed.
+    ///
+    /// This is the supervision hook for drivers that must be able to
+    /// cancel a runaway advance: feeding happens in bounded slices, so a
+    /// watchdog (e.g. `msp-scenarios`' session service) checks its step
+    /// budget between slices and stops at a slice boundary — there is no
+    /// mid-step cancellation, and a cancelled advance leaves the
+    /// simulation in an ordinary checkpointable state. Each step uses
+    /// [`StreamingSim::feed`], so budgeted and unbudgeted advances of the
+    /// same step sequence are bit-equal.
+    pub fn feed_budgeted<F>(&mut self, budget: usize, mut next: F) -> usize
+    where
+        F: FnMut() -> Option<Step<N>>,
+    {
+        let mut fed = 0usize;
+        while fed < budget {
+            let Some(step) = next() else { break };
+            self.feed(&step);
+            fed += 1;
+        }
+        fed
+    }
+
     /// Steps consumed so far.
     pub fn steps(&self) -> usize {
         self.steps

@@ -29,12 +29,17 @@
 //!   reproducible test case.
 //! * [`durable`] — temp-file + atomic-rename commit discipline, so a
 //!   final filename never points at half-written bytes.
+//! * [`service`] — the supervised session tier: thousands of named,
+//!   checkpointed sessions multiplexed over a bounded resident set with
+//!   LRU eviction, journal spill, retry/quarantine supervision, and
+//!   crash-anywhere recovery ([`service::recover_service`]).
 
 pub mod durable;
 pub mod engine;
 pub mod fault;
 pub mod journal;
 pub mod registry;
+pub mod service;
 pub mod stream;
 pub mod trace;
 
@@ -51,6 +56,10 @@ pub use journal::{
 pub use registry::{
     lookup, lookup_or_err, must_lookup, registry, RegistryError, ScenarioError, ScenarioKnobs,
     ScenarioSpec,
+};
+pub use service::{
+    recover_service, QuarantineReport, RecoveredSession, RecoveryReport, ServiceConfig,
+    SessionError, SessionProgress, SessionService, ADVANCE_BLOCK,
 };
 pub use stream::{collect_instance, GeneratedStream, InstanceStream, RequestStream, StreamSteps};
 pub use trace::{

@@ -21,6 +21,8 @@ use crate::trace::{record_to_vec, TraceError, TraceFormat, TraceReader};
 use msp_adversary::{
     build_thm1, build_thm2, build_thm2_rotating, build_thm3, Thm1Params, Thm2Params, Thm3Params,
 };
+use msp_core::cost::ServingOrder;
+use msp_core::fleet::{run_fleet, MtcFleet};
 use msp_core::model::{Instance, Step, StreamParams};
 use msp_core::moving_client::MovingClientInstance;
 use msp_geometry::sample::SeededSampler;
@@ -136,6 +138,7 @@ enum Family {
     AdvThm2Rotating,
     AdvThm3,
     ReplayEdgeDrift,
+    FleetChase,
 }
 
 /// A named, parameterized scenario: the catalog entry benches, examples,
@@ -162,7 +165,7 @@ impl ScenarioSpec {
     pub fn stream<const N: usize>(
         &self,
         seed: u64,
-    ) -> Result<Box<dyn RequestStream<N>>, ScenarioError> {
+    ) -> Result<Box<dyn RequestStream<N> + Send>, ScenarioError> {
         self.stream_with(seed, &ScenarioKnobs::default())
     }
 
@@ -171,7 +174,7 @@ impl ScenarioSpec {
         &self,
         seed: u64,
         knobs: &ScenarioKnobs,
-    ) -> Result<Box<dyn RequestStream<N>>, ScenarioError> {
+    ) -> Result<Box<dyn RequestStream<N> + Send>, ScenarioError> {
         if N != self.dim {
             return Err(ScenarioError::DimensionMismatch {
                 scenario: self.name,
@@ -314,6 +317,9 @@ impl ScenarioSpec {
                 let bytes = record_to_vec(inner.as_mut(), TraceFormat::Binary)?;
                 Box::new(TraceReader::<N, _>::open(Cursor::new(bytes))?)
             }
+            Family::FleetChase => Box::new(InstanceStream::new(fleet_chase_instance::<N>(
+                horizon, seed,
+            ))),
         })
     }
 
@@ -370,10 +376,10 @@ fn generated<const N: usize, S, F>(
     horizon: usize,
     seed: u64,
     build: F,
-) -> Box<dyn RequestStream<N>>
+) -> Box<dyn RequestStream<N> + Send>
 where
-    S: StepSource<N> + 'static,
-    F: Fn(u64) -> S + 'static,
+    S: StepSource<N> + Send + 'static,
+    F: Fn(u64) -> S + Send + 'static,
 {
     Box::new(GeneratedStream::new(
         build,
@@ -386,12 +392,31 @@ where
 fn instance_backed<const N: usize>(
     instance: Instance<N>,
     horizon: Option<usize>,
-) -> Box<dyn RequestStream<N>> {
+) -> Box<dyn RequestStream<N> + Send> {
     let instance = match horizon {
         Some(h) if h < instance.horizon() => instance.prefix(h),
         _ => instance,
     };
     Box::new(InstanceStream::new(instance))
+}
+
+/// The k-server handoff workload (ROADMAP's fleet direction): a 3-server
+/// [`MtcFleet`] is driven over ring-district demand, and the *trail it
+/// actually drove* — the fleet's post-move server positions, one request
+/// per server per step — becomes this scenario's demand. A single mobile
+/// server then chases three speed-limited, coordinating servers, which
+/// produces sustained multi-site tension no single-generator family has.
+/// Deterministic in `(horizon, seed)`, so replay and record/diff hold.
+fn fleet_chase_instance<const N: usize>(horizon: usize, seed: u64) -> Instance<N> {
+    let mut source = RingDistrictsSource::<N>::new(3, 12.0, 0.4, 0.9, seed);
+    let demand: Vec<Step<N>> = (0..horizon).map(|_| source.next_step()).collect();
+    let demand = Instance::new(2.0, 1.0, Point::origin(), demand);
+    let mut fleet = MtcFleet::<N>::new();
+    let run = run_fleet(&demand, 3, &mut fleet, 0.25, ServingOrder::MoveFirst);
+    let steps = (1..=horizon)
+        .map(|t| Step::new(run.trajectories.iter().map(|traj| traj[t]).collect()))
+        .collect();
+    Instance::new(2.0, 1.0, Point::origin(), steps)
 }
 
 /// The diagnostics three-act workload: demand parked at the origin, a
@@ -576,6 +601,14 @@ pub fn registry() -> Vec<ScenarioSpec> {
             default_horizon: 2_000,
             default_delta: 0.25,
             family: Family::ReplayEdgeDrift,
+        },
+        ScenarioSpec {
+            name: "fleet-chase",
+            summary: "single server chasing the trail driven by a 3-server MtC fleet (k-server extension)",
+            dim: 2,
+            default_horizon: 1_000,
+            default_delta: 0.25,
+            family: Family::FleetChase,
         },
     ]
 }

@@ -15,6 +15,11 @@
 //!   panicking lane completes every other lane and reports the poisoned
 //!   one ([`try_parallel_map_indexed`]), with results identical to the
 //!   unsupervised fan on the surviving lanes.
+//! * **Sibling-journal isolation** — two sessions interleaving appends
+//!   into sibling files in one directory recover independently: each
+//!   file yields its own newest committed generation, and a torn tail
+//!   on one never disturbs the other (the session service's per-session
+//!   spill-file invariant).
 
 use mobile_server::analysis::sweep::{try_parallel_map_indexed, LaneError};
 use mobile_server::core::cost::ServingOrder;
@@ -23,10 +28,13 @@ use mobile_server::core::mtc::MoveToCenter;
 use mobile_server::core::simulator::{StreamCheckpoint, StreamingSim};
 use mobile_server::prelude::*;
 use mobile_server::scenarios::fault::{FaultEvent, FaultKind, FaultPlan};
-use mobile_server::scenarios::journal::{recover_journal, resume_from_journal, JournalWriter};
+use mobile_server::scenarios::journal::{
+    recover_journal, resume_from_journal, DurableJournal, JournalWriter,
+};
 use mobile_server::scenarios::registry::{must_lookup, ScenarioKnobs};
 use mobile_server::scenarios::trace::{record_stream, salvage_trace, TraceFormat};
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 
 /// The 2-D scenario families the crash/resume property ranges over.
 const FAMILIES: [&str; 3] = ["walk-plane", "edge-drift", "car-fleet"];
@@ -119,7 +127,100 @@ proptest! {
         prop_assert_eq!(a.events(), b.events());
         prop_assert!(!a.events().is_empty());
     }
+
+    /// Two sessions journaling into **sibling files in one directory**
+    /// recover in isolation: whatever the append interleaving, each file
+    /// yields exactly its own session's newest committed generation, and
+    /// a torn tail on one file never disturbs the other's recovery. This
+    /// is the invariant the session service's per-session spill files
+    /// lean on.
+    #[test]
+    fn sibling_journals_recover_in_isolation(
+        schedule in proptest::collection::vec(0usize..2, 4..16),
+        seed in 0u64..1u64 << 16,
+        torn in any::<bool>(),
+    ) {
+        const SLICE: usize = 4;
+        let case = SIBLING_CASE.fetch_add(1, AtomicOrdering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "msp_siblings_{}_{case}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let members = [("walk-plane", seed), ("edge-drift", seed.wrapping_add(1))];
+        let horizon = schedule.len() * SLICE;
+        let paths = [dir.join("alpha.mspj"), dir.join("beta.mspj")];
+        let mut streams = Vec::new();
+        let mut sims = Vec::new();
+        let mut journals = Vec::new();
+        for (i, (family, seed)) in members.into_iter().enumerate() {
+            let stream = must_lookup(family)
+                .stream_with::<2>(seed, &ScenarioKnobs::horizon(horizon))
+                .unwrap();
+            let params = stream.params();
+            sims.push(StreamingSim::new(
+                &params,
+                MoveToCenter::<2>::new(),
+                0.25,
+                ServingOrder::MoveFirst,
+            ));
+            journals.push(DurableJournal::create(&paths[i], &params, 0.25,
+                ServingOrder::MoveFirst).unwrap());
+            streams.push(stream);
+        }
+
+        // Interleave: each scheduled turn advances one session a slice
+        // and appends a generation to *its* file.
+        let mut last: [Option<(u64, StreamCheckpoint<2>)>; 2] = [None, None];
+        for &who in &schedule {
+            for _ in 0..SLICE {
+                if let Some(step) = streams[who].next_step() {
+                    sims[who].feed(&step);
+                }
+            }
+            let generation = journals[who].append_sim(&sims[who]).unwrap();
+            last[who] = Some((generation, sims[who].checkpoint()));
+        }
+        drop(journals);
+
+        // A torn tail on alpha only — beta's file must not notice.
+        if torn {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&paths[0])
+                .unwrap();
+            f.write_all(b"\xDE\xAD\xBE\xEF sibling garbage").unwrap();
+        }
+
+        for (who, path) in paths.iter().enumerate() {
+            let Some((generation, want)) = last[who] else { continue };
+            let (recovered_generation, got, tail) = if who == 0 && torn {
+                let (_journal, rec) = DurableJournal::<2>::reopen(path).unwrap();
+                prop_assert!(rec.torn_tail.is_some(),
+                    "garbage past the last commit must be reported");
+                (rec.generation, rec.checkpoint, rec.torn_tail.clone())
+            } else {
+                let rec = DurableJournal::<2>::recover(path).unwrap();
+                (rec.generation, rec.checkpoint, rec.torn_tail.clone())
+            };
+            prop_assert_eq!(recovered_generation, generation);
+            prop_assert_eq!(got.step, want.step);
+            prop_assert_eq!(got.movement.to_bits(), want.movement.to_bits());
+            prop_assert_eq!(got.service.to_bits(), want.service.to_bits());
+            if !(who == 0 && torn) {
+                prop_assert!(tail.is_none(), "clean file, unexpected torn tail");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
+
+/// Makes every proptest case of the sibling-isolation property use a
+/// distinct scratch directory, even across shrink replays.
+static SIBLING_CASE: AtomicUsize = AtomicUsize::new(0);
 
 /// Lop the journal at **every** byte offset: each prefix must either
 /// fail loudly or recover a generation that was actually committed —
