@@ -140,6 +140,14 @@ metric_enum! {
         JournalTornTails => "journal.torn_tails",
         /// Journal records rejected by the CRC-32 check.
         JournalCrcRejects => "journal.crc_rejects",
+        /// v3 trace blocks encoded and flushed by block-trace writers.
+        TraceBlocksWritten => "trace.blocks_written",
+        /// v3 trace blocks decoded (CRC verified) by block-trace readers.
+        TraceBlocksRead => "trace.blocks_read",
+        /// Index-trailer seeks served by `seek_to_step`.
+        TraceSeeks => "trace.seeks",
+        /// v3 blocks or index trailers rejected by the CRC-32 check.
+        TraceCrcRejects => "trace.crc_rejects",
         /// Ratio-probe report blocks emitted by probed sessions.
         ProbeBlocks => "probe.blocks",
         /// Windowed grid lower bounds solved by ratio probes.

@@ -1,4 +1,4 @@
-//! Emits the machine-readable perf trajectory record (`BENCH_8.json`):
+//! Emits the machine-readable perf trajectory record (`BENCH_9.json`):
 //! wall-clock comparisons of the tracked fast paths against their
 //! baselines, so future optimization PRs have measured numbers to beat.
 //! `docs/BENCHMARKS.md` documents the record format, the regeneration
@@ -48,7 +48,13 @@
 //!   warm-resumes the next — maximum churn) vs a cap covering the whole
 //!   fleet (no churn): the measured gap is the evict/checkpoint/resume
 //!   overhead of the bounded-memory tier, with bit-equal costs asserted
-//!   across the two configurations.
+//!   across the two configurations,
+//! * `corpus_seek_vs_scan` (PR 9) — O(1) `seek_to_step` through the
+//!   block-v3 index trailer vs scanning frames from the start of the
+//!   trace to the same probe steps (identical frames asserted),
+//! * `corpus_replay_v3_vs_v2` (PR 9) — zero-copy block-v3 replay
+//!   (borrowed frames into `StreamingSim::feed_requests`) vs the
+//!   chunked-v2 text replay path, bit-equal cost totals asserted.
 //!
 //! Usage:
 //!   `cargo run --release -p msp-bench --bin perf_report [-- FLAGS] [out.json]`
@@ -70,7 +76,7 @@ use msp_analysis::Json;
 use msp_core::cost::{service_cost, service_cost_naive, ServingOrder};
 use msp_core::model::{Instance, Step};
 use msp_core::mtc::MoveToCenter;
-use msp_core::simulator::{run, run_batch_with, run_streaming, BatchOptions};
+use msp_core::simulator::{run, run_batch_with, run_streaming, BatchOptions, StreamingSim};
 use msp_geometry::median::{weighted_center, weighted_center_classic, MedianOptions, MedianSolver};
 use msp_geometry::sample::SeededSampler;
 use msp_geometry::soa::{self, SoaPoints};
@@ -858,6 +864,143 @@ fn session_churn_comparison(sh: &Shapes) -> Comparison {
     }
 }
 
+/// PR 9: O(1) `seek_to_step` through the v3 index trailer vs scanning
+/// frames from the start of the trace to the same probe steps. Both
+/// sides use the same reader and end on the same frame (bit-equality
+/// asserted), so the measured gap is exactly the scan prefix the index
+/// makes unnecessary.
+fn corpus_seek_vs_scan(sh: &Shapes) -> Comparison {
+    use msp_scenarios::{record_to_vec, BlockTraceReader, InstanceStream, RequestStream};
+
+    let inst = sweep_instance(sh);
+    let total = inst.horizon();
+    let bytes = record_to_vec(
+        &mut InstanceStream::new(inst),
+        msp_scenarios::TraceFormat::BlockV3 { block: 64 },
+    )
+    .expect("record v3 trace");
+    let mut reader = BlockTraceReader::<2>::open(&bytes).expect("open v3 trace");
+    let probes: Vec<usize> = (1..=4).map(|i| i * (total - 1) / 4).collect();
+
+    let frame_bits = |frame: &[P2]| -> Vec<[u64; 2]> {
+        frame
+            .iter()
+            .map(|p| [p[0].to_bits(), p[1].to_bits()])
+            .collect()
+    };
+    for &k in &probes {
+        reader.rewind();
+        for _ in 0..k {
+            reader.next_frame().expect("scan").expect("frame");
+        }
+        let scanned = frame_bits(reader.next_frame().expect("scan").expect("frame"));
+        reader.seek_to_step(k).expect("seek");
+        let sought = frame_bits(reader.next_frame().expect("seek read").expect("frame"));
+        assert_eq!(scanned, sought, "seek({k}) diverged from the scanned frame");
+    }
+
+    let baseline_ns = time_ns(sh.reps, || {
+        let mut acc = 0usize;
+        for &k in &probes {
+            reader.rewind();
+            for _ in 0..k {
+                reader.next_frame().unwrap().unwrap();
+            }
+            acc += reader.next_frame().unwrap().unwrap().len();
+        }
+        acc
+    });
+    let fast_ns = time_ns(sh.reps, || {
+        let mut acc = 0usize;
+        for &k in &probes {
+            reader.seek_to_step(k).unwrap();
+            acc += reader.next_frame().unwrap().unwrap().len();
+        }
+        acc
+    });
+    Comparison {
+        name: "corpus_seek_vs_scan".into(),
+        baseline_ns,
+        fast_ns,
+        detail: format!(
+            "4 probe steps across a {total}-step block-v3 trace (64 steps/block): \
+             seek_to_step via the CRC-guarded index trailer vs scanning frames from the \
+             start; identical frames asserted bit-equal"
+        ),
+    }
+}
+
+/// PR 9: zero-copy v3 replay through [`StreamingSim::feed_requests`]
+/// (borrowed frames, no per-step allocation) vs the chunked-v2 text
+/// replay path (`TraceReader::try_next` materializing a `Step` per
+/// frame). Same recorded stream, bit-equal cost totals asserted.
+fn corpus_replay_comparison(sh: &Shapes) -> Comparison {
+    use msp_scenarios::{
+        record_to_vec, BlockTraceReader, InstanceStream, RequestStream, TraceFormat, TraceReader,
+    };
+    use std::io::Cursor;
+
+    const REPLAY_DELTA: f64 = 0.5;
+
+    let inst = sweep_instance(sh);
+    let total = inst.horizon();
+    let mut stream = InstanceStream::new(inst);
+    let v2 = record_to_vec(&mut stream, TraceFormat::ChunkedV2 { chunk: 64 }).expect("record v2");
+    let v3 = record_to_vec(&mut stream, TraceFormat::BlockV3 { block: 64 }).expect("record v3");
+
+    let replay_v2 = || {
+        let mut reader = TraceReader::<2, _>::open(Cursor::new(&v2[..])).expect("open v2");
+        let params = reader.params();
+        let mut sim = StreamingSim::new(
+            &params,
+            MoveToCenter::new(),
+            REPLAY_DELTA,
+            ServingOrder::MoveFirst,
+        );
+        while let Some(step) = reader.try_next().expect("v2 frame") {
+            sim.feed(&step);
+        }
+        let cp = sim.checkpoint();
+        (cp.movement, cp.service)
+    };
+    let replay_v3 = || {
+        let mut reader = BlockTraceReader::<2>::open(&v3).expect("open v3");
+        let params = reader.trace_params();
+        let mut sim = StreamingSim::new(
+            &params,
+            MoveToCenter::new(),
+            REPLAY_DELTA,
+            ServingOrder::MoveFirst,
+        );
+        while let Some(frame) = reader.next_frame().expect("v3 frame") {
+            sim.feed_requests(frame);
+        }
+        let cp = sim.checkpoint();
+        (cp.movement, cp.service)
+    };
+
+    let (m2, s2) = replay_v2();
+    let (m3, s3) = replay_v3();
+    assert_eq!(
+        (m2.to_bits(), s2.to_bits()),
+        (m3.to_bits(), s3.to_bits()),
+        "v3 replay diverged from v2: ({m2}, {s2}) vs ({m3}, {s3})"
+    );
+
+    let baseline_ns = time_ns(sh.reps, replay_v2);
+    let fast_ns = time_ns(sh.reps, replay_v3);
+    Comparison {
+        name: "corpus_replay_v3_vs_v2".into(),
+        baseline_ns,
+        fast_ns,
+        detail: format!(
+            "{total}-step Move-to-Center replay at δ={REPLAY_DELTA}: zero-copy block-v3 \
+             frames into feed_requests vs chunked-v2 text decode into feed; cost totals \
+             asserted bit-equal"
+        ),
+    }
+}
+
 /// Extracts `(name, speedup)` pairs from a previously recorded report.
 /// The format is our own compact emitter's (`"name":"…"` precedes
 /// `"speedup":…` inside each bench object, keys alphabetical), so a
@@ -903,7 +1046,7 @@ Flags:
                      of the value recorded under the same name in <file>
   --help             this message
 
-The default output is BENCH_8.json. docs/BENCHMARKS.md explains how the
+The default output is BENCH_9.json. docs/BENCHMARKS.md explains how the
 BENCH_*.json records are produced, what the 0.8x CI gate means, and how to
 regenerate the references after a hardware change.";
 
@@ -927,7 +1070,7 @@ fn main() {
         if quick {
             "bench-ci.json".into()
         } else {
-            "BENCH_8.json".into()
+            "BENCH_9.json".into()
         }
     });
     let sh = if quick {
@@ -966,6 +1109,8 @@ fn main() {
         warm_fan_comparison(&sh),
         obs_overhead_comparison(&sh),
         session_churn_comparison(&sh),
+        corpus_seek_vs_scan(&sh),
+        corpus_replay_comparison(&sh),
     ];
 
     for c in &comparisons {
@@ -979,7 +1124,7 @@ fn main() {
     }
 
     let json = Json::obj([
-        ("pr", Json::Num(8.0)),
+        ("pr", Json::Num(9.0)),
         ("quick", Json::from(quick)),
         (
             "tier1",

@@ -34,10 +34,11 @@ use msp_core::cost::ServingOrder;
 use msp_core::mtc::MoveToCenter;
 use msp_core::simulator::{StreamCheckpoint, StreamingSim};
 use msp_scenarios::{
-    diff_streams, lookup, record_stream, record_to_vec, recover_journal, recover_service, registry,
-    resume_from_journal, run_stream, salvage_trace, FaultEvent, FaultKind, FaultPlan, FaultyStream,
-    FaultyWrite, JournalWriter, RequestStream, ScenarioKnobs, ScenarioSpec, ServiceConfig,
-    SessionError, SessionService, TraceFormat, TraceReader,
+    corpus_trace_path, diff_block_traces, diff_streams, lookup, record_registry_corpus,
+    record_stream, record_to_vec, recover_journal, recover_service, registry, resume_from_journal,
+    run_stream, salvage_trace, scan_corpus, sweep_corpus, BlockTraceReader, FaultEvent, FaultKind,
+    FaultPlan, FaultyStream, FaultyWrite, JournalWriter, RequestStream, ScenarioKnobs,
+    ScenarioSpec, ServiceConfig, SessionError, SessionService, TraceFormat, TraceReader,
 };
 use std::collections::BTreeMap;
 use std::io::Cursor;
@@ -63,6 +64,12 @@ OPTIONS:
                        crashes, and journal corruptions, asserting
                        bit-equal recovery and typed quarantines.
     --seed <n>         Schedule seed for --chaos (default 2017).
+    --corpus           Record every registry scenario into a block-v3
+                       corpus directory, scan it (every block CRC
+                       checked), run the corpus-level differential
+                       regression sweep (replay vs recorded totals,
+                       bit-exact), and spot-check O(1) seeks and the
+                       block-parallel diff against themselves.
     --help             Print this help and exit.
 
 Unknown flags are an error (exit 2), so a typo can never silently
@@ -76,6 +83,7 @@ struct SmokeOptions {
     metrics: bool,
     chaos: bool,
     chaos_seed: u64,
+    corpus: bool,
     help: bool,
 }
 
@@ -91,6 +99,7 @@ impl SmokeOptions {
                 "--help" | "-h" => options.help = true,
                 "--metrics" => options.metrics = true,
                 "--chaos" => options.chaos = true,
+                "--corpus" => options.corpus = true,
                 "--fault-seed" => {
                     let raw = args.next().ok_or("--fault-seed requires a value")?;
                     options.fault_seed = Some(
@@ -111,11 +120,12 @@ impl SmokeOptions {
     }
 }
 
-fn formats() -> [TraceFormat; 3] {
+fn formats() -> [TraceFormat; 4] {
     [
         TraceFormat::TextV1,
         TraceFormat::ChunkedV2 { chunk: 64 },
         TraceFormat::Binary,
+        TraceFormat::BlockV3 { block: 64 },
     ]
 }
 
@@ -128,10 +138,18 @@ fn check_record_replay<const N: usize>(
     for format in formats() {
         let bytes = record_to_vec(stream, format)
             .map_err(|e| format!("{name}: recording {format:?} failed: {e}"))?;
-        let mut replay = TraceReader::<N, _>::open(Cursor::new(bytes))
-            .map_err(|e| format!("{name}: opening {format:?} replay failed: {e}"))?;
-        if let Some(diff) = diff_streams(stream, &mut replay) {
-            return Err(format!("{name}: {format:?} replay diverged: {diff}"));
+        if matches!(format, TraceFormat::BlockV3 { .. }) {
+            let mut replay = BlockTraceReader::<N>::open(&bytes)
+                .map_err(|e| format!("{name}: opening {format:?} replay failed: {e}"))?;
+            if let Some(diff) = diff_streams(stream, &mut replay) {
+                return Err(format!("{name}: {format:?} replay diverged: {diff}"));
+            }
+        } else {
+            let mut replay = TraceReader::<N, _>::open(Cursor::new(bytes))
+                .map_err(|e| format!("{name}: opening {format:?} replay failed: {e}"))?;
+            if let Some(diff) = diff_streams(stream, &mut replay) {
+                return Err(format!("{name}: {format:?} replay diverged: {diff}"));
+            }
         }
     }
     Ok(formats().len())
@@ -142,7 +160,7 @@ fn smoke_dim<const N: usize>(spec: &ScenarioSpec) -> Result<(), String> {
     let mut stream = spec
         .stream_with::<N>(SMOKE_SEED, &knobs)
         .map_err(|e| format!("{}: {e}", spec.name))?;
-    check_record_replay(spec.name, stream.as_mut())?;
+    let checked = check_record_replay(spec.name, stream.as_mut())?;
     let res = run_stream(
         stream.as_mut(),
         MoveToCenter::new(),
@@ -150,7 +168,7 @@ fn smoke_dim<const N: usize>(spec: &ScenarioSpec) -> Result<(), String> {
         ServingOrder::MoveFirst,
     );
     println!(
-        "  {:<20} dim {N}  {} steps replayed in 3 formats, streamed cost {:.1}",
+        "  {:<20} dim {N}  {} steps replayed in {checked} formats, streamed cost {:.1}",
         spec.name,
         res.steps,
         res.movement + res.service
@@ -273,6 +291,126 @@ fn fault_smoke_one(spec: &ScenarioSpec, fault_seed: u64) -> Result<(), String> {
         2 => fault_smoke_dim::<2>(spec, fault_seed),
         other => Err(format!("{}: unexpected dimension {other}", spec.name)),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Corpus smoke
+// ---------------------------------------------------------------------------
+
+/// O(1)-seek and self-diff spot checks for one corpus trace: frames
+/// reached via `seek_to_step` must be bit-equal to the sequential
+/// replay's, and the block-parallel diff of the trace against itself
+/// must be `None` for several thread counts.
+fn corpus_seek_check<const N: usize>(dir: &Path, name: &str) -> Result<(), String> {
+    let bytes = std::fs::read(corpus_trace_path(dir, name))
+        .map_err(|e| format!("corpus: {name}: read failed: {e}"))?;
+    let mut reader = BlockTraceReader::<N>::open(&bytes)
+        .map_err(|e| format!("corpus: {name}: open failed: {e}"))?;
+    let mut frames: Vec<Vec<[u64; N]>> = Vec::new();
+    while let Some(frame) = reader
+        .next_frame()
+        .map_err(|e| format!("corpus: {name}: sequential read failed: {e}"))?
+    {
+        frames.push(
+            frame
+                .iter()
+                .map(|p| {
+                    let mut bits = [0u64; N];
+                    for (b, c) in bits.iter_mut().zip(p.coords()) {
+                        *b = c.to_bits();
+                    }
+                    bits
+                })
+                .collect(),
+        );
+    }
+    let total = frames.len();
+    for k in [0, total / 3, total / 2, total.saturating_sub(1), total] {
+        reader
+            .seek_to_step(k)
+            .map_err(|e| format!("corpus: {name}: seek_to_step({k}) failed: {e}"))?;
+        let frame = reader
+            .next_frame()
+            .map_err(|e| format!("corpus: {name}: read after seek({k}) failed: {e}"))?;
+        match frame {
+            None => {
+                if k < total {
+                    return Err(format!("corpus: {name}: seek({k}) hit a premature end"));
+                }
+            }
+            Some(frame) => {
+                let want = &frames[k];
+                let same = frame.len() == want.len()
+                    && frame.iter().zip(want).all(|(p, w)| {
+                        p.coords()
+                            .iter()
+                            .zip(w.iter())
+                            .all(|(c, b)| c.to_bits() == *b)
+                    });
+                if !same {
+                    return Err(format!(
+                        "corpus: {name}: frame at seek({k}) differs from sequential replay"
+                    ));
+                }
+            }
+        }
+    }
+    for threads in [1, 2, 0] {
+        match diff_block_traces::<N>(&bytes, &bytes, threads) {
+            Ok(None) => {}
+            Ok(Some(diff)) => {
+                return Err(format!(
+                    "corpus: {name}: self-diff ({threads} threads) found {diff}"
+                ))
+            }
+            Err(e) => return Err(format!("corpus: {name}: self-diff failed: {e}")),
+        }
+    }
+    Ok(())
+}
+
+/// The corpus smoke: record every registry scenario into a block-v3
+/// corpus, scan it structurally, run the corpus-level differential
+/// regression sweep, and spot-check seeks and the block-parallel diff.
+fn corpus_smoke() -> Result<(), String> {
+    let dir = std::env::temp_dir().join(format!("msp_corpus_smoke_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let entries = record_registry_corpus(&dir, SMOKE_SEED, Some(SMOKE_HORIZON))
+        .map_err(|e| format!("corpus: recording failed: {e}"))?;
+    let scans = scan_corpus(&dir, 0).map_err(|e| format!("corpus: scan failed: {e}"))?;
+    let blocks: usize = scans.iter().map(|s| s.blocks).sum();
+    let bytes: u64 = scans.iter().map(|s| s.bytes).sum();
+    let outcomes = sweep_corpus(&dir, 0).map_err(|e| format!("corpus: sweep failed: {e}"))?;
+    for outcome in &outcomes {
+        if let Some(mismatch) = &outcome.mismatch {
+            return Err(format!(
+                "corpus: {} replay diverged from its recorded totals: {mismatch}",
+                outcome.name
+            ));
+        }
+    }
+    for entry in &entries {
+        let spec = lookup(&entry.name)
+            .ok_or_else(|| format!("corpus: unknown scenario {}", entry.name))?;
+        match spec.dim {
+            1 => corpus_seek_check::<1>(&dir, &entry.name)?,
+            2 => corpus_seek_check::<2>(&dir, &entry.name)?,
+            other => {
+                return Err(format!(
+                    "corpus: {}: unexpected dimension {other}",
+                    entry.name
+                ))
+            }
+        }
+    }
+    println!(
+        "  corpus: {} traces, {blocks} blocks, {} KiB — scan clean, sweep bit-equal, \
+         seeks and self-diffs consistent",
+        entries.len(),
+        bytes / 1024,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -695,6 +833,13 @@ fn main() {
             }
         }
     }
+    if options.corpus {
+        println!("corpus smoke: block-v3 record → scan → differential sweep → seek/self-diff");
+        if let Err(e) = corpus_smoke() {
+            eprintln!("FAIL {e}");
+            failures += 1;
+        }
+    }
     if options.chaos {
         println!(
             "chaos smoke (seed {}): session fleet under crash/evict/corrupt schedule",
@@ -738,10 +883,15 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "all {} scenarios recorded, replayed, and diffed clean{}{}",
+        "all {} scenarios recorded, replayed, and diffed clean{}{}{}",
         specs.len(),
         if options.fault_seed.is_some() {
             " — and survived injected faults"
+        } else {
+            ""
+        },
+        if options.corpus {
+            " — and the corpus swept bit-equal"
         } else {
             ""
         },

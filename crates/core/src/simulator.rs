@@ -673,9 +673,16 @@ impl<const N: usize, A: OnlineAlgorithm<N>> StreamingSim<N, A> {
 
     /// Advances the simulation by one step, returning that step's cost.
     pub fn feed(&mut self, step: &Step<N>) -> StepCost {
-        let proposal = self
-            .algorithm
-            .decide(&self.current, &step.requests, &self.ctx);
+        self.feed_requests(&step.requests)
+    }
+
+    /// [`StreamingSim::feed`] over a borrowed request slice — the
+    /// zero-allocation replay hook: a trace reader that yields borrowed
+    /// frames (`msp-scenarios`' block-trace reader) drives the simulation
+    /// without materializing a [`Step`] per frame. Bit-equal to `feed` on
+    /// the same requests by construction (that method delegates here).
+    pub fn feed_requests(&mut self, requests: &[Point<N>]) -> StepCost {
+        let proposal = self.algorithm.decide(&self.current, requests, &self.ctx);
         debug_assert!(
             proposal.is_finite(),
             "{} proposed a non-finite position",
@@ -688,7 +695,7 @@ impl<const N: usize, A: OnlineAlgorithm<N>> StreamingSim<N, A> {
             ServingOrder::MoveFirst => &next,
             ServingOrder::AnswerFirst => &self.current,
         };
-        let service = service_cost(serve_from, &step.requests);
+        let service = service_cost(serve_from, requests);
         self.movement += movement;
         self.service += service;
         self.max_step_used = self.max_step_used.max(step_len);

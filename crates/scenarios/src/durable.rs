@@ -116,6 +116,7 @@ pub fn trace_extension(format: TraceFormat) -> &'static str {
     match format {
         TraceFormat::TextV1 | TraceFormat::ChunkedV2 { .. } => "msp",
         TraceFormat::Binary => "mspb",
+        TraceFormat::BlockV3 { .. } => "msp3",
     }
 }
 

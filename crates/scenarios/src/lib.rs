@@ -12,8 +12,8 @@
 //!   certificates ([`stream::InstanceStream`]), and durable traces
 //!   ([`trace::TraceReader`]).
 //! * [`trace`] — versioned trace formats (text v1, chunked v2, framed
-//!   binary) with exact record/replay and bit-level cross-run diffing;
-//!   the wire-format spec lives in `docs/TRACE_FORMAT.md`.
+//!   binary, block v3) with exact record/replay and bit-level cross-run
+//!   diffing; the wire-format spec lives in `docs/TRACE_FORMAT.md`.
 //! * [`registry`](mod@registry) — the named scenario catalog: benches, examples, and
 //!   tests all pull their workloads from one place
 //!   (`lookup("edge-drift")`) instead of bespoke setup code.
@@ -33,7 +33,13 @@
 //!   checkpointed sessions multiplexed over a bounded resident set with
 //!   LRU eviction, journal spill, retry/quarantine supervision, and
 //!   crash-anywhere recovery ([`service::recover_service`]).
+//! * [`corpus`] — the trace corpus tier: every registry scenario
+//!   recorded once as a block v3 trace (delta-encoded, CRC-guarded,
+//!   O(1)-seekable), then scanned, replayed, and bit-exactly diffed in
+//!   block-parallel against a manifest of recorded cost totals
+//!   ([`corpus::sweep_corpus`]).
 
+pub mod corpus;
 pub mod durable;
 pub mod engine;
 pub mod fault;
@@ -43,6 +49,10 @@ pub mod service;
 pub mod stream;
 pub mod trace;
 
+pub use corpus::{
+    corpus_trace_path, diff_block_traces, read_manifest, record_registry_corpus, scan_corpus,
+    sweep_corpus, CorpusEntry, CorpusScanEntry, SweepOutcome, CORPUS_BLOCK_STEPS,
+};
 pub use durable::{record_seeds_to_dir, record_stream_to_path, AtomicFile};
 pub use engine::{
     materialize, materialize_seeds, record_seeds, run_stream, run_stream_batch,
@@ -63,6 +73,6 @@ pub use service::{
 };
 pub use stream::{collect_instance, GeneratedStream, InstanceStream, RequestStream, StreamSteps};
 pub use trace::{
-    diff_streams, read_trace, record_stream, record_to_vec, salvage_trace, SalvagedTrace,
-    StreamDiff, TraceError, TraceFormat, TraceReader, TraceWriter,
+    diff_streams, read_trace, record_stream, record_to_vec, salvage_block_trace, salvage_trace,
+    BlockTraceReader, SalvagedTrace, StreamDiff, TraceError, TraceFormat, TraceReader, TraceWriter,
 };

@@ -15,6 +15,13 @@
 //!   step count. Coordinates are stored as raw IEEE-754 bits, so decode ∘
 //!   encode is the identity on every finite `f64` (including `-0.0` and
 //!   subnormals).
+//! * **Block v3** — the corpus format (`MSP3` magic): fixed-size blocks
+//!   of delta-encoded coordinates (each block falls back to raw `f64`
+//!   frames whenever delta reconstruction would not be bit-exact), one
+//!   CRC-32 per block, and a CRC-guarded index trailer mapping step →
+//!   block offset. Replayed zero-copy from a borrowed `&[u8]` by
+//!   [`BlockTraceReader`], whose [`seek_to_step`](BlockTraceReader::seek_to_step)
+//!   is O(1) in the horizon via the index.
 //!
 //! Text round-trips are exact too — Rust's float formatter emits the
 //! shortest decimal that parses back to the same bits — so cross-format
@@ -29,7 +36,9 @@
 //! corruption tests here (plus `tests/scenario_streaming.rs`) pin every
 //! claim the spec makes.
 
+use crate::journal::crc32;
 use crate::stream::RequestStream;
+use msp_analysis::obs;
 use msp_core::model::{Instance, Step, StreamParams};
 use msp_geometry::Point;
 use std::io::{BufRead, Cursor, Seek, SeekFrom, Write};
@@ -40,11 +49,35 @@ pub const BINARY_MAGIC: &[u8; 4] = b"MSPB";
 pub const BINARY_VERSION: u16 = 1;
 /// Banner line of the chunked text format.
 pub const CHUNKED_BANNER: &str = "# mobile-server trace v2";
+/// Magic prefix of the block trace (v3) format.
+pub const BLOCK_MAGIC: &[u8; 4] = b"MSP3";
+/// Version field written by the block trace encoder.
+pub const BLOCK_VERSION: u16 = 1;
+/// Marker that opens every v3 block.
+pub const BLOCK_MARKER: &[u8; 4] = b"BLK3";
+/// Marker that opens the v3 index trailer.
+pub const INDEX_MARKER: &[u8; 4] = b"IDX3";
 /// Frame sentinel that terminates the binary step section.
 const BINARY_END: u32 = u32::MAX;
 /// Upper bound on requests-per-step accepted by the binary decoder; counts
 /// beyond this are treated as corruption rather than allocated.
 const MAX_REQUESTS_PER_STEP: u32 = 1 << 24;
+/// Upper bound on steps-per-block accepted by the v3 codec (a block is
+/// decoded as a unit, so its size bounds both seek cost and scratch
+/// memory).
+const MAX_BLOCK_STEPS: usize = 1 << 20;
+/// v3 block payload mode: raw `f64` bit frames (always available).
+const BLOCK_MODE_RAW: u8 = 0;
+/// v3 block payload mode: `f32` deltas against a per-dimension predictor
+/// (written only when reconstruction is bit-exact for the whole block).
+const BLOCK_MODE_DELTA: u8 = 1;
+/// Fixed part of a v3 block: marker (4) + mode (1) + step count (4) +
+/// payload length (4); the payload and a trailing CRC-32 follow.
+const BLOCK_HEADER_LEN: usize = 13;
+/// Byte length of the v3 file header for dimension `n`.
+const fn block_file_header_len(n: usize) -> usize {
+    28 + 8 * n
+}
 
 /// Which wire format a [`TraceWriter`] produces.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,6 +92,15 @@ pub enum TraceFormat {
     },
     /// Framed binary with bit-exact coordinates.
     Binary,
+    /// Block trace v3: fixed-size blocks of delta-encoded coordinates
+    /// (per-block raw-`f64` escape hatch keeps round-trips bit-exact),
+    /// per-block CRC-32, and a CRC-guarded index trailer for O(1)
+    /// [`BlockTraceReader::seek_to_step`].
+    BlockV3 {
+        /// Steps per block (must be positive, at most `2²⁰`). The last
+        /// block may be shorter.
+        block: usize,
+    },
 }
 
 /// Errors from trace encoding/decoding.
@@ -122,6 +164,12 @@ pub struct TraceWriter<const N: usize, W: Write> {
     format: TraceFormat,
     steps: usize,
     chunks: usize,
+    /// BlockV3 state: steps buffered for the in-flight block, byte
+    /// offsets of the flushed blocks, and bytes emitted so far (offsets
+    /// are tracked by counting, so the sink need not be seekable).
+    pending: Vec<Step<N>>,
+    block_offsets: Vec<u64>,
+    written: u64,
 }
 
 impl<const N: usize, W: Write> TraceWriter<N, W> {
@@ -156,12 +204,35 @@ impl<const N: usize, W: Write> TraceWriter<N, W> {
                     sink.write_all(&c.to_bits().to_le_bytes())?;
                 }
             }
+            TraceFormat::BlockV3 { block } => {
+                assert!(block > 0, "block size must be positive");
+                assert!(
+                    block <= MAX_BLOCK_STEPS,
+                    "block size {block} beyond the codec limit {MAX_BLOCK_STEPS}"
+                );
+                sink.write_all(BLOCK_MAGIC)?;
+                sink.write_all(&BLOCK_VERSION.to_le_bytes())?;
+                sink.write_all(&(N as u16).to_le_bytes())?;
+                sink.write_all(&params.d.to_bits().to_le_bytes())?;
+                sink.write_all(&params.max_move.to_bits().to_le_bytes())?;
+                for c in params.start.coords() {
+                    sink.write_all(&c.to_bits().to_le_bytes())?;
+                }
+                sink.write_all(&(block as u32).to_le_bytes())?;
+            }
         }
+        let written = match format {
+            TraceFormat::BlockV3 { .. } => block_file_header_len(N) as u64,
+            _ => 0,
+        };
         Ok(TraceWriter {
             sink,
             format,
             steps: 0,
             chunks: 0,
+            pending: Vec::new(),
+            block_offsets: Vec::new(),
+            written,
         })
     }
 
@@ -208,8 +279,27 @@ impl<const N: usize, W: Write> TraceWriter<N, W> {
                     }
                 }
             }
+            TraceFormat::BlockV3 { block } => {
+                self.pending.push(step.clone());
+                if self.pending.len() == block {
+                    self.flush_block()?;
+                }
+            }
         }
         self.steps += 1;
+        Ok(())
+    }
+
+    /// Encodes and writes the buffered steps as one v3 block, recording
+    /// its byte offset for the index trailer.
+    fn flush_block(&mut self) -> Result<(), TraceError> {
+        debug_assert!(!self.pending.is_empty());
+        let bytes = encode_block(&self.pending);
+        self.block_offsets.push(self.written);
+        self.sink.write_all(&bytes)?;
+        self.written += bytes.len() as u64;
+        self.pending.clear();
+        obs::incr(obs::Counter::TraceBlocksWritten);
         Ok(())
     }
 
@@ -243,6 +333,26 @@ impl<const N: usize, W: Write> TraceWriter<N, W> {
             TraceFormat::Binary => {
                 self.sink.write_all(&BINARY_END.to_le_bytes())?;
                 self.sink.write_all(&(self.steps as u64).to_le_bytes())?;
+            }
+            TraceFormat::BlockV3 { .. } => {
+                if !self.pending.is_empty() {
+                    self.flush_block()?;
+                }
+                let mut trailer = Vec::with_capacity(24 + 8 * self.block_offsets.len());
+                trailer.extend_from_slice(INDEX_MARKER);
+                trailer.extend_from_slice(&(self.block_offsets.len() as u64).to_le_bytes());
+                for off in &self.block_offsets {
+                    trailer.extend_from_slice(&off.to_le_bytes());
+                }
+                trailer.extend_from_slice(&(self.steps as u64).to_le_bytes());
+                let crc = crc32(&trailer);
+                trailer.extend_from_slice(&crc.to_le_bytes());
+                // The final u32 lets a reader locate the trailer from EOF:
+                // it is the length of everything from the IDX3 marker to
+                // the CRC inclusive.
+                let trailer_len = trailer.len() as u32;
+                trailer.extend_from_slice(&trailer_len.to_le_bytes());
+                self.sink.write_all(&trailer)?;
             }
         }
         self.sink.flush()?;
@@ -293,6 +403,14 @@ impl<const N: usize, R: BufRead + Seek> TraceReader<N, R> {
     /// emits.
     pub fn open(mut reader: R) -> Result<Self, TraceError> {
         let head = reader.fill_buf()?;
+        if head.len() >= 4 && &head[..4] == BLOCK_MAGIC {
+            return Err(corrupt(
+                "header",
+                "block trace (MSP3) — read the file into memory and open it \
+                 with BlockTraceReader (or read_trace/salvage_trace), not the \
+                 streaming TraceReader",
+            ));
+        }
         let is_binary = head.len() >= 4 && &head[..4] == BINARY_MAGIC;
         if is_binary {
             reader.consume(4);
@@ -642,6 +760,9 @@ impl<const N: usize> SalvagedTrace<N> {
 /// corruption, if any. Header damage is still a hard error — without a
 /// valid header there are no parameters to salvage under.
 pub fn salvage_trace<const N: usize>(bytes: &[u8]) -> Result<SalvagedTrace<N>, TraceError> {
+    if bytes.len() >= 4 && &bytes[..4] == BLOCK_MAGIC {
+        return salvage_block_trace(bytes);
+    }
     let mut reader = TraceReader::<N, _>::open(Cursor::new(bytes))?;
     Ok(reader.read_valid_prefix())
 }
@@ -779,6 +900,14 @@ pub fn record_to_vec<const N: usize>(
 /// entry point for untrusted bytes (every frame and the trailer are
 /// checked before anything is replayed).
 pub fn read_trace<const N: usize>(bytes: &[u8]) -> Result<Instance<N>, TraceError> {
+    if bytes.len() >= 4 && &bytes[..4] == BLOCK_MAGIC {
+        let mut reader = BlockTraceReader::<N>::open(bytes)?;
+        let mut steps = Vec::new();
+        while let Some(step) = reader.try_next()? {
+            steps.push(step);
+        }
+        return Ok(reader.trace_params().into_instance(steps));
+    }
     let mut reader = TraceReader::<N, _>::open(Cursor::new(bytes))?;
     let mut steps = Vec::new();
     while let Some(step) = reader.try_next()? {
@@ -877,6 +1006,575 @@ pub fn diff_streams<const N: usize>(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Block trace v3 codec
+// ---------------------------------------------------------------------------
+
+/// Encodes one v3 block: a delta payload when every coordinate
+/// reconstructs bit-exactly, raw `f64` frames otherwise (the per-block
+/// escape hatch). The CRC-32 covers marker, mode, counts, and payload.
+fn encode_block<const N: usize>(steps: &[Step<N>]) -> Vec<u8> {
+    let (mode, payload) = match try_delta_payload(steps) {
+        Some(p) => (BLOCK_MODE_DELTA, p),
+        None => (BLOCK_MODE_RAW, raw_payload(steps)),
+    };
+    let mut out = Vec::with_capacity(BLOCK_HEADER_LEN + payload.len() + 4);
+    out.extend_from_slice(BLOCK_MARKER);
+    out.push(mode);
+    out.extend_from_slice(&(steps.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn raw_payload<const N: usize>(steps: &[Step<N>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for step in steps {
+        out.extend_from_slice(&(step.requests.len() as u32).to_le_bytes());
+        for v in &step.requests {
+            for c in v.coords() {
+                out.extend_from_slice(&c.to_bits().to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Delta payload: a base point stored as `f64` bits, then per step a
+/// request count and `f32` deltas against a per-dimension running
+/// predictor (seeded from the base, updated to each reconstructed value).
+/// Returns `None` — triggering the raw escape hatch — unless **every**
+/// coordinate of the block reconstructs bit-exactly as
+/// `pred + (delta as f64)`.
+fn try_delta_payload<const N: usize>(steps: &[Step<N>]) -> Option<Vec<u8>> {
+    let base = steps
+        .iter()
+        .find_map(|s| s.requests.first())
+        .copied()
+        .unwrap_or_else(Point::origin);
+    let mut out = Vec::new();
+    for c in base.coords() {
+        out.extend_from_slice(&c.to_bits().to_le_bytes());
+    }
+    let mut pred = *base.coords();
+    for step in steps {
+        out.extend_from_slice(&(step.requests.len() as u32).to_le_bytes());
+        for v in &step.requests {
+            for (j, c) in v.coords().iter().enumerate() {
+                let delta = (c - pred[j]) as f32;
+                if !delta.is_finite() {
+                    return None;
+                }
+                let recon = pred[j] + delta as f64;
+                if recon.to_bits() != c.to_bits() {
+                    return None;
+                }
+                out.extend_from_slice(&delta.to_le_bytes());
+                pred[j] = recon;
+            }
+        }
+    }
+    Some(out)
+}
+
+/// A v3 block decoded into reusable scratch: `points` holds every request
+/// of the block contiguously, `frames` maps each step of the block to its
+/// `(start, len)` range in `points`.
+fn decode_block_payload<const N: usize>(
+    mode: u8,
+    steps_in_block: usize,
+    payload: &[u8],
+    at: usize,
+    points: &mut Vec<Point<N>>,
+    frames: &mut Vec<(usize, usize)>,
+) -> Result<(), TraceError> {
+    points.clear();
+    frames.clear();
+    let mut cur = Cursor::new(payload);
+    let mut pred = [0.0f64; N];
+    if mode == BLOCK_MODE_DELTA {
+        for p in &mut pred {
+            *p = read_f64(&mut cur).map_err(|_| truncated_block(at))?;
+        }
+    }
+    for _ in 0..steps_in_block {
+        let count = match try_read_u32(&mut cur).map_err(|_| truncated_block(at))? {
+            Some(c) => c,
+            None => return Err(truncated_block(at)),
+        };
+        if count > MAX_REQUESTS_PER_STEP {
+            return Err(corrupt(
+                format!("offset {at}"),
+                format!("implausible request count {count}"),
+            ));
+        }
+        let start = points.len();
+        for _ in 0..count {
+            let mut p = Point::<N>::origin();
+            match mode {
+                BLOCK_MODE_RAW => {
+                    for i in 0..N {
+                        p[i] = read_f64(&mut cur).map_err(|_| truncated_block(at))?;
+                    }
+                }
+                BLOCK_MODE_DELTA => {
+                    for i in 0..N {
+                        let d = f32::from_le_bytes(
+                            read_exact_array::<4>(&mut cur).map_err(|_| truncated_block(at))?,
+                        );
+                        p[i] = pred[i] + d as f64;
+                        pred[i] = p[i];
+                    }
+                }
+                other => {
+                    return Err(corrupt(
+                        format!("offset {at}"),
+                        format!("unknown block mode {other}"),
+                    ));
+                }
+            }
+            if !p.is_finite() {
+                return Err(corrupt(
+                    format!("offset {at}"),
+                    "non-finite request coordinate",
+                ));
+            }
+            points.push(p);
+        }
+        frames.push((start, points.len() - start));
+    }
+    if cur.position() != payload.len() as u64 {
+        return Err(corrupt(
+            format!("offset {at}"),
+            format!(
+                "block payload has {} trailing bytes",
+                payload.len() as u64 - cur.position()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+fn truncated_block(at: usize) -> TraceError {
+    corrupt(format!("offset {at}"), "block payload truncated")
+}
+
+/// Header fields shared by every v3 open path: validated model
+/// parameters, the configured block size, and the byte length of the
+/// file header.
+fn parse_block_header<const N: usize>(
+    bytes: &[u8],
+) -> Result<(StreamParams<N>, usize, usize), TraceError> {
+    let header_len = block_file_header_len(N);
+    if bytes.len() < header_len {
+        return Err(corrupt("header", "file shorter than the v3 header"));
+    }
+    let mut cur = Cursor::new(bytes);
+    let magic = read_exact_array::<4>(&mut cur)?;
+    if &magic != BLOCK_MAGIC {
+        return Err(corrupt("header", "missing MSP3 magic"));
+    }
+    let version = read_u16(&mut cur)?;
+    if version != BLOCK_VERSION {
+        return Err(corrupt(
+            "header",
+            format!("unsupported block trace version {version}"),
+        ));
+    }
+    let dim = read_u16(&mut cur)? as usize;
+    if dim != N {
+        return Err(corrupt(
+            "header",
+            format!("trace has dimension {dim}, caller expects {N}"),
+        ));
+    }
+    let d = read_f64(&mut cur)?;
+    let m = read_f64(&mut cur)?;
+    let mut start = Point::<N>::origin();
+    for i in 0..N {
+        start[i] = read_f64(&mut cur)?;
+    }
+    let params = validated_params(d, m, start, "header")?;
+    let block = u32::from_le_bytes(read_exact_array::<4>(&mut cur)?) as usize;
+    if block == 0 || block > MAX_BLOCK_STEPS {
+        return Err(corrupt("header", format!("implausible block size {block}")));
+    }
+    Ok((params, block, header_len))
+}
+
+/// Zero-copy v3 trace reader over a borrowed byte slice (a file read
+/// once, or memory-mapped by the caller).
+///
+/// [`open`](BlockTraceReader::open) fully validates the header and the
+/// CRC-guarded index trailer — offsets must be monotone, in bounds, and
+/// byte-contiguous (every data byte belongs to exactly one block), so a
+/// forged index cannot point decoding at attacker-chosen offsets.
+/// [`seek_to_step`](BlockTraceReader::seek_to_step) is O(1) in the
+/// horizon: it indexes the trailer, and the next
+/// [`next_frame`](BlockTraceReader::next_frame) decodes exactly one
+/// CRC-checked block. Frames are returned as borrowed slices into
+/// per-block scratch that is reused across blocks — replay allocates
+/// nothing per frame.
+///
+/// Implements [`RequestStream`] (frames copied into [`Step`]s, panicking
+/// on corruption like [`TraceReader`]); use
+/// [`try_next`](BlockTraceReader::try_next) or `next_frame` directly for
+/// error-returning or zero-copy access.
+#[derive(Debug)]
+pub struct BlockTraceReader<'a, const N: usize> {
+    bytes: &'a [u8],
+    params: StreamParams<N>,
+    block_steps: usize,
+    offsets: Vec<u64>,
+    total_steps: usize,
+    /// First byte of the index trailer — the end of block data.
+    data_end: usize,
+    /// Block currently decoded into `points`/`frames`, if any.
+    loaded: Option<usize>,
+    points: Vec<Point<N>>,
+    frames: Vec<(usize, usize)>,
+    steps_read: usize,
+}
+
+impl<'a, const N: usize> BlockTraceReader<'a, N> {
+    /// Opens a v3 trace, validating the header and the index trailer
+    /// (marker, CRC, offset monotonicity, block-extent contiguity).
+    /// Block payloads themselves are CRC-checked lazily, on first decode.
+    pub fn open(bytes: &'a [u8]) -> Result<Self, TraceError> {
+        let (params, block_steps, header_len) = parse_block_header::<N>(bytes)?;
+        // The final u32 is the trailer length (marker..CRC inclusive);
+        // minimum trailer is marker(4) + count(8) + total(8) + crc(4).
+        if bytes.len() < header_len + 28 {
+            return Err(corrupt("trailer", "file shorter than the index trailer"));
+        }
+        let tlen = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap()) as usize;
+        if tlen < 24 || tlen > bytes.len() - 4 - header_len {
+            return Err(corrupt(
+                "trailer",
+                format!("implausible trailer length {tlen}"),
+            ));
+        }
+        let ts = bytes.len() - 4 - tlen;
+        let trailer = &bytes[ts..bytes.len() - 4];
+        if &trailer[..4] != INDEX_MARKER {
+            return Err(corrupt(
+                format!("offset {ts}"),
+                "missing IDX3 trailer marker",
+            ));
+        }
+        let stored_crc = u32::from_le_bytes(trailer[tlen - 4..].try_into().unwrap());
+        let actual_crc = crc32(&trailer[..tlen - 4]);
+        if stored_crc != actual_crc {
+            obs::incr(obs::Counter::TraceCrcRejects);
+            return Err(corrupt(
+                format!("offset {ts}"),
+                format!(
+                    "trailer CRC mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
+                ),
+            ));
+        }
+        let block_count = u64::from_le_bytes(trailer[4..12].try_into().unwrap()) as usize;
+        if tlen != 24 + 8 * block_count {
+            return Err(corrupt(
+                format!("offset {ts}"),
+                format!("trailer length {tlen} does not match {block_count} block offsets"),
+            ));
+        }
+        let mut offsets = Vec::with_capacity(block_count);
+        for b in 0..block_count {
+            let at = 12 + 8 * b;
+            offsets.push(u64::from_le_bytes(trailer[at..at + 8].try_into().unwrap()));
+        }
+        let total_steps = u64::from_le_bytes(
+            trailer[12 + 8 * block_count..20 + 8 * block_count]
+                .try_into()
+                .unwrap(),
+        ) as usize;
+        if block_count != total_steps.div_ceil(block_steps) {
+            return Err(corrupt(
+                format!("offset {ts}"),
+                format!(
+                    "trailer records {block_count} blocks for {total_steps} steps at {block_steps} steps/block"
+                ),
+            ));
+        }
+        // Every block extent must tile [header_len, ts) exactly: offset
+        // monotone, header in bounds, and
+        // offset + header + payload_len + crc = next offset (or the
+        // trailer start for the last block).
+        for (b, &off) in offsets.iter().enumerate() {
+            let off = off as usize;
+            let expected = if b == 0 { header_len } else { 0 };
+            if b == 0 && off != expected {
+                return Err(corrupt(
+                    format!("offset {ts}"),
+                    format!("first block at offset {off}, expected {header_len}"),
+                ));
+            }
+            if off + BLOCK_HEADER_LEN + 4 > ts {
+                return Err(corrupt(
+                    format!("offset {ts}"),
+                    format!("block {b} offset {off} out of bounds"),
+                ));
+            }
+            let payload_len =
+                u32::from_le_bytes(bytes[off + 9..off + 13].try_into().unwrap()) as usize;
+            let end = off + BLOCK_HEADER_LEN + payload_len + 4;
+            let next = offsets.get(b + 1).map(|&n| n as usize).unwrap_or(ts);
+            if end != next {
+                return Err(corrupt(
+                    format!("offset {off}"),
+                    format!("block {b} extent ends at {end}, next block expected at {next}"),
+                ));
+            }
+        }
+        Ok(BlockTraceReader {
+            bytes,
+            params,
+            block_steps,
+            offsets,
+            total_steps,
+            data_end: ts,
+            loaded: None,
+            points: Vec::new(),
+            frames: Vec::new(),
+            steps_read: 0,
+        })
+    }
+
+    /// Model parameters from the validated header.
+    pub fn trace_params(&self) -> StreamParams<N> {
+        self.params
+    }
+
+    /// Total steps recorded in the index trailer.
+    pub fn total_steps(&self) -> usize {
+        self.total_steps
+    }
+
+    /// Configured steps per block (the last block may be shorter).
+    pub fn block_size(&self) -> usize {
+        self.block_steps
+    }
+
+    /// Number of blocks in the file.
+    pub fn blocks(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Positions the reader so the next frame read is step `step` — O(1)
+    /// via the index trailer (the target block is decoded lazily by the
+    /// next read). `step == total_steps()` is allowed and positions at
+    /// end-of-trace.
+    pub fn seek_to_step(&mut self, step: usize) -> Result<(), TraceError> {
+        if step > self.total_steps {
+            return Err(corrupt(
+                "seek",
+                format!("step {step} beyond the {}-step trace", self.total_steps),
+            ));
+        }
+        self.steps_read = step;
+        obs::incr(obs::Counter::TraceSeeks);
+        Ok(())
+    }
+
+    /// Steps consumed since open/rewind (equivalently: the index of the
+    /// next frame).
+    pub fn steps_read(&self) -> usize {
+        self.steps_read
+    }
+
+    /// Decodes and CRC-checks block `b` into the reusable scratch.
+    fn load_block(&mut self, b: usize) -> Result<(), TraceError> {
+        let off = self.offsets[b] as usize;
+        let payload_len =
+            u32::from_le_bytes(self.bytes[off + 9..off + 13].try_into().unwrap()) as usize;
+        // Extent validated against the index at open time.
+        debug_assert!(off + BLOCK_HEADER_LEN + payload_len + 4 <= self.data_end);
+        let body = &self.bytes[off..off + BLOCK_HEADER_LEN + payload_len];
+        if &body[..4] != BLOCK_MARKER {
+            return Err(corrupt(
+                format!("offset {off}"),
+                "missing BLK3 block marker",
+            ));
+        }
+        let stored_crc = u32::from_le_bytes(
+            self.bytes
+                [off + BLOCK_HEADER_LEN + payload_len..off + BLOCK_HEADER_LEN + payload_len + 4]
+                .try_into()
+                .unwrap(),
+        );
+        let actual_crc = crc32(body);
+        if stored_crc != actual_crc {
+            obs::incr(obs::Counter::TraceCrcRejects);
+            return Err(corrupt(
+                format!("offset {off}"),
+                format!("block {b} CRC mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"),
+            ));
+        }
+        let mode = body[4];
+        let steps_in_block = u32::from_le_bytes(body[5..9].try_into().unwrap()) as usize;
+        let expected = (self.total_steps - b * self.block_steps).min(self.block_steps);
+        if steps_in_block != expected {
+            return Err(corrupt(
+                format!("offset {off}"),
+                format!("block {b} records {steps_in_block} steps, index expects {expected}"),
+            ));
+        }
+        decode_block_payload(
+            mode,
+            steps_in_block,
+            &body[BLOCK_HEADER_LEN..],
+            off,
+            &mut self.points,
+            &mut self.frames,
+        )?;
+        self.loaded = Some(b);
+        obs::incr(obs::Counter::TraceBlocksRead);
+        Ok(())
+    }
+
+    /// Next frame as a borrowed slice into block scratch — the zero-copy
+    /// replay path (`Ok(None)` at end of trace). The slice is valid until
+    /// the next call on this reader.
+    pub fn next_frame(&mut self) -> Result<Option<&[Point<N>]>, TraceError> {
+        if self.steps_read >= self.total_steps {
+            return Ok(None);
+        }
+        let b = self.steps_read / self.block_steps;
+        if self.loaded != Some(b) {
+            self.load_block(b)?;
+        }
+        let (start, len) = self.frames[self.steps_read - b * self.block_steps];
+        self.steps_read += 1;
+        Ok(Some(&self.points[start..start + len]))
+    }
+
+    /// Next frame copied into an owned [`Step`] (`Ok(None)` at end of
+    /// trace) — the error-returning counterpart of the panicking
+    /// [`RequestStream::next_step`] facade.
+    pub fn try_next(&mut self) -> Result<Option<Step<N>>, TraceError> {
+        Ok(self.next_frame()?.map(|frame| Step::new(frame.to_vec())))
+    }
+}
+
+impl<const N: usize> RequestStream<N> for BlockTraceReader<'_, N> {
+    fn params(&self) -> StreamParams<N> {
+        self.params
+    }
+    fn next_step(&mut self) -> Option<Step<N>> {
+        match self.try_next() {
+            Ok(step) => step,
+            Err(e) => panic!("replaying corrupt trace: {e}"),
+        }
+    }
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.total_steps)
+    }
+    fn rewind(&mut self) {
+        self.steps_read = 0;
+    }
+}
+
+/// Salvages a v3 block trace: walks blocks sequentially from the header,
+/// keeping every step of every block that decodes and CRC-checks cleanly,
+/// and stopping loud at the first damaged block. The index trailer is
+/// *not* trusted (it may itself be torn); a trace only reports clean when
+/// the trailer also validates and agrees with the decoded totals.
+pub fn salvage_block_trace<const N: usize>(bytes: &[u8]) -> Result<SalvagedTrace<N>, TraceError> {
+    let (params, block_steps, header_len) = parse_block_header::<N>(bytes)?;
+    let mut steps: Vec<Step<N>> = Vec::new();
+    let mut points = Vec::new();
+    let mut frames = Vec::new();
+    let mut off = header_len;
+    let mut error = None;
+    loop {
+        if off + 4 <= bytes.len() && &bytes[off..off + 4] == INDEX_MARKER {
+            // Reached what claims to be the trailer: re-validate it (and
+            // the whole file) through the strict reader.
+            match BlockTraceReader::<N>::open(bytes) {
+                Ok(reader) if reader.total_steps() == steps.len() => {}
+                Ok(reader) => {
+                    error = Some(corrupt(
+                        format!("offset {off}"),
+                        format!(
+                            "trailer records {} steps but {} were decoded",
+                            reader.total_steps(),
+                            steps.len()
+                        ),
+                    ));
+                }
+                Err(e) => error = Some(e),
+            }
+            break;
+        }
+        if off + BLOCK_HEADER_LEN + 4 > bytes.len() {
+            error = Some(corrupt(
+                format!("offset {off}"),
+                "trace truncated: missing index trailer",
+            ));
+            break;
+        }
+        let body_head = &bytes[off..off + BLOCK_HEADER_LEN];
+        if &body_head[..4] != BLOCK_MARKER {
+            error = Some(corrupt(
+                format!("offset {off}"),
+                "missing BLK3 block marker",
+            ));
+            break;
+        }
+        let mode = body_head[4];
+        let steps_in_block = u32::from_le_bytes(body_head[5..9].try_into().unwrap()) as usize;
+        let payload_len = u32::from_le_bytes(body_head[9..13].try_into().unwrap()) as usize;
+        if steps_in_block > block_steps || off + BLOCK_HEADER_LEN + payload_len + 4 > bytes.len() {
+            error = Some(corrupt(
+                format!("offset {off}"),
+                "block extent truncated or oversized",
+            ));
+            break;
+        }
+        let body = &bytes[off..off + BLOCK_HEADER_LEN + payload_len];
+        let stored_crc = u32::from_le_bytes(
+            bytes[off + BLOCK_HEADER_LEN + payload_len..off + BLOCK_HEADER_LEN + payload_len + 4]
+                .try_into()
+                .unwrap(),
+        );
+        let actual_crc = crc32(body);
+        if stored_crc != actual_crc {
+            obs::incr(obs::Counter::TraceCrcRejects);
+            error = Some(corrupt(
+                format!("offset {off}"),
+                format!(
+                    "block CRC mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
+                ),
+            ));
+            break;
+        }
+        if let Err(e) = decode_block_payload(
+            mode,
+            steps_in_block,
+            &body[BLOCK_HEADER_LEN..],
+            off,
+            &mut points,
+            &mut frames,
+        ) {
+            error = Some(e);
+            break;
+        }
+        for &(start, len) in &frames {
+            steps.push(Step::new(points[start..start + len].to_vec()));
+        }
+        off += BLOCK_HEADER_LEN + payload_len + 4;
+    }
+    Ok(SalvagedTrace {
+        params,
+        steps,
+        error,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -897,11 +1595,12 @@ mod tests {
         )
     }
 
-    fn formats() -> [TraceFormat; 3] {
+    fn formats() -> [TraceFormat; 4] {
         [
             TraceFormat::TextV1,
             TraceFormat::ChunkedV2 { chunk: 2 },
             TraceFormat::Binary,
+            TraceFormat::BlockV3 { block: 2 },
         ]
     }
 
@@ -1094,5 +1793,101 @@ mod tests {
             .replace("chunk 1", "chunk 5");
         let err = read_trace::<2>(text.as_bytes()).unwrap_err();
         assert!(format!("{err}").contains("out of order"), "{err}");
+    }
+
+    fn sample_v3_bytes(block: usize) -> Vec<u8> {
+        record_to_vec(
+            &mut InstanceStream::new(sample_instance()),
+            TraceFormat::BlockV3 { block },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn block_reader_seeks_to_any_step() {
+        let inst = sample_instance();
+        let bytes = sample_v3_bytes(2);
+        let mut reader = BlockTraceReader::<2>::open(&bytes).unwrap();
+        assert_eq!(reader.total_steps(), inst.horizon());
+        assert_eq!(reader.blocks(), 2);
+        for k in (0..=inst.horizon()).rev() {
+            reader.seek_to_step(k).unwrap();
+            for expected in &inst.steps[k..] {
+                let frame = reader.next_frame().unwrap().unwrap();
+                assert_eq!(frame.len(), expected.requests.len());
+                for (a, b) in frame.iter().zip(&expected.requests) {
+                    assert_eq!(bits_of(a), bits_of(b));
+                }
+            }
+            assert!(reader.next_frame().unwrap().is_none());
+        }
+        assert!(reader.seek_to_step(inst.horizon() + 1).is_err());
+    }
+
+    #[test]
+    fn block_writer_uses_delta_and_raw_modes() {
+        // Block 0 (nice values) should delta-encode; block 1 contains
+        // `-0.0`, which no delta can reconstruct from a positive
+        // predictor — the escape hatch must fall back to raw.
+        let bytes = sample_v3_bytes(2);
+        let reader = BlockTraceReader::<2>::open(&bytes).unwrap();
+        let modes: Vec<u8> = (0..reader.blocks())
+            .map(|b| bytes[reader.offsets[b] as usize + 4])
+            .collect();
+        assert_eq!(modes, vec![BLOCK_MODE_DELTA, BLOCK_MODE_RAW]);
+    }
+
+    #[test]
+    fn corrupt_v3_trailer_is_rejected() {
+        let mut bytes = sample_v3_bytes(2);
+        let flip = bytes.len() - 10;
+        bytes[flip] ^= 0x01;
+        assert!(BlockTraceReader::<2>::open(&bytes).is_err());
+    }
+
+    #[test]
+    fn corrupt_v3_block_salvages_valid_prefix() {
+        let inst = sample_instance();
+        let mut bytes = sample_v3_bytes(2);
+        // Flip one payload byte of the second block; the trailer and the
+        // first block stay intact.
+        let reader = BlockTraceReader::<2>::open(&bytes).unwrap();
+        let off = reader.offsets[1] as usize + BLOCK_HEADER_LEN;
+        drop(reader);
+        bytes[off] ^= 0x40;
+        let salvaged = salvage_trace::<2>(&bytes).unwrap();
+        assert!(!salvaged.is_clean());
+        assert_eq!(salvaged.steps.len(), 2);
+        for (a, b) in salvaged.steps.iter().zip(&inst.steps) {
+            for (va, vb) in a.requests.iter().zip(&b.requests) {
+                assert_eq!(bits_of(va), bits_of(vb));
+            }
+        }
+        assert!(format!("{}", salvaged.error.unwrap()).contains("CRC mismatch"));
+    }
+
+    #[test]
+    fn streaming_reader_rejects_v3_with_pointer() {
+        let bytes = sample_v3_bytes(2);
+        let err = TraceReader::<2, _>::open(Cursor::new(bytes)).unwrap_err();
+        assert!(format!("{err}").contains("BlockTraceReader"), "{err}");
+    }
+
+    #[test]
+    fn empty_v3_trace_round_trips() {
+        let params = StreamParams::new(2.0, 1.0, P2::xy(0.0, 0.0));
+        let inst = params.into_instance(Vec::new());
+        let bytes = record_to_vec(
+            &mut InstanceStream::new(inst),
+            TraceFormat::BlockV3 { block: 8 },
+        )
+        .unwrap();
+        let mut reader = BlockTraceReader::<2>::open(&bytes).unwrap();
+        assert_eq!(reader.total_steps(), 0);
+        assert_eq!(reader.blocks(), 0);
+        assert!(reader.next_frame().unwrap().is_none());
+        let salvaged = salvage_trace::<2>(&bytes).unwrap();
+        assert!(salvaged.is_clean());
+        assert!(salvaged.steps.is_empty());
     }
 }
