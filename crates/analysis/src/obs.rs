@@ -116,10 +116,13 @@ metric_enum! {
         GridDtRows => "grid_dp.dt_rows",
         /// Admissible (source row, target row) pairs in DT sweeps.
         GridDtPairs => "grid_dp.dt_pairs",
-        /// Cells deferred from the prefix to the suffix envelope sweep.
-        GridDtSuffixCells => "grid_dp.dt_suffix_cells",
-        /// Cells resolved by the DT kernel's brute-window fallback.
-        GridDtBruteCells => "grid_dp.dt_brute_cells",
+        /// SMAWK row-minima reductions run by the DT kernel (one per
+        /// row pair that survives the whole-pair improvement bound).
+        GridSmawkRows => "grid.smawk_rows",
+        /// Cells whose frontier or service values were reused from a
+        /// warm journal instead of recomputed (`GridDp::solve_warm`
+        /// and the probe's warm window cache).
+        GridWarmReuseCells => "grid.warm_reuse_cells",
         /// Geometric-median solves (routed from `MedianTelemetry`).
         MedianSolves => "median.solves",
         /// Total Weiszfeld iterations across median solves.

@@ -1,4 +1,4 @@
-//! Emits the machine-readable perf trajectory record (`BENCH_9.json`):
+//! Emits the machine-readable perf trajectory record (`BENCH_10.json`):
 //! wall-clock comparisons of the tracked fast paths against their
 //! baselines, so future optimization PRs have measured numbers to beat.
 //! `docs/BENCHMARKS.md` documents the record format, the regeneration
@@ -22,9 +22,11 @@
 //! * `grid_dp_*` — the radius-pruned windowed transition kernel vs the
 //!   all-pairs scan (both sides share the hoisted SoA service scan, so
 //!   the baseline is *stricter* than `BENCH_1.json`'s),
-//! * `grid_dp_dt_*` (PR 4) — the lower-envelope distance-transform
-//!   kernel vs the PR-3 windowed kernel: the window factor the envelope
-//!   sweep removes, measured on the same reused `GridDp`,
+//! * `grid_dp_smawk_*` (PR 4, reworked PR 10) — the SMAWK min-plus
+//!   distance-transform kernel vs the PR-3 windowed kernel: the window
+//!   factor the totally-monotone row reduction removes, measured on the
+//!   same reused `GridDp` (successor of the retired `grid_dp_dt_*`
+//!   pairs, same shapes),
 //! * `executor_pooled_fanout` (PR 5) — repeated small fan-outs (the
 //!   per-block dispatch shape of the streaming batch engine) through the
 //!   persistent worker pool vs the pre-PR-5 scoped spawn/join executor,
@@ -54,7 +56,11 @@
 //!   trace to the same probe steps (identical frames asserted),
 //! * `corpus_replay_v3_vs_v2` (PR 9) — zero-copy block-v3 replay
 //!   (borrowed frames into `StreamingSim::feed_requests`) vs the
-//!   chunked-v2 text replay path, bit-equal cost totals asserted.
+//!   chunked-v2 text replay path, bit-equal cost totals asserted,
+//! * `sweep_warm_dp` (PR 10) — a horizon sweep pricing OPT at every
+//!   prefix mark through one warm [`GridDp::solve_warm`] journal
+//!   (each mark replays the shared step prefix for free) vs per-mark
+//!   cold re-solves of the same prefixes, bit-equal OPTs asserted.
 //!
 //! Usage:
 //!   `cargo run --release -p msp-bench --bin perf_report [-- FLAGS] [out.json]`
@@ -157,6 +163,8 @@ struct Shapes {
     warm_fan_instances: usize,
     /// Sessions in the service-churn fleet.
     churn_sessions: usize,
+    /// Prefix marks (stride 4) in the warm-DP horizon sweep.
+    warm_dp_marks: usize,
     reps: usize,
 }
 
@@ -170,6 +178,7 @@ impl Shapes {
             fanouts: 512,
             warm_fan_instances: 48,
             churn_sessions: 48,
+            warm_dp_marks: 12,
             reps: 9,
         }
     }
@@ -194,6 +203,7 @@ impl Shapes {
             fanouts: 192,
             warm_fan_instances: 24,
             churn_sessions: 24,
+            warm_dp_marks: 8,
             reps: 13,
         }
     }
@@ -510,10 +520,11 @@ fn grid_comparison(cells: usize, sh: &Shapes) -> Comparison {
     }
 }
 
-/// PR 4: the distance-transform transition kernel vs the PR-3 windowed
-/// kernel — the baseline here is the *previous record's fast path*, so
-/// the speedup is the window factor the envelope sweep removes.
-fn grid_dt_comparison(cells: usize, sh: &Shapes) -> Comparison {
+/// PR 4 (reworked PR 10): the SMAWK distance-transform transition kernel
+/// vs the PR-3 windowed kernel — the baseline here is the *previous
+/// record's fast path*, so the speedup is the window factor the
+/// totally-monotone row reduction removes.
+fn grid_smawk_comparison(cells: usize, sh: &Shapes) -> Comparison {
     let inst = grid_instance();
     let mut dp = GridDp::new(&inst, cells);
     // Sequential rows on both sides: this entry isolates the PR-4
@@ -546,12 +557,90 @@ fn grid_dt_comparison(cells: usize, sh: &Shapes) -> Comparison {
         "dt/windowed parity broken: {dt} vs {windowed}"
     );
     Comparison {
-        name: format!("grid_dp_dt_{cells}"),
+        name: format!("grid_dp_smawk_{cells}"),
         baseline_ns,
         fast_ns,
         detail: format!(
             "{cells}×{cells} planar grid, T=6, m=0.4, reused GridDp scratch: radius-pruned \
-             window scan vs lower-envelope distance transform (one cone envelope per row pair)"
+             window scan vs SMAWK min-plus distance transform (one totally-monotone row \
+             reduction per admissible row pair)"
+        ),
+    }
+}
+
+/// PR 10: a horizon sweep pricing the exact OPT at every prefix mark —
+/// the denominator discipline of every walk/ratio experiment — through
+/// **one** warm [`GridDp::solve_warm`] journal vs per-mark cold
+/// re-solves of the same prefixes on the same covering arena. The warm
+/// chain replays each mark's shared step prefix from the journal, so the
+/// sweep pays each DP transition once (O(T) total steps) instead of once
+/// per mark (O(T²/stride)); results are bit-equal (asserted). Rows are
+/// pinned sequential so the pair is machine-independent.
+fn sweep_warm_dp_comparison(sh: &Shapes) -> Comparison {
+    let t_max = 4 * sh.warm_dp_marks;
+    let steps: Vec<Step<2>> = (0..t_max)
+        .map(|t| {
+            let a = t as f64 * 0.9;
+            Step::new(vec![P2::xy(a.cos(), a.sin()), P2::xy(-0.4 * a.sin(), 0.7)])
+        })
+        .collect();
+    let inst = Instance::new(2.0, 0.4, P2::origin(), steps);
+    let cells = sh.grid_cells[0];
+    let prefixes: Vec<Instance<2>> = (1..=sh.warm_dp_marks).map(|k| inst.prefix(4 * k)).collect();
+    let mut dp = GridDp::new(&inst, cells);
+    dp.set_row_threads(1);
+    let baseline_ns = time_ns(sh.reps, || {
+        let mut acc = 0.0;
+        for p in &prefixes {
+            dp.reset_warm();
+            acc += dp.solve_warm(
+                p,
+                ServingOrder::MoveFirst,
+                TransitionKernel::DistanceTransform,
+            );
+        }
+        acc
+    });
+    let fast_ns = time_ns(sh.reps, || {
+        dp.reset_warm();
+        let mut acc = 0.0;
+        for p in &prefixes {
+            acc += dp.solve_warm(
+                p,
+                ServingOrder::MoveFirst,
+                TransitionKernel::DistanceTransform,
+            );
+        }
+        acc
+    });
+    // Bit-equality of the warm chain against cold per-prefix solves.
+    dp.reset_warm();
+    for p in &prefixes {
+        let warm = dp.solve_warm(
+            p,
+            ServingOrder::MoveFirst,
+            TransitionKernel::DistanceTransform,
+        );
+        let cold = GridDp::new(&inst, cells).set_row_threads(1).solve_warm(
+            p,
+            ServingOrder::MoveFirst,
+            TransitionKernel::DistanceTransform,
+        );
+        assert!(
+            warm.to_bits() == cold.to_bits(),
+            "warm/cold sweep parity broken: {warm} vs {cold} at T={}",
+            p.horizon()
+        );
+    }
+    Comparison {
+        name: "sweep_warm_dp".into(),
+        baseline_ns,
+        fast_ns,
+        detail: format!(
+            "{} prefix marks (stride 4, T={t_max}) on a {cells}×{cells} planar grid, m=0.4, \
+             sequential rows: per-mark cold GridDp re-solves vs one warm journal chained \
+             across the sweep (bit-equal OPTs)",
+            sh.warm_dp_marks
         ),
     }
 }
@@ -1046,7 +1135,7 @@ Flags:
                      of the value recorded under the same name in <file>
   --help             this message
 
-The default output is BENCH_9.json. docs/BENCHMARKS.md explains how the
+The default output is BENCH_10.json. docs/BENCHMARKS.md explains how the
 BENCH_*.json records are produced, what the 0.8x CI gate means, and how to
 regenerate the references after a hardware change.";
 
@@ -1070,7 +1159,7 @@ fn main() {
         if quick {
             "bench-ci.json".into()
         } else {
-            "BENCH_9.json".into()
+            "BENCH_10.json".into()
         }
     });
     let sh = if quick {
@@ -1101,8 +1190,9 @@ fn main() {
         streaming_batch_comparison(&sh),
         grid_comparison(sh.grid_cells[0], &sh),
         grid_comparison(sh.grid_cells[1], &sh),
-        grid_dt_comparison(sh.grid_cells[0], &sh),
-        grid_dt_comparison(sh.grid_cells[1], &sh),
+        grid_smawk_comparison(sh.grid_cells[0], &sh),
+        grid_smawk_comparison(sh.grid_cells[1], &sh),
+        sweep_warm_dp_comparison(&sh),
         executor_fanout_comparison(&sh),
         grid_dt_par_comparison(sh.grid_cells[0], &sh),
         grid_dt_par_comparison(sh.grid_cells[1], &sh),
@@ -1124,7 +1214,7 @@ fn main() {
     }
 
     let json = Json::obj([
-        ("pr", Json::Num(9.0)),
+        ("pr", Json::Num(10.0)),
         ("quick", Json::from(quick)),
         (
             "tier1",

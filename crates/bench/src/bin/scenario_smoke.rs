@@ -13,10 +13,13 @@
 //! uninterrupted run.
 //!
 //! With `--metrics` the run enables the process-wide observability
-//! registry ([`msp_analysis::obs`]), validates the resulting
-//! [`msp_analysis::MetricsSnapshot`] (every counter present, totals
-//! monotone across the run, no timestamps — the snapshot must be
-//! deterministic modulo timing histograms), and dumps it as JSON.
+//! registry ([`msp_analysis::obs`]), drives a probed streaming run plus
+//! a warm grid-DP sweep (so the `grid.smawk_rows` and
+//! `grid.warm_reuse_cells` counters are exercised, not just declared),
+//! validates the resulting [`msp_analysis::MetricsSnapshot`] (every
+//! counter present, totals monotone across the run, no timestamps — the
+//! snapshot must be deterministic modulo timing histograms), and dumps
+//! it as JSON.
 //!
 //! With `--chaos` the run drives a mixed session fleet through a
 //! seed-replayable schedule of advances, evictions, crashes (drop the
@@ -57,8 +60,10 @@ OPTIONS:
     --fault-seed <n>   Also run the crash-safety smoke per scenario:
                        torn-write salvage plus journal crash/resume,
                        with every fault placement derived from <n>.
-    --metrics          Enable the observability registry, validate the
-                       post-run snapshot schema, and dump it as JSON.
+    --metrics          Enable the observability registry, run a probed
+                       grid smoke (asserting the grid.* counters move),
+                       validate the post-run snapshot schema, and dump
+                       it as JSON.
     --chaos            Drive a mixed session-service fleet through a
                        seed-replayable schedule of advances, evictions,
                        crashes, and journal corruptions, asserting
@@ -743,6 +748,61 @@ fn chaos_smoke(seed: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// Exercises the PR 10 grid counters under `--metrics`: a probed
+/// streaming run whose periodic request pattern makes the probe's
+/// windowed DP hit its warm journal (identical blocks), plus a warm
+/// grid-DP horizon sweep (SMAWK row reductions + journal replay) — so
+/// [`validate_metrics`] can demand `grid.smawk_rows` and
+/// `grid.warm_reuse_cells` both moved during the run.
+fn grid_metrics_smoke() -> Result<(), String> {
+    use msp_core::model::{Instance, Step};
+    use msp_geometry::P2;
+    use msp_offline::{run_streaming_probed, GridDp, ProbeOptions, TransitionKernel};
+
+    // Period-2 corner requests: every 8-step probe block is bit-identical
+    // to the previous one, the warm-window full-match path.
+    let steps: Vec<Step<2>> = (0..48)
+        .map(|t| {
+            Step::single(if t % 2 == 0 {
+                P2::xy(0.0, 0.0)
+            } else {
+                P2::xy(8.0, 6.0)
+            })
+        })
+        .collect();
+    let inst = Instance::new(2.0, 0.5, P2::xy(4.0, 3.0), steps);
+    let (_, samples) = run_streaming_probed(
+        &inst.params(),
+        inst.steps.iter().cloned(),
+        MoveToCenter::default(),
+        0.25,
+        ServingOrder::MoveFirst,
+        ProbeOptions {
+            grid_block: 8,
+            ..ProbeOptions::default()
+        },
+        16,
+    );
+    if samples.is_empty() {
+        return Err("probed smoke run produced no ratio samples".into());
+    }
+    // Warm horizon sweep: the repeated final mark is a pure journal
+    // replay, the growing marks replay their shared prefixes.
+    let mut dp = GridDp::new(&inst, 15);
+    let mut opt = 0.0;
+    for t in [16usize, 32, 48, 48] {
+        opt = dp.solve_warm(
+            &inst.prefix(t),
+            ServingOrder::MoveFirst,
+            TransitionKernel::DistanceTransform,
+        );
+    }
+    if !(opt.is_finite() && opt > 0.0) {
+        return Err(format!("grid smoke OPT not positive: {opt}"));
+    }
+    Ok(())
+}
+
 /// Schema checks on the post-run snapshot: every declared metric must be
 /// present, totals must dominate the pre-run snapshot (counters are
 /// monotone), and the rendered JSON must carry no wall-clock fields —
@@ -776,6 +836,15 @@ fn validate_metrics(
     let sessions_after = after.counter("stream.sessions").unwrap_or(0);
     if sessions_after <= sessions_before {
         return Err("smoke run recorded no streaming sessions".into());
+    }
+    // The probed grid smoke must have driven both PR 10 grid counters:
+    // SMAWK row reductions from the DT kernel and warm-journal reuse
+    // from the repeated-window probe blocks and the warm horizon sweep.
+    for name in ["grid.smawk_rows", "grid.warm_reuse_cells"] {
+        let b = before.counter(name).unwrap_or(0);
+        if after.counter(name).unwrap_or(0) <= b {
+            return Err(format!("{name} did not move across the probed grid smoke"));
+        }
     }
     let rendered = after.to_json().to_string();
     if !rendered.contains(&format!("\"schema\":\"{}\"", obs::SCHEMA)) {
@@ -864,6 +933,13 @@ fn main() {
             failures += 1;
         }
         let _ = std::panic::take_hook();
+    }
+    if metrics_before.is_some() {
+        println!("grid smoke: probed streaming run + warm grid-DP sweep (grid.* counters)");
+        if let Err(e) = grid_metrics_smoke() {
+            eprintln!("FAIL grid metrics smoke: {e}");
+            failures += 1;
+        }
     }
     if let Some(before) = &metrics_before {
         let after = obs::snapshot();

@@ -17,7 +17,10 @@
 //!   solver.
 
 use crate::report::ExperimentReport;
-use crate::runner::{convex_ratio_warm, mean_over_seeds, mean_over_seeds_warm, Scale};
+use crate::runner::{
+    convex_ratio_warm, mean_over_seeds, mean_over_seeds_warm, prefix_grid_ratios,
+    stats_from_values, Scale,
+};
 use msp_adversary::{build_thm2, build_thm2_rotating, Thm2Params};
 use msp_analysis::table::fmt_sig;
 use msp_analysis::{fit_power_law, parallel_map, Json, Table};
@@ -27,6 +30,7 @@ use msp_core::mtc::MoveToCenter;
 use msp_core::ratio::{competitive_ratio, ratio_lower_bound};
 use msp_core::simulator::run as simulate;
 use msp_geometry::P1;
+use msp_offline::grid::TransitionKernel;
 use msp_offline::solve_line;
 use msp_workloads::{DriftingHotspot, DriftingHotspotConfig, RequestCount};
 
@@ -157,7 +161,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
         ]));
     }
     let fit = fit_power_law(&xs, &ys);
-    let findings = vec![
+    let mut findings = vec![
         format!(
             "Worst-case planar ratio scales as δ^{:.2} (R² = {:.3}).",
             fit.exponent, fit.r_squared
@@ -169,6 +173,63 @@ pub fn run(scale: Scale) -> ExperimentReport {
         ),
         "The rotating family (genuinely 2-D) behaves like the collinear one — no evidence that plane geometry forces the worse 1/δ^{3/2} rate, supporting the paper's conjecture.".into(),
     ];
+
+    // Planar T-independence at fixed δ = 0.2: ratios at every prefix
+    // horizon of a compact drifting hotspot, the OPT denominator priced
+    // by **one** warm grid DP per seed — [`prefix_grid_ratios`] replays
+    // each mark's shared step prefix from the `solve_warm` journal, so
+    // the horizon sweep pays each DP transition once instead of once per
+    // mark (the e4a incremental-pricing discipline, lifted to the plane).
+    let t_list: Vec<usize> = vec![hotspot_t / 4, hotspot_t / 2, hotspot_t];
+    let seed_list: Vec<u64> = (0..seeds.min(4)).collect();
+    let per_seed: Vec<Vec<f64>> = parallel_map(&seed_list, |&seed| {
+        let gen = DriftingHotspot::new(DriftingHotspotConfig::<2> {
+            horizon: hotspot_t,
+            d: 2.0,
+            max_move: 1.0,
+            drift_speed: 0.4,
+            momentum: 0.9,
+            spread: 0.3,
+            arena_half_width: 12.0,
+            count: RequestCount::Fixed(2),
+        });
+        let inst = gen.generate(seed);
+        prefix_grid_ratios(
+            &inst,
+            MoveToCenter::new(),
+            0.2,
+            ServingOrder::MoveFirst,
+            25,
+            TransitionKernel::DistanceTransform,
+            &t_list,
+        )
+    });
+    let mut flat = Vec::new();
+    for (ti, &t) in t_list.iter().enumerate() {
+        let values: Vec<f64> = per_seed.iter().map(|r| r[ti]).collect();
+        let stats = stats_from_values(&values);
+        table.push_row(vec![
+            format!("δ=0.2, T={t}"),
+            "—".into(),
+            "—".into(),
+            stats.cell(),
+            fmt_sig(stats.mean),
+            fmt_sig(5.0),
+            fmt_sig(0.2f64.powf(-1.5)),
+        ]);
+        flat.push(stats.mean);
+        json_rows.push(Json::obj([
+            ("t", Json::from(t)),
+            ("ratio_grid_fixed_delta", Json::from(stats.mean)),
+        ]));
+    }
+    let spread = (flat.iter().cloned().fold(f64::MIN, f64::max)
+        - flat.iter().cloned().fold(f64::MAX, f64::min))
+        / flat[0].max(1e-12);
+    findings.push(format!(
+        "Fixed δ = 0.2, plane: grid-priced ratio varies by {:.1}% across a 4× horizon range — independent of T, matching the theorem (denominators from one warm grid DP per seed).",
+        spread * 100.0
+    ));
 
     ExperimentReport {
         id: "e4b",
@@ -188,7 +249,7 @@ mod tests {
     fn smoke_run_completes() {
         let r = run(Scale::Smoke);
         assert_eq!(r.id, "e4b");
-        assert_eq!(r.findings.len(), 3);
+        assert_eq!(r.findings.len(), 4);
         assert!(!r.table.is_empty());
     }
 

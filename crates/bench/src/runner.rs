@@ -19,6 +19,7 @@ use msp_core::model::Instance;
 use msp_core::ratio::competitive_ratio;
 use msp_core::simulator::{run, run_batch_with, run_with_warm_hint, BatchOptions, StreamingSim};
 use msp_offline::convex::{ConvexSolver, ConvexSolverOptions};
+use msp_offline::grid::{GridDp, TransitionKernel};
 use msp_offline::line::{solve_line, IncrementalLineOpt};
 
 /// How big the experiment should be.
@@ -448,6 +449,66 @@ pub fn prefix_line_ratios<A: OnlineAlgorithm<1>>(
     out
 }
 
+/// N-dimensional analogue of [`prefix_line_ratios`]: competitive ratios
+/// of `algorithm` at every prefix horizon in `marks`, with the OPT
+/// denominator priced by **one** warm grid DP
+/// ([`msp_offline::grid::GridDp::solve_warm`]) whose journal
+/// fast-forwards through the steps shared with the previous mark — so a
+/// horizon sweep pays for each step's DP transition once instead of once
+/// per mark. The arena covers the *full* instance's bounding box, the
+/// same geometry a single covering solver would use for every prefix,
+/// and the warm journal's bit-equality contract makes each mark's OPT
+/// bit-identical to a cold [`GridDp::solve_warm`] of that prefix on the
+/// same arena — pinned by tests.
+///
+/// # Panics
+/// Panics when `marks` is not strictly ascending or exceeds the horizon.
+pub fn prefix_grid_ratios<const N: usize, A: OnlineAlgorithm<N>>(
+    instance: &Instance<N>,
+    algorithm: A,
+    delta: f64,
+    order: ServingOrder,
+    cells_per_axis: usize,
+    kernel: TransitionKernel,
+    marks: &[usize],
+) -> Vec<f64> {
+    assert!(
+        marks.windows(2).all(|w| w[0] < w[1]),
+        "prefix marks must be strictly ascending"
+    );
+    assert!(
+        marks.last().is_none_or(|&t| t <= instance.horizon()),
+        "prefix mark beyond the horizon"
+    );
+    let mut sim = StreamingSim::new(&instance.params(), algorithm, delta, order);
+    let mut dp = GridDp::new(instance, cells_per_axis);
+    // Growing prefix instance: steps are appended as the stream advances,
+    // so each solve_warm call sees the previous call's steps verbatim and
+    // the journal replays them for free.
+    let mut prefix = Instance {
+        d: instance.d,
+        max_move: instance.max_move,
+        start: instance.start,
+        steps: Vec::with_capacity(marks.last().copied().unwrap_or(0)),
+    };
+    let mut out = Vec::with_capacity(marks.len());
+    let mut next_mark = marks.iter().copied().peekable();
+    for step in &instance.steps {
+        if next_mark.peek().is_none() {
+            break;
+        }
+        sim.feed(step);
+        prefix.steps.push(step.clone());
+        if next_mark.peek() == Some(&sim.steps()) {
+            next_mark.next();
+            let opt = dp.solve_warm(&prefix, order, kernel);
+            out.push(competitive_ratio(sim.total_cost(), opt));
+        }
+    }
+    assert_eq!(out.len(), marks.len(), "marks beyond the processed prefix");
+    out
+}
+
 /// Mean with confidence interval.
 #[derive(Clone, Copy, Debug)]
 pub struct SeedStats {
@@ -653,6 +714,48 @@ mod tests {
                 assert!(
                     (inc - scratch).abs() <= 1e-12 * scratch.max(1.0),
                     "{order:?} T={t}: incremental {inc} vs from-scratch {scratch}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_grid_ratios_match_from_scratch_solves() {
+        use msp_geometry::P2;
+        let steps: Vec<Step<2>> = (0..48)
+            .map(|t| {
+                let a = t as f64 * 0.7;
+                Step::single(P2::xy(a.sin() * 4.0, a.cos() * 3.0))
+            })
+            .collect();
+        let inst = Instance::new(2.0, 0.6, P2::origin(), steps);
+        let marks = [6usize, 17, 17 + 13, 48];
+        for order in [ServingOrder::MoveFirst, ServingOrder::AnswerFirst] {
+            let warm = prefix_grid_ratios(
+                &inst,
+                MoveToCenter::new(),
+                0.3,
+                order,
+                15,
+                TransitionKernel::DistanceTransform,
+                &marks,
+            );
+            for (&t, &inc) in marks.iter().zip(&warm) {
+                // From scratch: fresh covering solver, cold-solve the
+                // materialized prefix, re-run the online algorithm.
+                let prefix = inst.prefix(t);
+                let opt = GridDp::new(&inst, 15).solve_warm(
+                    &prefix,
+                    order,
+                    TransitionKernel::DistanceTransform,
+                );
+                let mut alg = MoveToCenter::new();
+                let res = run(&prefix, &mut alg, 0.3, order);
+                let scratch = competitive_ratio(res.total_cost(), opt);
+                assert_eq!(
+                    inc.to_bits(),
+                    scratch.to_bits(),
+                    "{order:?} T={t}: warm {inc} vs from-scratch {scratch}"
                 );
             }
         }

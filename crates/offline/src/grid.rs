@@ -27,38 +27,32 @@
 //!   `i` by at most `⌈reach/hᵢ⌉` cells, and the exact distance check
 //!   inside the window keeps the transition set *identical* to the
 //!   all-pairs scan, so their results agree bit for bit.
-//! * [`TransitionKernel::DistanceTransform`] — the lower-envelope
+//! * [`TransitionKernel::DistanceTransform`] — the SMAWK min-plus
 //!   distance transform, `O(cells · windowᴺ⁻¹)`: axis 0 is swept in one
-//!   pass per (target row, source row) pair via the
-//!   [`ConeEnvelope`] of
-//!   `base[j] + D·√((x−x_j)² + C²)` (C = the fixed rest-axis offset of
-//!   the row pair), which is exact because same-`C` cones cross at most
-//!   once. On the line (`N = 1`) the whole step collapses to a single
-//!   `O(cells)` envelope sweep — the Felzenszwalb–Huttenlocher discipline
-//!   applied to the Euclidean (not squared) metric.
+//!   pass per (target row, source row) pair by running the SMAWK
+//!   row-minima reduction of Aggarwal et al. on the pair's candidate
+//!   matrix `M[k][j] = base[j] + D·√((x_k−x_j)² + C²)` (C = the fixed
+//!   rest-axis offset of the row pair), padded so reach-infeasible and
+//!   dead entries preserve total monotonicity (the proof lives in the
+//!   `dt_row` worker's rustdoc; `smawk`'s states the requirement).
+//!   On the line (`N = 1`) the whole step collapses to a single
+//!   `O(cells)` reduction — the totally-monotone-matrix discipline
+//!   applied to the Euclidean (not squared) metric, replacing the PR 4
+//!   prefix/suffix cone-envelope sweeps and their brute-scan fallbacks
+//!   with one provably linear pass per pair.
 //!
-//!   **Exactness contract.** The movement budget makes the feasible
-//!   sources of a target cell a *contiguous* axis-0 index window (move
-//!   distance is monotone in the index offset), so each row pair runs two
-//!   interleaved incorporate-and-query sweeps: a *prefix* envelope over
-//!   sources up to the window's right edge and, for the cells it leaves
-//!   unresolved, a mirrored *suffix* envelope from the window's left
-//!   edge. A winner that lands inside the window minimizes a superset of
-//!   the window attained within it — the constrained minimum, exactly;
-//!   only the rare cell whose prefix *and* suffix winners both fall
-//!   outside scans its window directly. Feasibility is decided on squared
+//!   **Exactness contract.** Feasibility is decided on squared
 //!   distances against a precomputed threshold that reproduces the
-//!   oracle's `d(j,k) ≤ reach` sqrt-compare bit for bit, and candidate
-//!   values are evaluated with the oracle's own expression on the
-//!   oracle's own coordinates, so the only divergence from
-//!   [`TransitionKernel::AllPairs`] is tie-breaking at envelope
-//!   crossovers computed in floating point — the result is never *below*
-//!   the oracle's and agrees within ~1e-12 relative (pinned by proptests
-//!   in `tests/transition_kernels.rs`). Improvement bounds (per pair:
-//!   cheapest row base plus the `D·C` rest-offset move against the
-//!   frontier maximum; per cell: a sliding-window base minimum against
-//!   the cell's current value) skip only candidates that cannot strictly
-//!   improve the frontier, preserving both properties. Arenas whose axis
+//!   oracle's `d(j,k) ≤ reach` sqrt-compare bit for bit, and the
+//!   candidate value of a SMAWK winner is evaluated with the oracle's
+//!   own expression on the oracle's own coordinates, so the only
+//!   divergence from [`TransitionKernel::AllPairs`] is tie-breaking
+//!   among equal minima — the result is never *below* the oracle's and
+//!   agrees within ~1e-12 relative (pinned by proptests in
+//!   `tests/transition_kernels.rs`). A whole-pair improvement bound
+//!   (cheapest row base plus the `D·C` rest-offset move against the
+//!   frontier maximum) skips only pairs that cannot strictly improve
+//!   any cell, preserving both properties. Arenas whose axis
 //!   coordinates are not strictly increasing in `f64` (possible only for
 //!   degenerate magnitudes where spacing falls under one ulp) are
 //!   detected at construction and silently served by the windowed kernel
@@ -84,8 +78,18 @@
 //! order — bit-identical per node to the scalar per-node loop it
 //! replaced, so the windowed/all-pairs exact-equality contract is
 //! preserved for every request count.
+//!
+//! **Warm incremental solves.** Sweeps that re-solve the same arena
+//! against step-wise similar instances (prefix sweeps, perturbed
+//! schedules) should use [`GridDp::solve_warm`]: it journals every
+//! step's request bits, service costs, and post-step frontier, and on
+//! the next solve fast-forwards over the longest step prefix whose
+//! request bits are unchanged — the exactness guard is bit-level
+//! equality of the inputs, so a warm solve is **bit-equal** to the cold
+//! solve of the same instance (pinned by proptests). See the method
+//! docs for the journal contract and its `O(horizon · cells)` memory
+//! cost.
 
-use crate::envelope::ConeEnvelope;
 use msp_analysis::obs;
 use msp_core::cost::ServingOrder;
 use msp_core::model::Instance;
@@ -275,12 +279,15 @@ pub struct GridDp<const N: usize> {
     /// DT scratch: per-source transition base cost (`cost`, plus `serve`
     /// under Answer-First).
     base: Vec<f64>,
-    /// DT scratch: per-row prefix counts of finite `base` entries
-    /// (`rows × (n₀+1)` layout) — O(1) dead-row and dead-window checks.
-    finite_pref: Vec<u32>,
+    /// DT scratch: per-row count of finite `base` entries — O(1)
+    /// dead-row checks.
+    row_live: Vec<u32>,
     /// DT scratch: per-row minimum of `base` (∞ for dead rows) — the
     /// whole-pair skip bound.
     row_min: Vec<f64>,
+    /// Warm-solve journal for [`GridDp::solve_warm`] (empty until the
+    /// first warm solve; [`GridDp::reset_warm`] clears it).
+    warm: WarmJournal,
     /// DT scratch: one [`DtScratch`] per row-fan worker (grown lazily to
     /// the fan width; index 0 serves the sequential path).
     dt_scratch: Vec<DtScratch>,
@@ -301,25 +308,68 @@ struct DtScratch {
     /// The admissible (C², source row) pairs of one target row, sorted by
     /// ascending rest offset.
     pair_buf: Vec<(f64, usize)>,
-    /// Per-cell sweep state for one row pair — resolved, or the feasible
-    /// right edge deferred to the suffix sweep.
-    mark: Vec<u32>,
-    /// Monotone deque for the sliding-window base minimum (the per-cell
-    /// improvement bound).
-    minq: Vec<u32>,
-    /// The reusable axis-0 lower envelope.
-    env: ConeEnvelope,
+    /// SMAWK column arena: survivor column indices of every live
+    /// recursion level, stack-disciplined (each level appends its
+    /// reduced columns and truncates them on return), so one flat `Vec`
+    /// serves the whole recursion without per-level allocation.
+    cols: Vec<u32>,
+    /// Per-target argmin column written by the SMAWK reduction.
+    argmin: Vec<u32>,
 }
 
 impl DtScratch {
     fn new(n0: usize) -> Self {
         DtScratch {
             pair_buf: Vec::new(),
-            mark: vec![0; n0],
-            minq: Vec::with_capacity(n0),
-            env: ConeEnvelope::with_capacity(n0),
+            cols: Vec::with_capacity(2 * n0 + 4),
+            argmin: vec![0; n0],
         }
     }
+}
+
+/// One journaled step of a warm solve: the request coordinates (as raw
+/// bits — the exactness guard compares inputs bit-level), the step's
+/// per-node service costs (a pure function of requests and arena, so
+/// reusable whenever this step's bits match even after an earlier step
+/// diverged), and the post-step frontier.
+struct WarmStep {
+    /// `N` coordinate bit patterns per request, flattened.
+    req_bits: Vec<u64>,
+    /// Per-node service cost of the step.
+    serve: Vec<f64>,
+    /// Per-node DP cost *after* this step's transition.
+    frontier: Vec<f64>,
+}
+
+/// The warm-solve journal: a consistent chain of [`WarmStep`]s — entry
+/// `t`'s frontier is the DP state after steps `0..=t` with exactly the
+/// journaled request bits — valid only for one (serving order, resolved
+/// kernel) pair, since kernels differ in tie-level bits.
+#[derive(Default)]
+struct WarmJournal {
+    order: Option<(ServingOrder, TransitionKernel)>,
+    steps: Vec<WarmStep>,
+}
+
+/// Flattened coordinate bit patterns of one step's requests (shared
+/// with the probe's warm window cache).
+pub(crate) fn step_req_bits<const N: usize>(requests: &[Point<N>]) -> Vec<u64> {
+    let mut bits = Vec::with_capacity(requests.len() * N);
+    for r in requests {
+        for i in 0..N {
+            bits.push(r[i].to_bits());
+        }
+    }
+    bits
+}
+
+/// Whether `bits` is exactly the bit pattern of `requests`.
+pub(crate) fn req_bits_match<const N: usize>(bits: &[u64], requests: &[Point<N>]) -> bool {
+    bits.len() == requests.len() * N
+        && requests
+            .iter()
+            .enumerate()
+            .all(|(r, p)| (0..N).all(|i| bits[r * N + i] == p[i].to_bits()))
 }
 
 /// Read-only per-step context shared by every target row of one
@@ -332,15 +382,13 @@ struct DtStep<'a, const N: usize> {
     d: f64,
     /// Axis-0 node coordinates.
     x0: &'a [f64],
-    /// Axis-0 spacing.
-    h0: f64,
     axis: &'a [Vec<f64>; N],
     nodes: &'a [Point<N>],
     /// Per-source transition base cost (`cost`, plus `serve` under
     /// Answer-First).
     base: &'a [f64],
-    /// Per-row prefix counts of finite `base` entries.
-    pref: &'a [u32],
+    /// Per-row count of finite `base` entries.
+    live: &'a [u32],
     /// Per-row minimum of `base`.
     row_min: &'a [f64],
     window: &'a [usize; N],
@@ -375,10 +423,11 @@ impl<const N: usize> GridDp<N> {
             serve: vec![0.0; n],
             dist_sq: vec![0.0; n],
             base: vec![0.0; n],
-            finite_pref: vec![0; rows * (cells_per_axis + 1)],
+            row_live: vec![0; rows],
             row_min: vec![0.0; rows],
             dt_scratch: vec![DtScratch::new(cells_per_axis)],
             row_threads: 0,
+            warm: WarmJournal::default(),
         }
     }
 
@@ -479,31 +528,165 @@ impl<const N: usize> GridDp<N> {
     ) -> f64 {
         self.check_instance(instance);
         obs::incr(obs::Counter::GridSolves);
-        let kernel = match kernel {
-            // Degenerate float grids (spacing under one ulp) cannot host
-            // the envelope sweep; serve them with the windowed scan.
-            TransitionKernel::DistanceTransform if !self.arena.axes_strict => {
-                TransitionKernel::Windowed
-            }
-            k => k,
-        };
+        let kernel = self.resolve_kernel(kernel);
         self.reset_initial_costs(&instance.start);
         let window = self.axis_windows();
         for step in &instance.steps {
             obs::incr(obs::Counter::GridSteps);
             let step_span = obs::timer(obs::Hist::GridStepNs);
             self.fill_service_costs(&step.requests);
-            match kernel {
-                TransitionKernel::AllPairs => self.transition_all_pairs(instance.d, order),
-                TransitionKernel::Windowed => self.transition_windowed(instance.d, order, &window),
-                TransitionKernel::DistanceTransform => {
-                    self.transition_distance_transform(instance.d, order, &window)
-                }
-            }
+            self.run_transition(instance.d, order, kernel, &window);
             step_span.stop();
             std::mem::swap(&mut self.cost, &mut self.next);
         }
         self.cost.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Degenerate float grids (spacing under one ulp) cannot host the
+    /// SMAWK sweep; serve them with the windowed scan.
+    fn resolve_kernel(&self, kernel: TransitionKernel) -> TransitionKernel {
+        match kernel {
+            TransitionKernel::DistanceTransform if !self.arena.axes_strict => {
+                TransitionKernel::Windowed
+            }
+            k => k,
+        }
+    }
+
+    /// One step's transition relaxation under the (resolved) kernel:
+    /// `cost`/`serve` → `next`.
+    fn run_transition(
+        &mut self,
+        d: f64,
+        order: ServingOrder,
+        kernel: TransitionKernel,
+        window: &[usize; N],
+    ) {
+        match kernel {
+            TransitionKernel::AllPairs => self.transition_all_pairs(d, order),
+            TransitionKernel::Windowed => self.transition_windowed(d, order, window),
+            TransitionKernel::DistanceTransform => {
+                self.transition_distance_transform(d, order, window)
+            }
+        }
+    }
+
+    /// Warm incremental solve: like [`GridDp::solve_with`], but the
+    /// solver journals every step's inputs and outputs and, on the next
+    /// call, **fast-forwards over the longest step prefix whose request
+    /// bits are unchanged**, loading that prefix's journaled frontier
+    /// instead of recomputing it. Later steps whose bits match their
+    /// journal entry still reuse the entry's service scan (service costs
+    /// are a pure per-step function of the requests and the arena), even
+    /// when an earlier step diverged.
+    ///
+    /// **Exactness guard.** The only reuse criterion is bit-level
+    /// equality of the step's request coordinates, and the journal is
+    /// keyed to the (serving order, resolved kernel) pair and truncated
+    /// whenever a recomputation shortens the trusted chain — so a warm
+    /// solve returns the **bit-exact** cold result for every instance
+    /// (pinned by proptests in `tests/transition_kernels.rs`, for every
+    /// row-fan thread count).
+    ///
+    /// Unlike [`GridDp::solve_with`], the instance may have **any
+    /// horizon** (prefix sweeps are the point); it must still share the
+    /// construction instance's start, movement budget, and `D`, and its
+    /// requests must stay inside the construction bounding box for the
+    /// arena to price it faithfully — chained prefixes of the
+    /// construction instance satisfy both by construction.
+    ///
+    /// The journal costs `O(horizon · cells)` floats; [`GridDp::reset_warm`]
+    /// drops it. Cold solves via [`GridDp::solve_with`] never touch it.
+    pub fn solve_warm(
+        &mut self,
+        instance: &Instance<N>,
+        order: ServingOrder,
+        kernel: TransitionKernel,
+    ) -> f64 {
+        debug_assert!(
+            self.built_for.0 == instance.start
+                && self.built_for.1 == instance.max_move
+                && self.built_for.2 == instance.d,
+            "GridDp warm-solved against a different instance family than it was built for"
+        );
+        obs::incr(obs::Counter::GridSolves);
+        let kernel = self.resolve_kernel(kernel);
+        if self.warm.order != Some((order, kernel)) {
+            self.warm.steps.clear();
+            self.warm.order = Some((order, kernel));
+        }
+        let cells = self.cost.len();
+        let horizon = instance.steps.len();
+
+        // Longest journal prefix with bit-identical requests: its
+        // frontier chain is trusted verbatim.
+        let mut reuse = 0usize;
+        while reuse < self.warm.steps.len().min(horizon)
+            && req_bits_match(
+                &self.warm.steps[reuse].req_bits,
+                &instance.steps[reuse].requests,
+            )
+        {
+            reuse += 1;
+        }
+        if reuse == 0 {
+            self.reset_initial_costs(&instance.start);
+        } else {
+            self.cost
+                .copy_from_slice(&self.warm.steps[reuse - 1].frontier);
+            obs::add(obs::Counter::GridWarmReuseCells, (reuse * cells) as u64);
+        }
+
+        let window = self.axis_windows();
+        for (t, step) in instance.steps.iter().enumerate().skip(reuse) {
+            obs::incr(obs::Counter::GridSteps);
+            let step_span = obs::timer(obs::Hist::GridStepNs);
+            let serve_reused = t < self.warm.steps.len()
+                && req_bits_match(&self.warm.steps[t].req_bits, &step.requests);
+            if serve_reused {
+                self.serve.copy_from_slice(&self.warm.steps[t].serve);
+                obs::add(obs::Counter::GridWarmReuseCells, cells as u64);
+            } else {
+                self.fill_service_costs(&step.requests);
+            }
+            self.run_transition(instance.d, order, kernel, &window);
+            step_span.stop();
+            std::mem::swap(&mut self.cost, &mut self.next);
+            // Re-journal the step: new bits/serve if they diverged, and
+            // always the recomputed frontier (the chain up to `t` now
+            // describes *this* instance).
+            if t < self.warm.steps.len() {
+                let entry = &mut self.warm.steps[t];
+                if !serve_reused {
+                    entry.req_bits = step_req_bits(&step.requests);
+                    entry.serve.clear();
+                    entry.serve.extend_from_slice(&self.serve);
+                }
+                entry.frontier.clear();
+                entry.frontier.extend_from_slice(&self.cost);
+            } else {
+                self.warm.steps.push(WarmStep {
+                    req_bits: step_req_bits(&step.requests),
+                    serve: self.serve.clone(),
+                    frontier: self.cost.clone(),
+                });
+            }
+        }
+        // A pure prefix re-solve (nothing recomputed) leaves the longer
+        // journal intact — its tail is still a trusted extension of the
+        // matched prefix. Any recomputation invalidates entries beyond
+        // the horizon (their frontiers chained through replaced steps).
+        if reuse < horizon {
+            self.warm.steps.truncate(horizon);
+        }
+        self.cost.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Drops the warm-solve journal (and its `O(horizon · cells)`
+    /// memory). The next [`GridDp::solve_warm`] runs fully cold.
+    pub fn reset_warm(&mut self) {
+        self.warm.steps.clear();
+        self.warm.order = None;
     }
 
     /// Radius-pruned neighbor-window DP ([`TransitionKernel::Windowed`]);
@@ -626,20 +809,15 @@ impl<const N: usize> GridDp<N> {
         obs::add(obs::Counter::GridWindowedCells, scanned);
     }
 
-    /// One step of the lower-envelope distance transform. See the
+    /// One step of the SMAWK min-plus distance transform. See the
     /// [module docs](self) for the decomposition and the exactness
-    /// argument; in brief: per (target row, source row) pair, the set of
-    /// sources within the movement reach of a target cell is a contiguous
-    /// axis-0 index window (move distance is monotone in the index
-    /// offset), so two interleaved incorporate-and-query sweeps — a
-    /// *prefix* envelope over sources up to the window's right edge and a
-    /// *suffix* envelope over sources from its left edge — resolve the
-    /// constrained minimum exactly: a prefix winner inside the window
-    /// minimizes a superset attained in the window (likewise the suffix),
-    /// and only the rare cell whose both winners fall outside scans its
-    /// window directly. Feasibility is tested on squared distances
-    /// against [`sq_reach_threshold`], bit-faithful to the oracle's
-    /// `d(j,k) ≤ reach` predicate.
+    /// argument; in brief: per (target row, source row) pair, the
+    /// reach-constrained candidate matrix — padded on infeasible and
+    /// dead entries — is totally monotone (the proof lives on `dt_row`),
+    /// so one SMAWK row-minima reduction resolves every target cell's
+    /// constrained minimum in `O(n0)` matrix probes. Feasibility is
+    /// tested on squared distances against [`sq_reach_threshold`],
+    /// bit-faithful to the oracle's `d(j,k) ≤ reach` predicate.
     ///
     /// Target rows are mutually independent — each reads only the frozen
     /// step inputs and writes only its own `next` slice — so the row loop
@@ -670,22 +848,27 @@ impl<const N: usize> GridDp<N> {
                 }
             }
 
-            // Per-row prefix counts of finite sources (O(1) dead-row
-            // tests) and per-row base minima (the whole-pair skip bound).
-            let pref = &mut self.finite_pref;
+            // Per-row live-source counts (O(1) dead-row tests) and
+            // per-row base minima (the whole-pair skip bound).
+            let live = &mut self.row_live;
             let row_min = &mut self.row_min;
-            for (r, rmin_out) in row_min.iter_mut().enumerate().take(rows) {
-                let pbase = r * (n0 + 1);
+            for (r, (live_out, rmin_out)) in live
+                .iter_mut()
+                .zip(row_min.iter_mut())
+                .enumerate()
+                .take(rows)
+            {
                 let sbase = r * n0;
-                pref[pbase] = 0;
+                let mut n_live = 0u32;
                 let mut rmin = f64::INFINITY;
                 for i in 0..n0 {
                     let b = base[sbase + i];
-                    pref[pbase + i + 1] = pref[pbase + i] + u32::from(b.is_finite());
+                    n_live += u32::from(b.is_finite());
                     if b < rmin {
                         rmin = b;
                     }
                 }
+                *live_out = n_live;
                 *rmin_out = rmin;
             }
         }
@@ -716,11 +899,10 @@ impl<const N: usize> GridDp<N> {
             n0,
             d,
             x0: &self.arena.axis[0][..],
-            h0: self.arena.spacing[0],
             axis: &self.arena.axis,
             nodes: &self.arena.nodes,
             base: &self.base,
-            pref: &self.finite_pref,
+            live: &self.row_live,
             row_min: &self.row_min,
             window,
             r2max,
@@ -764,11 +946,194 @@ impl<const N: usize> GridDp<N> {
     }
 }
 
-/// One target row of the distance-transform transition: the
-/// prefix/suffix envelope sweeps over every admissible source row of the
-/// rest-axis window, writing the row's relaxed costs into `nrow` (the
-/// row's slice of the `next` frontier). Pure function of the frozen
-/// [`DtStep`] inputs — the unit the row fan parallelizes over.
+/// A padded candidate-matrix entry: the lexicographic `(class, key)`
+/// pair `smawk` minimizes over. Class 0 = live in-window candidate (key
+/// = its value), class 1 = reach-infeasible pad, class 2 = dead source;
+/// pad keys are index ramps chosen so padding preserves total
+/// monotonicity — see `dt_row`'s proof.
+type DtEntry = (u8, f64);
+
+/// Strictly-worse on padded entries (lexicographic; ties are *not*
+/// worse, so every comparison site keeps the leftmost column).
+#[inline]
+fn entry_worse(a: DtEntry, b: DtEntry) -> bool {
+    a.0 > b.0 || (a.0 == b.0 && a.1 > b.1)
+}
+
+/// SMAWK row-minima reduction (Aggarwal et al. 1987) over the row
+/// arithmetic progression `o, o+s, o+2s, …` (below `n0`) and the column
+/// set `cols[col_lo..]`, writing the leftmost argmin column of each row
+/// into `argmin[row]`.
+///
+/// Requires `eval` to be **totally monotone** over the full row range
+/// and the given columns: for rows `k1 < k2` and columns `j1 < j2`,
+/// `eval(k1,j1) > eval(k1,j2)` implies `eval(k2,j1) > eval(k2,j2)`
+/// (with `>` the lexicographic [`DtEntry`] order). Leftmost argmins of
+/// such a matrix are nondecreasing in the row, which is what the
+/// REDUCE/recurse/interpolate scheme exploits.
+///
+/// `cols` is a stack-disciplined arena: this call appends its REDUCE
+/// survivors above `cols.len()`, lends them to the odd-row recursion,
+/// and truncates back before returning — one flat allocation serves the
+/// whole `O(log n0)`-deep recursion with at most `2·n0` total entries.
+fn smawk<F: Fn(usize, usize) -> DtEntry>(
+    eval: &F,
+    o: usize,
+    s: usize,
+    n0: usize,
+    cols: &mut Vec<u32>,
+    col_lo: usize,
+    argmin: &mut [u32],
+) {
+    let m = (n0 - o).div_ceil(s); // rows in this level's progression
+    let col_hi = cols.len();
+    // REDUCE: keep at most `m` columns that can still host a row
+    // minimum. The stack cell at depth `t` is compared on row `o + s·t`;
+    // a strictly-worse top is popped (ties keep the leftmost column).
+    for ci in col_lo..col_hi {
+        let c = cols[ci];
+        loop {
+            let depth = cols.len() - col_hi;
+            if depth == 0 {
+                cols.push(c);
+                break;
+            }
+            let row = o + s * (depth - 1);
+            let top = cols[col_hi + depth - 1];
+            if entry_worse(eval(row, top as usize), eval(row, c as usize)) {
+                cols.pop();
+            } else {
+                if depth < m {
+                    cols.push(c);
+                }
+                break;
+            }
+        }
+    }
+    let reduced_hi = cols.len();
+    if m == 1 {
+        // The reduction above is exactly a running strict-min scan of
+        // the single row: the lone survivor is its leftmost argmin.
+        argmin[o] = cols[col_hi];
+        cols.truncate(col_hi);
+        return;
+    }
+    // Solve the odd rows (an arithmetic progression again) on the
+    // reduced columns, then INTERPOLATE each even row between its odd
+    // neighbors' argmins — a single monotone pointer pass, since
+    // leftmost argmins are nondecreasing in the row.
+    smawk(eval, o + s, 2 * s, n0, cols, col_hi, argmin);
+    let mut p = col_hi;
+    let mut k = o;
+    while k < n0 {
+        let stop_col = if k + s < n0 {
+            argmin[k + s]
+        } else {
+            cols[reduced_hi - 1]
+        };
+        let mut q = p;
+        let mut best_col = cols[q];
+        let mut best = eval(k, best_col as usize);
+        while cols[q] != stop_col {
+            q += 1;
+            let c = cols[q];
+            let e = eval(k, c as usize);
+            if entry_worse(best, e) {
+                best = e;
+                best_col = c;
+            }
+        }
+        argmin[k] = best_col;
+        p = q;
+        k += 2 * s;
+    }
+    cols.truncate(col_hi);
+}
+
+/// One target row of the distance-transform transition: for every
+/// admissible source row of the rest-axis window, one SMAWK row-minima
+/// reduction over the pair's padded candidate matrix relaxes the row's
+/// costs into `nrow` (the row's slice of the `next` frontier). Pure
+/// function of the frozen [`DtStep`] inputs — the unit the row fan
+/// parallelizes over.
+///
+/// # Total monotonicity of the padded candidate matrix
+///
+/// Fix one (target row `rt`, source row `rs`) pair with rest-axis
+/// squared offset `C²`. Targets `k` and sources `j` both index the
+/// strictly increasing axis-0 coordinates `x`. The entry fed to
+/// [`smawk`] is the lexicographic pair `E(k,j) = (class, key)`:
+///
+/// * **class 0** — live in-window: `base[j]` finite and the separable
+///   squared move `Δ² + C²` (`Δ = x[k] − x[j]`) passes the feasibility
+///   threshold `r2win`; `key = base[j] + D·√(Δ² + C²)`.
+/// * **class 1** — reach-infeasible pad with a finite `base[j]`:
+///   `key = −j` when `j < k` (left of the window), `+j` when `j > k`
+///   (right of it; `j = k` is always feasible since `C² ≤ r2win`).
+/// * **class 2** — dead source (`base[j] = ∞`): `key = −j`.
+///
+/// SMAWK needs: for `k1 < k2`, `j1 < j2`, `E(k1,j1) > E(k1,j2)` implies
+/// `E(k2,j1) > E(k2,j2)`. Feasibility is *staircase-monotone in `k` at
+/// the `f64` level*: for `j ≤ k` the separable square is computed from
+/// `Δ ≥ 0`, and IEEE subtraction, squaring of nonnegatives, and the
+/// final add are each monotone, so a `j` left-infeasible at `k1` stays
+/// left-infeasible at every `k2 > k1 ≥ j`; symmetrically a `j`
+/// right-infeasible at `k2` is right-infeasible at every `k1 < k2 ≤ j`,
+/// and in-window sources form a contiguous index interval around `k`.
+/// Case analysis on the classes at `k1`:
+///
+/// * **j1 dead** — `E(·,j1) = (2,−j1)` at every row. If `j2` is also
+///   dead the premise and conclusion are both `−j1 > −j2`, i.e. always
+///   true. Otherwise `j2`'s class is ≤ 1 at every row and the
+///   conclusion `(2,·) > (≤1,·)` holds unconditionally.
+/// * **j2 dead, j1 not** — premise `(≤1,·) > (2,·)` is false; nothing
+///   to show.
+/// * **j1 left-pad at k1** (`j1 < k1`, infeasible): by the staircase,
+///   `j1` stays left-pad at every `k2 > k1`, so `E(k2,j1) = (1,−j1)`.
+///   At `k2`, a live `j2` gives `(1,−j1) > (0,·)` by class; a left-pad
+///   `j2` gives `−j1 > −j2`, always true for `j1 < j2`; and a
+///   right-pad `j2` at `k2` cannot co-occur with a true premise —
+///   right-infeasibility at `k2` propagates down to `k1 < k2`, where
+///   the premise would have compared `(1,−j1) > (1,+j2)`, false.
+/// * **j1 right-pad at k1** (`j1 > k1`, infeasible): `j2 > j1 > k1`
+///   is right of a right-infeasible source, so `j2` is right-infeasible
+///   at `k1` too (windows are contiguous), and the premise reads
+///   `+j1 > +j2` — false for `j1 < j2`. Nothing to show.
+/// * **j1 live at k1, j2 live at k1** — both keys are cone values
+///   `g_j(x) = base[j] + D·√((x−x_j)² + C²)`. The difference
+///   `g_{j1}(x) − g_{j2}(x)` is nondecreasing in `x` for `x_{j1} <
+///   x_{j2}` (same-slope-asymptote cones; the
+///   [`ConeEnvelope`](crate::envelope::ConeEnvelope) crossing argument),
+///   so `g_{j1}(x_{k1}) > g_{j2}(x_{k1})` implies the same at
+///   `x_{k2} > x_{k1}` in real arithmetic — float rounding can flip
+///   only tie-level outcomes, which the exactness contract already
+///   absorbs (never below the oracle, ≤ 1e-9 relative). At `k2`, if
+///   `j1` has exited `k1`'s window it exits leftward (`j1 ≤ k1 + w`
+///   and windows slide right with `k`), becoming `(1,−j1)`: a live
+///   `j2` then satisfies the conclusion by class, a left-pad `j2` by
+///   `−j1 > −j2`, and a right-pad `j2` is impossible under the premise
+///   (it would have been right-infeasible at `k1` already, where `j2`
+///   was live). If `j1` is still live at `k2`, then `j2` cannot have
+///   left-exited (`j1 < j2` cannot have `j2` left of a window holding
+///   `j1`) and cannot have right-exited (right-infeasibility at `k2`
+///   propagates down to `k1`, contradicting the live premise) — so
+///   `j2` is live too and the cone argument closes the case.
+/// * **j1 live at k1, j2 pad at k1** — `j2` infeasible at `k1` with
+///   `j1 < j2` live means `j2` is right-pad (`j2 > k1`; a left-pad
+///   `j2` would straddle the window), so the premise `(0,·) > (1,·)`
+///   is false. Nothing to show.
+///
+/// In every case the premise survives to `k2` or never held, so the
+/// padded matrix is totally monotone and [`smawk`]'s leftmost argmins
+/// are correct. A class-0 winner therefore *is* the row-pair's
+/// constrained minimum over live in-window sources; a class ≥ 1 winner
+/// certifies the window holds no live source and the cell is skipped.
+/// For `N ≤ 2` the separable square is bit-identical to the oracle's
+/// left-associated axis sum, so the winner's key is already the
+/// oracle's candidate value; for `N ≥ 3` the winner re-checks against
+/// the oracle's own accumulation order (`r2max`) and the rare
+/// ulp-band rejection falls back to an exact scan of the (contiguous)
+/// feasible window.
 fn dt_row<const N: usize>(
     ctx: &DtStep<'_, N>,
     rt: usize,
@@ -779,11 +1144,10 @@ fn dt_row<const N: usize>(
         n0,
         d,
         x0,
-        h0,
         axis,
         nodes,
         base,
-        pref,
+        live,
         row_min,
         window,
         r2max,
@@ -791,21 +1155,14 @@ fn dt_row<const N: usize>(
     } = *ctx;
     let DtScratch {
         pair_buf,
-        mark,
-        minq,
-        env,
+        cols,
+        argmin,
     } = scratch;
-
-    /// Cell marker: resolved by the prefix sweep (or no action
-    /// needed); any other value is the cell's feasible right edge,
-    /// left for the suffix sweep.
-    const DONE: u32 = u32::MAX;
 
     // Metrics-only tallies, flushed to the registry once per row so the
     // hot sweeps touch no atomics.
     let dt_pairs;
-    let mut suffix_cells = 0u64;
-    let mut brute_cells = 0u64;
+    let mut smawk_rows = 0u64;
 
     {
         // Decode the target row's rest-axis indices and clamp the
@@ -844,7 +1201,7 @@ fn dt_row<const N: usize>(
                     stride *= n0;
                 }
             }
-            if c2 <= r2win && pref[rs * (n0 + 1) + n0] > 0 {
+            if c2 <= r2win && live[rs] > 0 {
                 pair_buf.push((c2, rs));
             }
             // Advance the row odometer.
@@ -880,6 +1237,7 @@ fn dt_row<const N: usize>(
             if pair_floor >= frontier_max {
                 continue;
             }
+            smawk_rows += 1;
 
             // Separable squared move distance (bit-identical to the
             // oracle's sum for N ≤ 2; a window superset otherwise).
@@ -908,168 +1266,66 @@ fn dt_row<const N: usize>(
                     (d2 <= r2max).then(|| base[sbase + j0] + d * d2.sqrt())
                 }
             };
-            // Window scan for the rare cell neither sweep resolves:
-            // every index in [a, b] is window-feasible; N ≥ 3
-            // re-checks exactly via `admit`.
-            let brute = |a: usize, b: usize, k0: usize, cur: f64| -> f64 {
-                let mut best = cur;
-                for jf in a..=b {
-                    if !base[sbase + jf].is_finite() {
-                        continue;
-                    }
-                    if let Some(cand) = admit(jf, k0) {
-                        if cand < best {
-                            best = cand;
-                        }
-                    }
+
+            // The padded candidate matrix — see the function docs for
+            // the class/key scheme and its total-monotonicity proof.
+            let eval = |k0: usize, j0: usize| -> DtEntry {
+                let b = base[sbase + j0];
+                if !b.is_finite() {
+                    return (2, -(j0 as f64));
                 }
-                best
+                let dx = x0[k0] - x0[j0];
+                let d2 = dx * dx + c2;
+                if d2 <= r2win {
+                    (0, b + d * d2.sqrt())
+                } else if j0 < k0 {
+                    (1, -(j0 as f64))
+                } else {
+                    (1, j0 as f64)
+                }
             };
 
-            // Sources whose base plus the D·C rest-offset move
-            // already matches the frontier can improve no cell;
-            // excluding them from the envelopes is safe (the
-            // superset-resolution argument only ever compares
-            // admitted winners against `nrow`) and skips their
-            // crossover arithmetic.
-            let dc = d * c2.sqrt();
-            let src_cut = frontier_max - dc;
+            cols.clear();
+            cols.extend(0..n0 as u32);
+            smawk(&eval, 0, 1, n0, cols, 0, argmin);
 
-            // Per-cell improvement bound: a sliding-window minimum of
-            // `base` over a superset of the feasible index window (a
-            // monotone deque, no square roots). A cell where even
-            // `winmin + D·C` cannot beat the frontier value admits no
-            // improving candidate from this pair — the common case
-            // for rim pairs once the DP saturates.
-            let wq = if h0 > 0.0 {
-                (((r2win - c2).max(0.0).sqrt() / h0).ceil() as usize + 1).min(n0 - 1)
-            } else {
-                n0 - 1
-            };
-            minq.clear();
-            let mut qhead = 0usize;
-            for j in 0..=wq.min(n0 - 1) {
-                let b = base[sbase + j];
-                while minq.len() > qhead && base[sbase + *minq.last().unwrap() as usize] >= b {
-                    minq.pop();
+            for (k0, nx) in nrow.iter_mut().enumerate() {
+                let j0 = argmin[k0] as usize;
+                let b = base[sbase + j0];
+                if !b.is_finite() {
+                    continue; // class-2 winner: the row is locally dead
                 }
-                minq.push(j as u32);
-            }
-
-            // ---- Prefix sweep: envelope of sources j ≤ feasible
-            // right edge, queried left to right. Both edge pointers
-            // are monotone (amortized O(n0) squared-distance tests;
-            // the center j0 = k0 is always feasible since C² ≤ r2win).
-            env.begin(d, c2);
-            let mut af = 0usize; // left feasibility edge
-            let mut bf = 0usize; // sources incorporated: j < bf
-            let mut unresolved = 0usize;
-            let mut min_unres = n0;
-            let mut max_unres = 0usize;
-            for k0 in 0..n0 {
-                // Slide the base-min window: admit j = k0 + wq, evict
-                // the front once it falls left of k0 - wq.
-                if k0 > 0 && k0 + wq < n0 {
-                    let j = k0 + wq;
-                    let b = base[sbase + j];
-                    while minq.len() > qhead && base[sbase + *minq.last().unwrap() as usize] >= b {
-                        minq.pop();
-                    }
-                    minq.push(j as u32);
+                let dx = x0[k0] - x0[j0];
+                if dx * dx + c2 > r2win {
+                    continue; // class-1 winner: no live in-window source
                 }
-                while (minq[qhead] as usize) + wq < k0 {
-                    qhead += 1;
-                }
-                while d2_sep(af, k0) > r2win {
-                    af += 1;
-                }
-                while bf < n0 && d2_sep(bf, k0) <= r2win {
-                    if base[sbase + bf] < src_cut {
-                        env.push(bf, x0[bf], base[sbase + bf]);
-                    }
-                    bf += 1;
-                }
-                debug_assert!(af <= k0 && bf > k0);
-                if base[sbase + minq[qhead] as usize] + dc >= nrow[k0] {
-                    // No candidate of this pair can improve the cell.
-                    mark[k0] = DONE;
-                    continue;
-                }
-                match env.query_at(x0[k0]) {
-                    Some(jp) if jp >= af => {
-                        // Winner inside the window: it minimizes the
-                        // prefix superset, so it is the window min.
-                        match admit(jp, k0) {
-                            Some(cand) => {
-                                if cand < nrow[k0] {
-                                    nrow[k0] = cand;
-                                }
-                                mark[k0] = DONE;
-                            }
-                            None => {
-                                // N ≥ 3 ulp-band winner: resolve by
-                                // the exact window scan.
-                                brute_cells += (bf - af) as u64;
-                                nrow[k0] = brute(af, bf - 1, k0, nrow[k0]);
-                                mark[k0] = DONE;
-                            }
+                match admit(j0, k0) {
+                    Some(cand) => {
+                        if cand < *nx {
+                            *nx = cand;
                         }
                     }
-                    _ => {
-                        // Winner left of the window (or no live
-                        // prefix source): defer to the suffix sweep.
-                        mark[k0] = (bf - 1) as u32;
-                        unresolved += 1;
-                        min_unres = min_unres.min(k0);
-                        max_unres = k0;
-                    }
-                }
-            }
-
-            // ---- Suffix sweep: envelope of sources j ≥ feasible
-            // left edge, queried right to left — mirrored via negated
-            // abscissas. Only the deferred index range is walked, and
-            // sources right of the largest deferred cell's right edge
-            // are omitted (no deferred cell could admit them).
-            suffix_cells += unresolved as u64;
-            if unresolved > 0 {
-                env.begin(d, c2);
-                let mut af2 = max_unres + 1; // left feasibility edge
-                let mut inc = mark[max_unres] as usize + 1; // sources incorporated: j ≥ inc
-                for k0 in (min_unres..=max_unres).rev() {
-                    if unresolved == 0 {
-                        break;
-                    }
-                    while af2 > 0 && d2_sep(af2 - 1, k0) <= r2win {
-                        af2 -= 1;
-                    }
-                    while inc > af2 {
-                        inc -= 1;
-                        env.push(inc, -x0[inc], base[sbase + inc]);
-                    }
-                    let m = mark[k0];
-                    if m == DONE {
-                        continue;
-                    }
-                    unresolved -= 1;
-                    let bfk = m as usize;
-                    match env.query_at(-x0[k0]) {
-                        Some(js) if js <= bfk => match admit(js, k0) {
-                            Some(cand) => {
-                                if cand < nrow[k0] {
-                                    nrow[k0] = cand;
+                    None => {
+                        // N ≥ 3 ulp-band winner: scan the (contiguous)
+                        // feasible window exactly, expanding from the
+                        // always-feasible center k0.
+                        let mut a = k0;
+                        while a > 0 && d2_sep(a - 1, k0) <= r2win {
+                            a -= 1;
+                        }
+                        let mut bb = k0;
+                        while bb + 1 < n0 && d2_sep(bb + 1, k0) <= r2win {
+                            bb += 1;
+                        }
+                        for jf in a..=bb {
+                            if !base[sbase + jf].is_finite() {
+                                continue;
+                            }
+                            if let Some(cand) = admit(jf, k0) {
+                                if cand < *nx {
+                                    *nx = cand;
                                 }
                             }
-                            None => {
-                                brute_cells += (bfk + 1 - af2) as u64;
-                                nrow[k0] = brute(af2, bfk, k0, nrow[k0]);
-                            }
-                        },
-                        _ => {
-                            // Both winners outside the window (or no
-                            // live source): exact scan.
-                            brute_cells += (bfk + 1 - af2) as u64;
-                            nrow[k0] = brute(af2, bfk, k0, nrow[k0]);
                         }
                     }
                 }
@@ -1080,8 +1336,7 @@ fn dt_row<const N: usize>(
     if obs::enabled() {
         obs::incr(obs::Counter::GridDtRows);
         obs::add(obs::Counter::GridDtPairs, dt_pairs);
-        obs::add(obs::Counter::GridDtSuffixCells, suffix_cells);
-        obs::add(obs::Counter::GridDtBruteCells, brute_cells);
+        obs::add(obs::Counter::GridSmawkRows, smawk_rows);
     }
 }
 
@@ -1310,6 +1565,58 @@ mod tests {
             let dt = dp.solve_with(&inst, order, TransitionKernel::DistanceTransform);
             assert_eq!(pruned, full, "{order:?}");
             assert_dt_parity(dt, full, &format!("{order:?}"));
+        }
+    }
+
+    #[test]
+    fn warm_prefix_solves_are_bit_equal_to_cold() {
+        let steps: Vec<Step<2>> = (0..10)
+            .map(|t| {
+                let a = 0.7 * t as f64;
+                Step::new(vec![P2::xy(a.cos(), a.sin()), P2::xy(0.3 * a.cos(), -0.5)])
+            })
+            .collect();
+        let inst = Instance::new(2.0, 0.5, P2::origin(), steps);
+        for order in [ServingOrder::MoveFirst, ServingOrder::AnswerFirst] {
+            for kernel in TransitionKernel::ALL {
+                let mut warm_dp = GridDp::new(&inst, 15);
+                let mut cold_dp = GridDp::new(&inst, 15);
+                for t in [3usize, 5, 5, 8, 10, 4, 10] {
+                    let prefix = inst.prefix(t);
+                    let warm = warm_dp.solve_warm(&prefix, order, kernel);
+                    cold_dp.reset_warm();
+                    let cold = cold_dp.solve_warm(&prefix, order, kernel);
+                    assert_eq!(
+                        warm.to_bits(),
+                        cold.to_bits(),
+                        "{order:?} {kernel:?} T={t}: warm {warm} vs cold {cold}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_solve_survives_kernel_and_order_switches() {
+        // Switching kernel or order must invalidate the journal (tie
+        // bits differ between kernels), never silently reuse it.
+        let steps: Vec<Step<2>> = (0..6)
+            .map(|t| Step::single(P2::xy(t as f64 * 0.3, 1.0 - t as f64 * 0.2)))
+            .collect();
+        let inst = Instance::new(1.5, 0.4, P2::origin(), steps);
+        let mut dp = GridDp::new(&inst, 13);
+        for (order, kernel) in [
+            (ServingOrder::MoveFirst, TransitionKernel::DistanceTransform),
+            (
+                ServingOrder::AnswerFirst,
+                TransitionKernel::DistanceTransform,
+            ),
+            (ServingOrder::MoveFirst, TransitionKernel::Windowed),
+            (ServingOrder::MoveFirst, TransitionKernel::DistanceTransform),
+        ] {
+            let warm = dp.solve_warm(&inst, order, kernel);
+            let cold = GridDp::new(&inst, 13).solve_with(&inst, order, kernel);
+            assert_eq!(warm.to_bits(), cold.to_bits(), "{order:?} {kernel:?}");
         }
     }
 

@@ -17,6 +17,12 @@
 //! movement budget (reach collapses to the start-snap slack, so the DT
 //! kernel's out-of-reach fallback carries whole steps), requests pinned
 //! to the arena corners, and empty (silent) steps.
+//!
+//! The warm-solve contract rides the same matrix:
+//! [`GridDp::solve_warm`] must be **bit-equal** to a cold solve of the
+//! same prefix for every kernel, order, row-thread request, and
+//! arbitrary (non-monotone) sweep schedule — the journal may only ever
+//! skip work whose inputs match at the bit level.
 
 use mobile_server::core::cost::ServingOrder;
 use mobile_server::geometry::sample::SeededSampler;
@@ -110,6 +116,47 @@ proptest! {
         let inst = random_instance::<2>(seed, 5, 2, d, 0.02);
         for cells in [9usize, 25] {
             assert_kernel_matrix(&inst, cells, &format!("starved seed={seed} cells={cells}"));
+        }
+    }
+
+    /// Warm solves across an arbitrary (non-monotone) schedule of prefix
+    /// horizons are bit-equal to cold solves of the same prefixes, for
+    /// every kernel, order, and row-thread request — shrinking, growing,
+    /// and repeated horizons all hit the journal's reuse/truncate paths.
+    /// Runs under `MSP_THREADS=1/2/auto` in CI (the pool width caps the
+    /// effective fan; results may not depend on it).
+    #[test]
+    fn warm_solves_match_cold_across_random_sweep_schedules(
+        seed in any::<u64>(),
+        d in 1.0f64..6.0,
+        m in 0.05f64..1.2,
+        schedule in prop::collection::vec(1usize..7, 3..8)
+    ) {
+        let inst = random_instance::<2>(seed, 6, 3, d, m);
+        for threads in [1usize, 2, 0] {
+            let mut warm = GridDp::new(&inst, 13);
+            warm.set_row_threads(threads);
+            for order in ORDERS {
+                for kernel in [
+                    TransitionKernel::AllPairs,
+                    TransitionKernel::Windowed,
+                    TransitionKernel::DistanceTransform,
+                ] {
+                    for &t in &schedule {
+                        let prefix = inst.prefix(t);
+                        let got = warm.solve_warm(&prefix, order, kernel);
+                        let mut cold = GridDp::new(&inst, 13);
+                        cold.set_row_threads(threads);
+                        let want = cold.solve_warm(&prefix, order, kernel);
+                        prop_assert_eq!(
+                            got.to_bits(),
+                            want.to_bits(),
+                            "seed={} threads={} {:?} {:?} T={}: warm {} vs cold {}",
+                            seed, threads, order, kernel, t, got, want
+                        );
+                    }
+                }
+            }
         }
     }
 }
